@@ -1,0 +1,110 @@
+// Benchmarks regenerating every experiment in DESIGN.md's index
+// (E1-E12), one per table/figure/claim of the paper's evaluation, plus
+// whole-pipeline micro-benchmarks. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkEx_* executes the full experiment workload per
+// iteration (quick mode), so ns/op is the cost of regenerating that
+// experiment; the experiment's table itself is printed by cmd/qkdexp.
+package qkd
+
+import (
+	"testing"
+
+	"qkd/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, run func(uint64, bool) (*experiments.Report, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := run(uint64(i)+1, true)
+		if err != nil {
+			b.Fatalf("%s: %v", r.ID, err)
+		}
+		if len(r.Rows()) == 0 {
+			b.Fatalf("%s produced no output", r.ID)
+		}
+	}
+}
+
+func BenchmarkE1_EndToEnd(b *testing.B)       { benchExperiment(b, experiments.E1EndToEnd) }
+func BenchmarkE2_RateVsDistance(b *testing.B) { benchExperiment(b, experiments.E2RateVsDistance) }
+func BenchmarkE3_SiftRatio(b *testing.B)      { benchExperiment(b, experiments.E3SiftRatio) }
+func BenchmarkE4_Cascade(b *testing.B)        { benchExperiment(b, experiments.E4Cascade) }
+func BenchmarkE5_Defense(b *testing.B)        { benchExperiment(b, experiments.E5Defense) }
+func BenchmarkE6_PrivacyAmp(b *testing.B)     { benchExperiment(b, experiments.E6PrivacyAmp) }
+func BenchmarkE7_Eve(b *testing.B)            { benchExperiment(b, experiments.E7Eve) }
+func BenchmarkE8_IKE(b *testing.B)            { benchExperiment(b, experiments.E8IKE) }
+func BenchmarkE9_RelayMesh(b *testing.B)      { benchExperiment(b, experiments.E9RelayMesh) }
+func BenchmarkE10_Switches(b *testing.B)      { benchExperiment(b, experiments.E10Switches) }
+func BenchmarkE11_Auth(b *testing.B)          { benchExperiment(b, experiments.E11Auth) }
+func BenchmarkE12_Transcript(b *testing.B)    { benchExperiment(b, experiments.E12Transcript) }
+
+// Whole-pipeline micro-benchmarks through the public facade.
+
+func fastParams() LinkParams {
+	p := DefaultLinkParams()
+	p.FiberKm = 0
+	p.SystemLossDB = 0
+	p.DetectorEff = 1
+	p.DarkCountProb = 1e-5
+	p.Visibility = 0.96
+	return p
+}
+
+// BenchmarkPipeline_DistillPerFrame measures the full protocol pipeline
+// (sift + cascade + entropy + amplification) per 10k-pulse frame.
+func BenchmarkPipeline_DistillPerFrame(b *testing.B) {
+	s := NewSession(fastParams(), Config{BatchBits: 4096}, 10000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.RunFrames(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.Alice.Metrics().DistilledBits)/float64(b.N), "keybits/frame")
+}
+
+// BenchmarkPipeline_Authenticated is the same pipeline with
+// Wegman-Carter authentication on every public-channel message.
+func BenchmarkPipeline_Authenticated(b *testing.B) {
+	s, err := NewAuthenticatedSession(fastParams(), Config{BatchBits: 4096}, 10000, 1, 1<<22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.RunFrames(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVPN_Tunnel1KB measures the assembled VPN dataplane.
+func BenchmarkVPN_Tunnel1KB(b *testing.B) {
+	n, err := NewVPN(VPNConfig{
+		Photonics: fastParams(),
+		QKD:       Config{BatchBits: 2048},
+		Suite:     SuiteAES128CTR,
+		Seed:      1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.DistillKeys(2048, 120); err != nil {
+		b.Fatal(err)
+	}
+	if err := n.Establish(); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Send(HostA, HostB, uint32(i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

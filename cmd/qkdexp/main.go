@@ -1,0 +1,68 @@
+// Command qkdexp regenerates the paper's evaluation: every table,
+// figure and quantitative claim indexed in DESIGN.md (E1-E12), printed
+// as formatted reports.
+//
+// Usage:
+//
+//	qkdexp                 # run everything
+//	qkdexp -exp e4,e8      # selected experiments
+//	qkdexp -quick          # reduced Monte Carlo sizes
+//	qkdexp -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qkd/internal/experiments"
+)
+
+var registry = map[string]func(uint64, bool) (*experiments.Report, error){
+	"e1":  experiments.E1EndToEnd,
+	"e2":  experiments.E2RateVsDistance,
+	"e3":  experiments.E3SiftRatio,
+	"e4":  experiments.E4Cascade,
+	"e5":  experiments.E5Defense,
+	"e6":  experiments.E6PrivacyAmp,
+	"e7":  experiments.E7Eve,
+	"e8":  experiments.E8IKE,
+	"e9":  experiments.E9RelayMesh,
+	"e10": experiments.E10Switches,
+	"e11": experiments.E11Auth,
+	"e12": experiments.E12Transcript,
+}
+
+var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"}
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e12) or 'all'")
+	quick := flag.Bool("quick", false, "reduced Monte Carlo sizes")
+	seed := flag.Uint64("seed", 2003, "simulation seed")
+	flag.Parse()
+
+	ids := order
+	if *exp != "all" {
+		ids = strings.Split(strings.ToLower(*exp), ",")
+	}
+	failed := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		run, ok := registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want e1..e12)\n", id)
+			os.Exit(2)
+		}
+		report, err := run(*seed, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", strings.ToUpper(id), err)
+			failed++
+			continue
+		}
+		fmt.Println(report)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

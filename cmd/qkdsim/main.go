@@ -1,0 +1,132 @@
+// Command qkdsim runs a single simulated QKD link end to end and
+// prints the protocol pipeline's stage accounting — the tool for
+// exploring how distance, source brightness, detector noise, error
+// correctors, defense functions, and eavesdropping attacks move the
+// distilled-key rate.
+//
+// Examples:
+//
+//	qkdsim -km 10 -frames 50
+//	qkdsim -km 25 -mu 0.1 -corrector classic -defense slutsky
+//	qkdsim -attack intercept -attack-prob 1.0
+//	qkdsim -attack beamsplit -mu 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qkd/internal/core"
+	"qkd/internal/entropy"
+	"qkd/internal/eve"
+	"qkd/internal/photonics"
+)
+
+func main() {
+	km := flag.Float64("km", 10, "fiber length (km)")
+	mu := flag.Float64("mu", 0.1, "mean photon number per pulse")
+	eta := flag.Float64("eta", 0.1, "detector efficiency")
+	dark := flag.Float64("dark", 1e-4, "dark count probability per gate")
+	visibility := flag.Float64("visibility", 0.93, "interferometer visibility")
+	frames := flag.Int("frames", 50, "frames to transmit")
+	slots := flag.Int("slots", 100000, "pulses per frame")
+	batch := flag.Int("batch", 4096, "sifted bits per distillation batch")
+	corrector := flag.String("corrector", "classic", "error corrector: bbn | classic | parity")
+	defense := flag.String("defense", "bennett", "defense function: bennett | slutsky")
+	attack := flag.String("attack", "none", "eavesdropping: none | intercept | beamsplit | cut")
+	attackProb := flag.Float64("attack-prob", 1.0, "intercept-resend attack fraction")
+	seed := flag.Uint64("seed", 2003, "simulation seed")
+	flag.Parse()
+
+	params := photonics.DefaultParams()
+	params.FiberKm = *km
+	params.MeanPhotons = *mu
+	params.DetectorEff = *eta
+	params.DarkCountProb = *dark
+	params.Visibility = *visibility
+	if err := params.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{BatchBits: *batch}
+	switch *corrector {
+	case "bbn":
+		cfg.Corrector = core.CorrectorBBN
+	case "classic":
+		cfg.Corrector = core.CorrectorClassic
+	case "parity":
+		cfg.Corrector = core.CorrectorBlockParity
+	default:
+		fmt.Fprintf(os.Stderr, "unknown corrector %q\n", *corrector)
+		os.Exit(2)
+	}
+	switch *defense {
+	case "bennett":
+		cfg.Defense = entropy.Bennett
+	case "slutsky":
+		cfg.Defense = entropy.Slutsky
+	default:
+		fmt.Fprintf(os.Stderr, "unknown defense %q\n", *defense)
+		os.Exit(2)
+	}
+
+	session := core.NewSession(params, cfg, *slots, *seed)
+	switch *attack {
+	case "none":
+	case "intercept":
+		session.Link.SetTap(eve.NewInterceptResend(*attackProb, *seed+1))
+	case "beamsplit":
+		session.Link.SetTap(eve.NewBeamsplit())
+	case "cut":
+		session.Link.Cut()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown attack %q\n", *attack)
+		os.Exit(2)
+	}
+
+	fmt.Printf("link: %.0f km, mu=%.2f, eta=%.2f, dark=%.0e, V=%.2f -> predicted QBER %.1f%%, click %.2e/pulse\n",
+		*km, *mu, *eta, *dark, *visibility,
+		100*params.ExpectedQBER(), params.ExpectedClickProb())
+	fmt.Printf("pipeline: %s corrector, %s defense, %d-bit batches, attack=%s\n\n",
+		*corrector, *defense, *batch, *attack)
+
+	if err := session.RunFrames(*frames); err != nil {
+		fmt.Fprintf(os.Stderr, "pipeline error: %v\n", err)
+		os.Exit(1)
+	}
+
+	am := session.Alice.Metrics()
+	seconds := float64(*frames) * float64(*slots) / params.PulseRateHz
+	fmt.Println("stage accounting (Alice engine):")
+	fmt.Printf("  pulses transmitted   %12d   (%.2f s of wall-clock at %.0f MHz)\n",
+		am.PulsesSent, seconds, params.PulseRateHz/1e6)
+	fmt.Printf("  sifted bits          %12d   (%.1f bit/s)\n",
+		am.SiftedBits, float64(am.SiftedBits)/seconds)
+	fmt.Printf("  errors corrected     %12d   (measured QBER %.2f%%)\n",
+		am.ErrorsCorrected, 100*am.LastQBER)
+	fmt.Printf("  parity disclosed     %12d\n", am.ParityDisclosed)
+	fmt.Printf("  batches distilled    %12d   (aborted %d)\n",
+		am.BatchesDistilled, am.BatchesAborted)
+	fmt.Printf("  distilled key        %12d   (%.1f bit/s)\n",
+		am.DistilledBits, float64(am.DistilledBits)/seconds)
+
+	// Verify both reservoirs agree (the whole point).
+	n := session.Alice.Pool().Available()
+	if n != session.Bob.Pool().Available() {
+		fmt.Println("\nWARNING: reservoirs hold different amounts")
+		os.Exit(1)
+	}
+	if n > 0 {
+		a, _ := session.Alice.Pool().TryConsume(n)
+		b, _ := session.Bob.Pool().TryConsume(n)
+		if !a.Equal(b) {
+			fmt.Printf("\nWARNING: distilled keys differ in %d bits\n", a.HammingDistance(b))
+			os.Exit(1)
+		}
+		fmt.Printf("\n%d distilled bits verified identical at both ends\n", n)
+	} else {
+		fmt.Println("\nno distilled key (link too lossy, too noisy, or under attack)")
+	}
+}

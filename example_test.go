@@ -1,0 +1,99 @@
+package qkd_test
+
+import (
+	"fmt"
+
+	"qkd"
+)
+
+// benchLink is a short, lossless link so examples run instantly; use
+// qkd.DefaultLinkParams() for the paper's 10 km operating point.
+func benchLink() qkd.LinkParams {
+	p := qkd.DefaultLinkParams()
+	p.FiberKm = 0
+	p.SystemLossDB = 0
+	p.DetectorEff = 1
+	p.DarkCountProb = 1e-5
+	p.Visibility = 0.96
+	return p
+}
+
+// Distill shared secret key over a simulated quantum link: the minimal
+// use of the library.
+func ExampleNewSession() {
+	session := qkd.NewSession(benchLink(), qkd.Config{BatchBits: 2048}, 10000, 42)
+	if err := session.RunUntilDistilled(256, 200); err != nil {
+		fmt.Println(err)
+		return
+	}
+	alice, _ := session.Alice.Pool().TryConsume(256)
+	bob, _ := session.Bob.Pool().TryConsume(256)
+	fmt.Println("identical keys:", alice.Equal(bob))
+	// Output: identical keys: true
+}
+
+// An eavesdropper on the quantum channel is detected through the error
+// rate she induces, and no key is released.
+func ExampleInterceptResend() {
+	session := qkd.NewSession(benchLink(), qkd.Config{BatchBits: 2048}, 10000, 7)
+	session.Link.SetTap(qkd.NewInterceptResend(1.0, 99))
+	if err := session.RunFrames(10); err != nil {
+		fmt.Println(err)
+		return
+	}
+	m := session.Alice.Metrics()
+	fmt.Println("attack detected:", m.LastQBER > 0.15)
+	fmt.Println("key released:", m.DistilledBits)
+	// Output:
+	// attack detected: true
+	// key released: 0
+}
+
+// The full Fig. 2 system: user traffic through an IPsec tunnel whose
+// keys come from quantum key distribution.
+func ExampleNewVPN() {
+	n, err := qkd.NewVPN(qkd.VPNConfig{
+		Photonics: benchLink(),
+		QKD:       qkd.Config{BatchBits: 2048},
+		Suite:     qkd.SuiteAES128CTR,
+		Seed:      1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer n.Close()
+	if err := n.DistillKeys(2048, 200); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := n.Establish(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	got, err := n.Send(qkd.HostA, qkd.HostB, 1, []byte("hello bob"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("delivered: %s\n", got)
+	// Output: delivered: hello bob
+}
+
+// A trusted-relay mesh transports end-to-end keys hop by hop and
+// reports which relays were trusted with each key.
+func ExampleNewRelayFullMesh() {
+	mesh := qkd.NewRelayFullMesh(1, 8192, "bbn", "harvard", "bu")
+	mesh.Tick() // each link's QKD process deposits pairwise key
+	mesh.Cut("bbn", "bu")
+	d, err := mesh.TransportKey("bbn", "bu", 512)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("key bits:", d.Key.Len())
+	fmt.Println("relays exposed:", d.Exposed)
+	// Output:
+	// key bits: 512
+	// relays exposed: [harvard]
+}

@@ -1,0 +1,83 @@
+// Eavesdropper example: Section 6's Eve against the running system.
+//
+// Three attacks on the quantum channel, and what the protocol suite
+// does about each:
+//
+//   - intercept-resend: Eve measures pulses and regenerates them. Her
+//     wrong-basis guesses randomize Bob's results, driving QBER to ~25%
+//     — every distillation batch aborts and she gets nothing.
+//
+//   - beamsplitting: Eve siphons one photon from each multi-photon
+//     pulse and measures it after basis revelation. No errors appear,
+//     but privacy amplification has already charged the multi-photon
+//     budget, so her knowledge of the final key stays negligible.
+//
+//   - fiber cut: the bluntest denial of service; key flow stops, which
+//     is the robustness argument for the meshes in examples/meshnet.
+//
+//     go run ./examples/eavesdropper
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qkd"
+)
+
+func params() qkd.LinkParams {
+	p := qkd.DefaultLinkParams()
+	p.FiberKm = 0
+	p.SystemLossDB = 0
+	p.DetectorEff = 1
+	p.DarkCountProb = 1e-5
+	p.Visibility = 0.96
+	return p
+}
+
+func main() {
+	fmt.Println("=== attack 1: intercept-resend ===")
+	for _, prob := range []float64{0, 0.5, 1.0} {
+		s := qkd.NewSession(params(), qkd.Config{BatchBits: 2048}, 10000, 7)
+		if prob > 0 {
+			s.Link.SetTap(qkd.NewInterceptResend(prob, 99))
+		}
+		if err := s.RunFrames(25); err != nil {
+			log.Fatal(err)
+		}
+		m := s.Alice.Metrics()
+		fmt.Printf("  attack %3.0f%%: QBER %5.1f%%, %d batches distilled, %d aborted, %d key bits\n",
+			100*prob, 100*m.LastQBER, m.BatchesDistilled, m.BatchesAborted, m.DistilledBits)
+	}
+
+	fmt.Println("\n=== attack 2: beamsplitting (photon-number splitting) ===")
+	for _, mu := range []float64{0.1, 0.5} {
+		p := params()
+		p.MeanPhotons = mu
+		s := qkd.NewSession(p, qkd.Config{BatchBits: 2048}, 10000, 7)
+		tap := qkd.NewBeamsplit()
+		s.Link.SetTap(tap)
+		if err := s.RunFrames(25); err != nil {
+			log.Fatal(err)
+		}
+		m := s.Alice.Metrics()
+		fmt.Printf("  mu=%.1f: QBER %5.1f%% (no disturbance!), stolen pulses this frame: %d,\n",
+			mu, 100*m.LastQBER, tap.StolenCount())
+		fmt.Printf("          yield %d bits — shrunk by the multi-photon charge before Eve sees any of it\n",
+			m.DistilledBits)
+	}
+
+	fmt.Println("\n=== attack 3: fiber cut ===")
+	s := qkd.NewSession(params(), qkd.Config{BatchBits: 2048}, 10000, 7)
+	if err := s.RunFrames(10); err != nil {
+		log.Fatal(err)
+	}
+	before := s.Alice.Metrics().DistilledBits
+	s.Link.Cut()
+	if err := s.RunFrames(10); err != nil {
+		log.Fatal(err)
+	}
+	after := s.Alice.Metrics().DistilledBits
+	fmt.Printf("  key distilled before cut: %d bits; during cut: %d bits\n", before, after-before)
+	fmt.Println("  (a point-to-point link has no answer to this — see examples/meshnet)")
+}

@@ -1,0 +1,89 @@
+// Meshnet example: the Section 8 network architectures.
+//
+// Part 1 runs a trusted-relay key-transport mesh through a barrage of
+// fiber cuts and eavesdropping alarms, showing deliveries re-routing
+// and the trust cost (which relays saw each key).
+//
+// Part 2 builds an untrusted photonic-switch fabric and runs real
+// end-to-end QKD over composite light paths, showing reach shrinking
+// with every switch's insertion loss — the opposite trade.
+//
+//	go run ./examples/meshnet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qkd"
+	"qkd/internal/core"
+)
+
+func main() {
+	fmt.Println("=== part 1: trusted-relay key transport network ===")
+	sites := []string{"bbn", "harvard", "bu", "cambridge", "boston"}
+	mesh := qkd.NewRelayFullMesh(7, 8192, sites...)
+	fmt.Printf("full mesh: %d sites, %d QKD links\n", len(sites), mesh.LinkCount())
+
+	events := map[int]func(){
+		3: func() { mesh.Cut("bbn", "boston"); fmt.Println("  !! fiber cut: bbn-boston") },
+		6: func() {
+			mesh.Eavesdrop("bbn", "cambridge")
+			fmt.Println("  !! QBER alarm (Eve): bbn-cambridge abandoned, pairwise key destroyed")
+		},
+		9: func() { mesh.Cut("bbn", "harvard"); fmt.Println("  !! fiber cut: bbn-harvard") },
+	}
+	for i := 1; i <= 12; i++ {
+		mesh.Tick()
+		if ev := events[i]; ev != nil {
+			ev()
+		}
+		d, err := mesh.TransportKey("bbn", "boston", 1024)
+		if err != nil {
+			fmt.Printf("  delivery %2d: FAILED (%v)\n", i, err)
+			continue
+		}
+		fmt.Printf("  delivery %2d: path %v, relays trusted with the key: %v\n", i, d.Path, d.Exposed)
+	}
+	st := mesh.Stats()
+	fmt.Printf("delivered %d keys through 3 link failures; %d failed\n\n",
+		st.KeysDelivered, st.DeliveryFailed)
+
+	fmt.Println("=== part 2: untrusted photonic-switch network ===")
+	fabric := qkd.NewOpticalMesh()
+	fabric.AddEndpoint("alice")
+	for i := 0; i < 4; i++ {
+		fabric.AddSwitch(fmt.Sprintf("mems%d", i), 1.0) // 1 dB insertion loss each
+		fabric.AddEndpoint(fmt.Sprintf("bob%d", i))
+	}
+	fabric.Connect("alice", "mems0", 2)
+	for i := 0; i < 4; i++ {
+		fabric.Connect(fmt.Sprintf("mems%d", i), fmt.Sprintf("bob%d", i), 2)
+		if i < 3 {
+			fabric.Connect(fmt.Sprintf("mems%d", i), fmt.Sprintf("mems%d", i+1), 2)
+		}
+	}
+
+	base := qkd.DefaultLinkParams()
+	base.FiberKm = 0
+	base.SystemLossDB = 0
+	base.DetectorEff = 1
+	base.DarkCountProb = 1e-5
+	base.Visibility = 0.96
+
+	fmt.Println("end-to-end QKD over all-optical paths (no relay ever sees the key):")
+	for i := 0; i < 4; i++ {
+		path, err := fabric.Establish("alice", fmt.Sprintf("bob%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := path.RunQKD(base, core.Config{BatchBits: 2048}, 40, 10000, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d switch(es), %.0f km, %.0f dB switch loss: %6d key bits (%.5f per pulse)\n",
+			path.Hops(), path.FiberKm, path.SwitchDB, res.DistilledBits, res.SecretPerPulse)
+		path.Release()
+	}
+	fmt.Println("shape: each switch costs ~1 dB -> rate falls ~20% per hop; trust cost stays zero")
+}

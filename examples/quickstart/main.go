@@ -1,0 +1,53 @@
+// Quickstart: distill shared secret key over a simulated quantum link.
+//
+// This is the minimal use of the library: build a link at the paper's
+// operating point, pump pulses through the full QKD protocol pipeline
+// (sifting -> Cascade error correction -> entropy estimation -> privacy
+// amplification), and withdraw identical secret bits at both ends.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qkd"
+)
+
+func main() {
+	// The paper's link: 1 MHz pulses, mean photon number 0.1, 10 km of
+	// fiber, 6-8 % QBER. Classic Cascade recovers more key than the
+	// subset variant at this error rate.
+	params := qkd.DefaultLinkParams()
+	cfg := qkd.Config{
+		BatchBits: 4096,
+		Corrector: qkd.CorrectorClassic,
+		Defense:   qkd.DefenseBennett,
+	}
+	session := qkd.NewSession(params, cfg, 100000, 2003)
+
+	fmt.Println("distilling 1024 bits of shared secret key at the 10 km operating point...")
+	if err := session.RunUntilDistilled(1024, 2000); err != nil {
+		log.Fatal(err)
+	}
+
+	alice, err := session.Alice.Pool().TryConsume(1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := session.Bob.Pool().TryConsume(1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := session.Alice.Metrics()
+	fmt.Printf("pulses transmitted: %d (%.1f s at 1 MHz)\n",
+		m.PulsesSent, float64(m.PulsesSent)/params.PulseRateHz)
+	fmt.Printf("sifted bits:        %d\n", m.SiftedBits)
+	fmt.Printf("measured QBER:      %.1f%% (paper: 6-8%%)\n", 100*m.LastQBER)
+	fmt.Printf("distilled key:      %d bits\n", m.DistilledBits)
+	fmt.Printf("keys identical:     %v\n", alice.Equal(bob))
+	fmt.Printf("alice's first 64:   %s\n", alice.Slice(0, 64))
+	fmt.Printf("bob's   first 64:   %s\n", bob.Slice(0, 64))
+}

@@ -1,0 +1,311 @@
+package bitarray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLen(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 1000} {
+		a := New(n)
+		if a.Len() != n {
+			t.Errorf("New(%d).Len() = %d", n, a.Len())
+		}
+		for i := 0; i < n; i++ {
+			if a.Get(i) != 0 {
+				t.Fatalf("New(%d) bit %d not zero", n, i)
+			}
+		}
+	}
+}
+
+func TestSetGetFlip(t *testing.T) {
+	a := New(130)
+	a.Set(0, 1)
+	a.Set(63, 1)
+	a.Set(64, 1)
+	a.Set(129, 1)
+	for _, i := range []int{0, 63, 64, 129} {
+		if a.Get(i) != 1 {
+			t.Errorf("bit %d: want 1", i)
+		}
+	}
+	if a.OnesCount() != 4 {
+		t.Errorf("OnesCount = %d, want 4", a.OnesCount())
+	}
+	a.Flip(63)
+	if a.Get(63) != 0 {
+		t.Error("Flip(63) did not clear")
+	}
+	a.Set(0, 0)
+	if a.Get(0) != 0 {
+		t.Error("Set(0,0) did not clear")
+	}
+}
+
+func TestGetOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(10).Get(10)
+}
+
+func TestAppend(t *testing.T) {
+	a := New(0)
+	want := make([]int, 0, 200)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		v := int(r.Int63() & 1)
+		a.Append(v)
+		want = append(want, v)
+	}
+	if a.Len() != 200 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	for i, v := range want {
+		if a.Get(i) != v {
+			t.Fatalf("bit %d = %d, want %d", i, a.Get(i), v)
+		}
+	}
+}
+
+func TestAppendAll(t *testing.T) {
+	a := FromBools([]bool{true, false, true})
+	b := FromBools([]bool{false, true})
+	a.AppendAll(b)
+	if a.Len() != 5 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	got := []int{a.Get(0), a.Get(1), a.Get(2), a.Get(3), a.Get(4)}
+	want := []int{1, 0, 1, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bit %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := r.Intn(40)
+		p := make([]byte, n)
+		r.Read(p)
+		a := FromBytes(p)
+		if a.Len() != 8*n {
+			t.Fatalf("Len = %d, want %d", a.Len(), 8*n)
+		}
+		q := a.Bytes()
+		for i := range p {
+			if p[i] != q[i] {
+				t.Fatalf("byte %d = %#x, want %#x", i, q[i], p[i])
+			}
+		}
+	}
+}
+
+func TestBytesPartialByte(t *testing.T) {
+	a := New(10)
+	a.Set(0, 1)
+	a.Set(9, 1)
+	b := a.Bytes()
+	if len(b) != 2 || b[0] != 0x01 || b[1] != 0x02 {
+		t.Fatalf("Bytes() = %v", b)
+	}
+}
+
+func TestXorParity(t *testing.T) {
+	a := FromBools([]bool{true, true, false, true})
+	b := FromBools([]bool{true, false, false, true})
+	if a.Parity() != 1 {
+		t.Error("parity of 1101 should be 1")
+	}
+	a.Xor(b)
+	// 0100
+	if a.Get(0) != 0 || a.Get(1) != 1 || a.Get(2) != 0 || a.Get(3) != 0 {
+		t.Errorf("Xor result wrong: %s", a.String())
+	}
+}
+
+func TestParityRangeMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a := New(300)
+	for i := 0; i < 300; i++ {
+		a.Set(i, int(r.Int63()&1))
+	}
+	for trial := 0; trial < 100; trial++ {
+		from := r.Intn(301)
+		to := from + r.Intn(301-from)
+		want := 0
+		for i := from; i < to; i++ {
+			want ^= a.Get(i)
+		}
+		if got := a.ParityRange(from, to); got != want {
+			t.Fatalf("ParityRange(%d,%d) = %d, want %d", from, to, got, want)
+		}
+	}
+}
+
+func TestParityMasked(t *testing.T) {
+	a := FromBools([]bool{true, true, true, false})
+	m := FromBools([]bool{true, false, true, true})
+	// masked bits: positions 0,2,3 -> values 1,1,0 -> parity 0.
+	if got := a.ParityMasked(m); got != 0 {
+		t.Errorf("ParityMasked = %d, want 0", got)
+	}
+	m.Set(1, 1)
+	if got := a.ParityMasked(m); got != 1 {
+		t.Errorf("ParityMasked = %d, want 1", got)
+	}
+}
+
+func TestSliceTruncate(t *testing.T) {
+	a := New(100)
+	a.Set(10, 1)
+	a.Set(50, 1)
+	s := a.Slice(10, 60)
+	if s.Len() != 50 || s.Get(0) != 1 || s.Get(40) != 1 || s.OnesCount() != 2 {
+		t.Fatalf("Slice wrong: %v len=%d ones=%d", s, s.Len(), s.OnesCount())
+	}
+	a.Truncate(11)
+	if a.Len() != 11 || a.OnesCount() != 1 {
+		t.Fatalf("Truncate wrong: len=%d ones=%d", a.Len(), a.OnesCount())
+	}
+}
+
+func TestTruncateClearsTailForXor(t *testing.T) {
+	a := New(64)
+	a.SetRange(0, 64, 1)
+	a.Truncate(10)
+	b := New(10)
+	b.Xor(a)
+	if b.OnesCount() != 10 {
+		t.Fatalf("stale bits leaked through Truncate: ones=%d", b.OnesCount())
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	a := FromBools([]bool{true, false, true, false})
+	b := FromBools([]bool{true, true, true, true})
+	if d := a.HammingDistance(b); d != 2 {
+		t.Errorf("HammingDistance = %d, want 2", d)
+	}
+	if d := a.HammingDistance(a); d != 0 {
+		t.Errorf("self distance = %d", d)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	a := FromBools([]bool{true, false, false, true, true})
+	s := a.Select([]int{4, 0, 1})
+	if s.Len() != 3 || s.Get(0) != 1 || s.Get(1) != 1 || s.Get(2) != 0 {
+		t.Fatalf("Select wrong: %s", s.String())
+	}
+}
+
+func TestEqualClone(t *testing.T) {
+	a := FromBools([]bool{true, false, true})
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Flip(1)
+	if a.Equal(b) {
+		t.Fatal("mutated clone still equal")
+	}
+	if a.Equal(New(4)) {
+		t.Fatal("different lengths equal")
+	}
+}
+
+func TestFromWords(t *testing.T) {
+	a := FromWords([]uint64{0xFFFFFFFFFFFFFFFF}, 4)
+	if a.OnesCount() != 4 {
+		t.Fatalf("FromWords did not trim: ones=%d", a.OnesCount())
+	}
+}
+
+// Property: parity == OnesCount mod 2 for random arrays.
+func TestPropertyParityOnesCount(t *testing.T) {
+	f := func(p []byte) bool {
+		a := FromBytes(p)
+		return a.Parity() == a.OnesCount()%2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Bytes/FromBytes round-trips.
+func TestPropertyBytesRoundTrip(t *testing.T) {
+	f := func(p []byte) bool {
+		a := FromBytes(p)
+		q := a.Bytes()
+		if len(q) != len(p) {
+			return false
+		}
+		for i := range p {
+			if p[i] != q[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: XOR is an involution: (a^b)^b == a.
+func TestPropertyXorInvolution(t *testing.T) {
+	f := func(p, q []byte) bool {
+		n := len(p)
+		if len(q) < n {
+			n = len(q)
+		}
+		a := FromBytes(p[:n])
+		b := FromBytes(q[:n])
+		orig := a.Clone()
+		a.Xor(b)
+		a.Xor(b)
+		return a.Equal(orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HammingDistance(a,b) == OnesCount(a^b).
+func TestPropertyHammingXor(t *testing.T) {
+	f := func(p, q []byte) bool {
+		n := len(p)
+		if len(q) < n {
+			n = len(q)
+		}
+		a := FromBytes(p[:n])
+		b := FromBytes(q[:n])
+		x := a.Clone()
+		x.Xor(b)
+		return a.HammingDistance(b) == x.OnesCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParityMasked4096(b *testing.B) {
+	a := New(4096)
+	m := New(4096)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 4096; i++ {
+		a.Set(i, int(r.Int63()&1))
+		m.Set(i, int(r.Int63()&1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.ParityMasked(m)
+	}
+}

@@ -1,0 +1,385 @@
+// Package cascade implements the error-correction stage of the QKD
+// pipeline: interactive protocols that let Alice and Bob find and fix
+// the disagreements between their sifted bit strings while revealing —
+// and carefully counting — as few parity bits as possible, since every
+// disclosed parity must later be paid for during privacy amplification.
+//
+// Three protocols are provided:
+//
+//   - BBN: the paper's novel Cascade variant. The reference side defines
+//     64 pseudo-random subsets of the sifted bits as LFSR bit strings,
+//     identified on the wire by their 32-bit seeds, and discloses each
+//     subset's parity. The correcting side locates one error per
+//     mismatched subset by dichotomic search, flips it, updates the
+//     recorded parities of every subset containing that bit ("this will
+//     clear up some discrepancies but may introduce other new ones, and
+//     so the process continues"), and rounds repeat with fresh seeds
+//     until a round opens clean.
+//
+//   - Classic: Brassard-Salvail Cascade (Lect. Notes in Comp. Sci. 765),
+//     the protocol the paper's variant descends from: multiple passes of
+//     doubling block sizes over shared shuffles, with the trademark
+//     cascading back-correction across passes.
+//
+//   - BlockParity: "a conventional parity-checking scheme as widely
+//     employed in telecommunications systems" (paper appendix) — one
+//     fixed partition, retried; it cannot fix paired errors within a
+//     block and serves as the baseline Cascade is measured against.
+//
+// All protocols run between a *reference* side, whose string is the
+// target, and a *correcting* side, whose string converges to it. They
+// communicate over the small Messenger interface so they can run over
+// the in-memory test harness or the real public channel alike, and all
+// parity traffic is batched (see wire.go) so the per-message cost of
+// channel authentication stays affordable.
+package cascade
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"qkd/internal/bitarray"
+	"qkd/internal/rng"
+)
+
+// Messenger is the minimal reliable message transport the protocols
+// need. Package core adapts channel.Conn to it.
+type Messenger interface {
+	Send(payload []byte) error
+	Recv() ([]byte, error)
+}
+
+// Result summarizes a completed correction from the correcting side.
+type Result struct {
+	// Corrected is the corrector's string after the protocol; with
+	// overwhelming probability it equals the reference string.
+	Corrected *bitarray.BitArray
+	// Disclosed counts parity bits revealed on the public channel.
+	// Privacy amplification must subtract this.
+	Disclosed int
+	// Flips is the number of bit errors found and fixed (the "e" input
+	// to entropy estimation).
+	Flips int
+	// Rounds (BBN) or passes (Classic) executed.
+	Rounds int
+}
+
+// Protocol is one interactive error-correction scheme.
+type Protocol interface {
+	// Name identifies the protocol in experiment output.
+	Name() string
+	// RunReference serves the side whose string is authoritative.
+	// It returns the number of parity bits it disclosed.
+	RunReference(m Messenger, key *bitarray.BitArray) (disclosed int, err error)
+	// RunCorrect runs the side that repairs its string.
+	RunCorrect(m Messenger, key *bitarray.BitArray) (*Result, error)
+}
+
+// Wire message types. Payloads are little-endian packed.
+//
+// Parity queries are BATCHED: one query message carries every active
+// binary search's current range, and one reply carries all the parity
+// bits. This matters twice over: it turns O(errors * log n) round trips
+// into O(log n), and — because the Wegman-Carter authentication layer
+// pays a fixed pad cost per message — it keeps error correction from
+// draining the authentication pool faster than distillation refills it.
+const (
+	msgHello     = 1 // corrector -> reference: uint32 n
+	msgSubsets   = 2 // reference -> corrector: round seeds + parities (BBN)
+	msgQuery     = 3 // corrector -> reference: batched parity queries
+	msgParity    = 4 // reference -> corrector: parity bitmap
+	msgRoundDone = 5 // corrector -> reference: clean flag
+	msgFinish    = 6 // corrector -> reference: protocol complete
+	msgPassStart = 7 // reference -> corrector: k1, passes, shuffle seeds (Classic)
+	msgBlocks    = 8 // reference -> corrector: block parities
+)
+
+var errProtocol = errors.New("cascade: protocol violation")
+
+// ---------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------
+
+func sendMsg(m Messenger, typ byte, body []byte) error {
+	return m.Send(append([]byte{typ}, body...))
+}
+
+func recvMsg(m Messenger, want byte) ([]byte, error) {
+	p, err := m.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if len(p) == 0 || p[0] != want {
+		got := byte(0)
+		if len(p) > 0 {
+			got = p[0]
+		}
+		return nil, fmt.Errorf("%w: expected message %d, got %d", errProtocol, want, got)
+	}
+	return p[1:], nil
+}
+
+// recvEither accepts one of two message types.
+func recvEither(m Messenger, a, b byte) (byte, []byte, error) {
+	p, err := m.Recv()
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(p) == 0 || (p[0] != a && p[0] != b) {
+		return 0, nil, fmt.Errorf("%w: expected message %d or %d", errProtocol, a, b)
+	}
+	return p[0], p[1:], nil
+}
+
+// subsetIndices materializes the member indices of the LFSR subset for
+// seed over n bits.
+func subsetIndices(seed uint32, n int) []int {
+	l := rng.NewLFSR32(seed)
+	idx := make([]int, 0, n/2)
+	for i := 0; i < n; i++ {
+		if l.Next() == 1 {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// parityAt returns the parity of key restricted to idx[lo:hi].
+func parityAt(key *bitarray.BitArray, idx []int, lo, hi int) int {
+	p := 0
+	for _, i := range idx[lo:hi] {
+		p ^= key.Get(i)
+	}
+	return p
+}
+
+// hello exchanges and validates the key length.
+func sendHello(m Messenger, n int) error {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, uint32(n))
+	return sendMsg(m, msgHello, b)
+}
+
+func recvHello(m Messenger, n int) error {
+	body, err := recvMsg(m, msgHello)
+	if err != nil {
+		return err
+	}
+	if len(body) != 4 || int(binary.LittleEndian.Uint32(body)) != n {
+		return fmt.Errorf("%w: key length mismatch in hello", errProtocol)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// BBN variant
+// ---------------------------------------------------------------------
+
+// BBN is the paper's Cascade variant. Construct with NewBBN.
+type BBN struct {
+	// Subsets per round; the paper uses 64.
+	Subsets int
+	// MaxRounds caps the protocol; exceeding it means the strings were
+	// too different to reconcile (or a protocol bug).
+	MaxRounds int
+	// seedRand drives the reference side's choice of subset seeds.
+	seedRand *rng.SplitMix64
+}
+
+// NewBBN returns the paper's configuration: 64 subsets per round.
+func NewBBN(seed uint64) *BBN {
+	return &BBN{Subsets: 64, MaxRounds: 64, seedRand: rng.NewSplitMix64(seed)}
+}
+
+// Name implements Protocol.
+func (c *BBN) Name() string { return fmt.Sprintf("bbn-cascade-%d", c.Subsets) }
+
+// RunReference implements Protocol.
+func (c *BBN) RunReference(m Messenger, key *bitarray.BitArray) (int, error) {
+	n := key.Len()
+	if err := recvHello(m, n); err != nil {
+		return 0, err
+	}
+	disclosed := 0
+	for round := 0; round < c.MaxRounds; round++ {
+		// Announce this round's subsets and our parities.
+		seeds := make([]uint32, c.Subsets)
+		out := make([]byte, 4+c.Subsets*4+(c.Subsets+7)/8)
+		binary.LittleEndian.PutUint32(out[0:], uint32(c.Subsets))
+		par := bitarray.New(c.Subsets)
+		cache := make(map[uint32][]int, c.Subsets)
+		for i := range seeds {
+			seeds[i] = c.seedRand.Uint32()
+			if seeds[i] == 0 {
+				seeds[i] = 1
+			}
+			binary.LittleEndian.PutUint32(out[4+4*i:], seeds[i])
+			mask := rng.Mask(seeds[i], n)
+			if key.ParityMasked(mask) == 1 {
+				par.Set(i, 1)
+			}
+		}
+		copy(out[4+4*c.Subsets:], par.Bytes())
+		if err := sendMsg(m, msgSubsets, out); err != nil {
+			return disclosed, err
+		}
+		disclosed += c.Subsets
+
+		d, finished, err := serveRound(m, func(seed uint32, lo, hi int) (int, error) {
+			idx, ok := cache[seed]
+			if !ok {
+				idx = subsetIndices(seed, n)
+				cache[seed] = idx
+			}
+			if lo < 0 || hi > len(idx) || lo >= hi {
+				return 0, fmt.Errorf("%w: query range [%d,%d) of %d", errProtocol, lo, hi, len(idx))
+			}
+			return parityAt(key, idx, lo, hi), nil
+		})
+		disclosed += d
+		if err != nil {
+			return disclosed, err
+		}
+		if finished {
+			return disclosed, nil
+		}
+	}
+	return disclosed, fmt.Errorf("cascade: reference exceeded %d rounds", c.MaxRounds)
+}
+
+// RunCorrect implements Protocol.
+func (c *BBN) RunCorrect(m Messenger, key *bitarray.BitArray) (*Result, error) {
+	work := key.Clone()
+	n := work.Len()
+	if err := sendHello(m, n); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Corrected: work}
+	for round := 0; round < c.MaxRounds; round++ {
+		res.Rounds = round + 1
+		body, err := recvMsg(m, msgSubsets)
+		if err != nil {
+			return nil, err
+		}
+		if len(body) < 4 {
+			return nil, fmt.Errorf("%w: short subsets message", errProtocol)
+		}
+		count := int(binary.LittleEndian.Uint32(body))
+		if count <= 0 || len(body) < 4+4*count+(count+7)/8 {
+			return nil, fmt.Errorf("%w: truncated subsets message", errProtocol)
+		}
+		seeds := make([]uint32, count)
+		masks := make([]*bitarray.BitArray, count)
+		refPar := bitarray.FromBytes(body[4+4*count:])
+		res.Disclosed += count
+		// diff[i] = our parity XOR reference parity for subset i.
+		diff := make([]int, count)
+		mismatches := 0
+		for i := range seeds {
+			seeds[i] = binary.LittleEndian.Uint32(body[4+4*i:])
+			masks[i] = rng.Mask(seeds[i], n)
+			diff[i] = work.ParityMasked(masks[i]) ^ refPar.Get(i)
+			mismatches += diff[i]
+		}
+
+		if mismatches == 0 {
+			// Clean round: declare completion.
+			if err := sendMsg(m, msgRoundDone, []byte{1}); err != nil {
+				return nil, err
+			}
+			if err := sendMsg(m, msgFinish, nil); err != nil {
+				return nil, err
+			}
+			return res, nil
+		}
+
+		// Fix errors in waves until every subset parity agrees.
+		idxCache := make(map[uint32][]int)
+		for mismatches > 0 {
+			var searches []*searchState
+			for i, d := range diff {
+				if d != 1 {
+					continue
+				}
+				idx, ok := idxCache[seeds[i]]
+				if !ok {
+					idx = subsetIndices(seeds[i], n)
+					idxCache[seeds[i]] = idx
+				}
+				if len(idx) == 0 {
+					return nil, fmt.Errorf("%w: mismatched empty subset", errProtocol)
+				}
+				searches = append(searches, &searchState{key: seeds[i], seq: idx, lo: 0, hi: len(idx)})
+			}
+			bits, d, err := runWave(m, work, searches)
+			if err != nil {
+				return nil, err
+			}
+			res.Disclosed += d
+			mismatches = 0
+			for _, b := range bits {
+				work.Flip(b)
+				res.Flips++
+			}
+			for i := range masks {
+				for _, b := range bits {
+					if masks[i].Get(b) == 1 {
+						diff[i] ^= 1
+					}
+				}
+				mismatches += diff[i]
+			}
+		}
+		if err := sendMsg(m, msgRoundDone, []byte{0}); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("cascade: corrector exceeded %d rounds", c.MaxRounds)
+}
+
+// Run executes a protocol end to end over an in-memory transport:
+// the reference side serves ref in a goroutine while the corrector
+// repairs noisy toward it. It returns the corrector's result and the
+// reference side's disclosed-bit count (which must match the
+// corrector's own accounting).
+func Run(p Protocol, ref, noisy *bitarray.BitArray) (*Result, int, error) {
+	ab := make(chan []byte, 64)
+	ba := make(chan []byte, 64)
+	mRef := &chanMessenger{out: ab, in: ba}
+	mCor := &chanMessenger{out: ba, in: ab}
+	type refOut struct {
+		disclosed int
+		err       error
+	}
+	ch := make(chan refOut, 1)
+	go func() {
+		d, err := p.RunReference(mRef, ref)
+		ch <- refOut{d, err}
+	}()
+	res, err := p.RunCorrect(mCor, noisy)
+	ro := <-ch
+	if err != nil {
+		return nil, ro.disclosed, err
+	}
+	if ro.err != nil {
+		return nil, ro.disclosed, ro.err
+	}
+	return res, ro.disclosed, nil
+}
+
+// chanMessenger is the minimal in-memory Messenger backing Run.
+type chanMessenger struct {
+	out chan<- []byte
+	in  <-chan []byte
+}
+
+func (m *chanMessenger) Send(p []byte) error {
+	q := make([]byte, len(p))
+	copy(q, p)
+	m.out <- q
+	return nil
+}
+
+func (m *chanMessenger) Recv() ([]byte, error) { return <-m.in, nil }

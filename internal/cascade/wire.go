@@ -1,0 +1,164 @@
+package cascade
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"qkd/internal/bitarray"
+)
+
+// queryEntry is one active binary search's parity request: the parity
+// of positions [Lo, Mid) of the index sequence identified by Key (an
+// LFSR subset seed for the BBN protocol, a pass number for Classic,
+// zero for the block-parity baseline).
+type queryEntry struct {
+	Key uint32
+	Lo  uint32
+	Hi  uint32
+}
+
+// encodeQueries packs a batch of entries: count | 12 bytes each.
+func encodeQueries(entries []queryEntry) []byte {
+	out := make([]byte, 4+12*len(entries))
+	binary.LittleEndian.PutUint32(out, uint32(len(entries)))
+	for i, e := range entries {
+		off := 4 + 12*i
+		binary.LittleEndian.PutUint32(out[off:], e.Key)
+		binary.LittleEndian.PutUint32(out[off+4:], e.Lo)
+		binary.LittleEndian.PutUint32(out[off+8:], e.Hi)
+	}
+	return out
+}
+
+// decodeQueries unpacks a query batch.
+func decodeQueries(body []byte) ([]queryEntry, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: short query batch", errProtocol)
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	if len(body) != 4+12*n {
+		return nil, fmt.Errorf("%w: query batch length %d for %d entries", errProtocol, len(body), n)
+	}
+	entries := make([]queryEntry, n)
+	for i := range entries {
+		off := 4 + 12*i
+		entries[i] = queryEntry{
+			Key: binary.LittleEndian.Uint32(body[off:]),
+			Lo:  binary.LittleEndian.Uint32(body[off+4:]),
+			Hi:  binary.LittleEndian.Uint32(body[off+8:]),
+		}
+	}
+	return entries, nil
+}
+
+// answerFunc resolves one parity query on the reference side. It
+// returns the reference string's parity over the requested range.
+type answerFunc func(key uint32, lo, hi int) (int, error)
+
+// serveRound answers batched parity queries until the corrector sends
+// a round-done message. It returns the number of parity bits disclosed
+// and whether the corrector declared the protocol complete.
+func serveRound(m Messenger, answer answerFunc) (disclosed int, finished bool, err error) {
+	for {
+		typ, body, err := recvEither(m, msgQuery, msgRoundDone)
+		if err != nil {
+			return disclosed, false, err
+		}
+		if typ == msgRoundDone {
+			if len(body) != 1 {
+				return disclosed, false, fmt.Errorf("%w: bad round-done", errProtocol)
+			}
+			if body[0] == 1 {
+				if _, err := recvMsg(m, msgFinish); err != nil {
+					return disclosed, false, err
+				}
+				return disclosed, true, nil
+			}
+			return disclosed, false, nil
+		}
+		entries, err := decodeQueries(body)
+		if err != nil {
+			return disclosed, false, err
+		}
+		bitmap := bitarray.New(len(entries))
+		for i, e := range entries {
+			p, err := answer(e.Key, int(e.Lo), int(e.Hi))
+			if err != nil {
+				return disclosed, false, err
+			}
+			if p == 1 {
+				bitmap.Set(i, 1)
+			}
+		}
+		if err := sendMsg(m, msgParity, bitmap.Bytes()); err != nil {
+			return disclosed, false, err
+		}
+		disclosed += len(entries)
+	}
+}
+
+// searchState is one in-flight dichotomic search on the corrector side:
+// the parity of work over seq[lo:hi) is known to differ from the
+// reference, so the half-open window homes in on a genuinely erroneous
+// bit.
+type searchState struct {
+	key    uint32
+	seq    []int
+	lo, hi int
+}
+
+// runWave drives a set of parallel searches to completion, one batched
+// query message per bisection level. Flips are NOT applied; the caller
+// receives the deduplicated set of erroneous bit indices (every index
+// is a true disagreement between work and the reference, because work
+// is not modified while the wave runs).
+func runWave(m Messenger, work *bitarray.BitArray, searches []*searchState) (bits []int, disclosed int, err error) {
+	found := make(map[int]bool)
+	active := make([]*searchState, 0, len(searches))
+	for _, s := range searches {
+		if s.hi-s.lo == 1 {
+			found[s.seq[s.lo]] = true
+		} else if s.hi > s.lo {
+			active = append(active, s)
+		}
+	}
+	for len(active) > 0 {
+		entries := make([]queryEntry, len(active))
+		for i, s := range active {
+			mid := (s.lo + s.hi) / 2
+			entries[i] = queryEntry{Key: s.key, Lo: uint32(s.lo), Hi: uint32(mid)}
+		}
+		if err := sendMsg(m, msgQuery, encodeQueries(entries)); err != nil {
+			return nil, disclosed, err
+		}
+		body, err := recvMsg(m, msgParity)
+		if err != nil {
+			return nil, disclosed, err
+		}
+		bitmap := bitarray.FromBytes(body)
+		if bitmap.Len() < len(active) {
+			return nil, disclosed, fmt.Errorf("%w: short parity bitmap", errProtocol)
+		}
+		disclosed += len(active)
+		next := active[:0]
+		for i, s := range active {
+			mid := (s.lo + s.hi) / 2
+			if parityAt(work, s.seq, s.lo, mid) != bitmap.Get(i) {
+				s.hi = mid
+			} else {
+				s.lo = mid
+			}
+			if s.hi-s.lo == 1 {
+				found[s.seq[s.lo]] = true
+			} else {
+				next = append(next, s)
+			}
+		}
+		active = next
+	}
+	bits = make([]int, 0, len(found))
+	for b := range found {
+		bits = append(bits, b)
+	}
+	return bits, disclosed, nil
+}

@@ -1,0 +1,319 @@
+package channel
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testRoundTrip(t *testing.T, a, b Conn) {
+	t.Helper()
+	if err := a.Send(7, []byte("hello")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if m.Type != 7 || string(m.Payload) != "hello" {
+		t.Fatalf("got type=%d payload=%q", m.Type, m.Payload)
+	}
+	// And the reverse direction.
+	if err := b.Send(9, []byte{1, 2, 3}); err != nil {
+		t.Fatalf("Send back: %v", err)
+	}
+	m, err = a.Recv()
+	if err != nil {
+		t.Fatalf("Recv back: %v", err)
+	}
+	if m.Type != 9 || !bytes.Equal(m.Payload, []byte{1, 2, 3}) {
+		t.Fatalf("got type=%d payload=%v", m.Type, m.Payload)
+	}
+}
+
+func TestMemPairRoundTrip(t *testing.T) {
+	a, b := MemPair(4)
+	defer a.Close()
+	defer b.Close()
+	testRoundTrip(t, a, b)
+}
+
+func TestMemOrderPreserved(t *testing.T) {
+	a, b := MemPair(16)
+	defer a.Close()
+	defer b.Close()
+	for i := 0; i < 10; i++ {
+		if err := a.Send(uint8(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Type != uint8(i) {
+			t.Fatalf("message %d arrived as type %d", i, m.Type)
+		}
+	}
+}
+
+func TestMemSenderBufferReuse(t *testing.T) {
+	a, b := MemPair(1)
+	defer a.Close()
+	defer b.Close()
+	buf := []byte("aaaa")
+	a.Send(1, buf)
+	copy(buf, "bbbb") // mutate after send
+	m, _ := b.Recv()
+	if string(m.Payload) != "aaaa" {
+		t.Errorf("payload aliased sender buffer: %q", m.Payload)
+	}
+}
+
+func TestMemTimeout(t *testing.T) {
+	a, b := MemPair(1)
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	_, err := b.RecvTimeout(30 * time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Error("timeout returned too early")
+	}
+}
+
+func TestMemClose(t *testing.T) {
+	a, b := MemPair(1)
+	a.Close()
+	if err := a.Send(1, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close: %v", err)
+	}
+	if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Recv from closed peer: %v", err)
+	}
+	// Double close is fine.
+	if err := a.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestMemCloseDrainsQueued(t *testing.T) {
+	a, b := MemPair(4)
+	a.Send(5, []byte("x"))
+	a.Close()
+	m, err := b.Recv()
+	if err != nil || m.Type != 5 {
+		t.Fatalf("queued message lost on close: %v %v", m, err)
+	}
+	if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("expected ErrClosed after drain, got %v", err)
+	}
+}
+
+func TestMemStats(t *testing.T) {
+	a, b := MemPair(4)
+	defer a.Close()
+	defer b.Close()
+	a.Send(1, make([]byte, 100))
+	b.Recv()
+	sa, sb := a.Stats(), b.Stats()
+	if sa.MsgsSent != 1 || sa.BytesSent != 105 {
+		t.Errorf("sender stats %+v", sa)
+	}
+	if sb.MsgsReceived != 1 || sb.BytesReceived != 105 {
+		t.Errorf("receiver stats %+v", sb)
+	}
+}
+
+func TestMemTooBig(t *testing.T) {
+	a, b := MemPair(1)
+	defer a.Close()
+	defer b.Close()
+	if err := a.Send(1, make([]byte, MaxMessage+1)); !errors.Is(err, ErrTooBig) {
+		t.Errorf("oversized send: %v", err)
+	}
+}
+
+func tcpPair(t *testing.T) (Conn, Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	var server Conn
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		server = WrapNet(c)
+	}()
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	wg.Wait()
+	l.Close()
+	if server == nil {
+		t.Fatal("no server conn")
+	}
+	return client, server
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, b := tcpPair(t)
+	defer a.Close()
+	defer b.Close()
+	testRoundTrip(t, a, b)
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	a, b := tcpPair(t)
+	defer a.Close()
+	defer b.Close()
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.Send(3, big) }()
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if sendErr := <-done; sendErr != nil {
+		t.Fatalf("Send: %v", sendErr)
+	}
+	if !bytes.Equal(m.Payload, big) {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestTCPTimeout(t *testing.T) {
+	a, b := tcpPair(t)
+	defer a.Close()
+	defer b.Close()
+	if _, err := b.RecvTimeout(30 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// The connection must still work after a timeout.
+	a.Send(1, []byte("after"))
+	m, err := b.Recv()
+	if err != nil || string(m.Payload) != "after" {
+		t.Fatalf("conn broken after timeout: %v %v", m, err)
+	}
+}
+
+func TestTCPClose(t *testing.T) {
+	a, b := tcpPair(t)
+	a.Close()
+	if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Recv from closed peer: %v", err)
+	}
+}
+
+func TestMITMPassive(t *testing.T) {
+	a, b := NewMITM(nil)
+	defer a.Close()
+	defer b.Close()
+	testRoundTrip(t, a, b)
+}
+
+func TestMITMModify(t *testing.T) {
+	a, b := NewMITM(func(dir Direction, m Message) (Message, bool) {
+		if dir == AliceToBob {
+			m.Payload = []byte("forged")
+		}
+		return m, false
+	})
+	defer a.Close()
+	defer b.Close()
+	a.Send(1, []byte("real"))
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Payload) != "forged" {
+		t.Errorf("payload = %q, want forged", m.Payload)
+	}
+	// Reverse direction untouched.
+	b.Send(2, []byte("reply"))
+	m, _ = a.Recv()
+	if string(m.Payload) != "reply" {
+		t.Errorf("reverse payload = %q", m.Payload)
+	}
+}
+
+func TestMITMDrop(t *testing.T) {
+	dropped := 0
+	a, b := NewMITM(func(dir Direction, m Message) (Message, bool) {
+		if m.Type == 66 {
+			dropped++
+			return m, true
+		}
+		return m, false
+	})
+	defer a.Close()
+	defer b.Close()
+	a.Send(66, []byte("blocked"))
+	a.Send(1, []byte("allowed"))
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != 1 {
+		t.Errorf("got type %d, want the allowed message", m.Type)
+	}
+	if dropped != 1 {
+		t.Errorf("dropped = %d", dropped)
+	}
+}
+
+func TestConcurrentSendRecv(t *testing.T) {
+	a, b := MemPair(8)
+	defer a.Close()
+	defer b.Close()
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := a.Send(1, []byte{byte(i)}); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if _, err := b.Recv(); err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func BenchmarkMemRoundTrip(b *testing.B) {
+	a, c := MemPair(1)
+	defer a.Close()
+	defer c.Close()
+	payload := make([]byte, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		go a.Send(1, payload)
+		c.Recv()
+	}
+}

@@ -1,0 +1,492 @@
+// Package core implements the QKD protocol engine of Section 5: the
+// pipeline that turns raw detection events into distilled, shared
+// secret bits by running, in order,
+//
+//	sifting -> error correction -> entropy estimation ->
+//	privacy amplification -> (continuous) authentication
+//
+// between an Alice engine (at the transmitter) and a Bob engine (at the
+// receiver), exchanging protocol messages over the public channel.
+// The engine is deliberately built from pluggable stages — "we have
+// designed this engine so it is easy to plug in new protocols" — so the
+// error-correction protocol, defense function and batch policy are all
+// configuration.
+//
+// Distilled bits are deposited into a keypool.Reservoir, from which the
+// IKE/IPsec layer (packages ike, ipsec, vpn) draws its keys, and from
+// which the Wegman-Carter authentication pads are replenished.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"qkd/internal/bitarray"
+	"qkd/internal/cascade"
+	"qkd/internal/channel"
+	"qkd/internal/entropy"
+	"qkd/internal/keypool"
+	"qkd/internal/privacy"
+	"qkd/internal/qframe"
+	"qkd/internal/rng"
+	"qkd/internal/sifting"
+)
+
+// Message types on the public channel. The QKD protocol sub-layers are
+// "closer to being pipeline stages" than OSI layers; these types label
+// which stage a message belongs to.
+const (
+	TSift      uint8 = 0x10 // Bob -> Alice: sift message
+	TSiftResp  uint8 = 0x11 // Alice -> Bob: sift response
+	TEC        uint8 = 0x20 // either: error-correction payloads
+	TECSummary uint8 = 0x21 // Bob -> Alice: flips and disclosed counts
+	TPAParams  uint8 = 0x30 // Alice -> Bob: privacy-amplification params (or abort)
+)
+
+// CorrectorKind selects the error-correction protocol.
+type CorrectorKind int
+
+const (
+	// CorrectorBBN is the paper's 64-subset LFSR Cascade variant.
+	CorrectorBBN CorrectorKind = iota
+	// CorrectorClassic is Brassard-Salvail Cascade.
+	CorrectorClassic
+	// CorrectorBlockParity is the telecom-style baseline.
+	CorrectorBlockParity
+)
+
+func (k CorrectorKind) String() string {
+	switch k {
+	case CorrectorBBN:
+		return "bbn"
+	case CorrectorClassic:
+		return "classic"
+	case CorrectorBlockParity:
+		return "block-parity"
+	}
+	return fmt.Sprintf("CorrectorKind(%d)", int(k))
+}
+
+// Config parameterizes both engines of a link. The two ends must use
+// identical configuration (it is negotiated out of band, like the rest
+// of a link's provisioning).
+type Config struct {
+	// BatchBits triggers distillation once at least this many sifted
+	// bits have accumulated.
+	BatchBits int
+	// Corrector selects the error-correction protocol.
+	Corrector CorrectorKind
+	// InitialQBER seeds the running error estimate (classic Cascade
+	// block sizing). It adapts after every batch.
+	InitialQBER float64
+	// AbortQBER abandons a batch whose measured error rate is at or
+	// above this threshold — the eavesdropping alarm. 0 means the
+	// default 0.15.
+	AbortQBER float64
+	// Defense selects the entropy estimate (Bennett or Slutsky).
+	Defense entropy.Defense
+	// Confidence is the c parameter (standard deviations of margin).
+	Confidence float64
+	// MultiPhotonProb is the source's P[>=2 photons] per pulse; Alice
+	// charges transparent eavesdropping against it.
+	MultiPhotonProb float64
+	// NonVacuumProb is the source's P[>=1 photon] per pulse, used by
+	// the received-based PNS accounting.
+	NonVacuumProb float64
+	// PNS selects the transparent-leak accounting for weak-coherent
+	// sources (received-based by default; transmitted-based is the
+	// conservative POVM view).
+	PNS entropy.PNSAccounting
+	// Entangled switches the transparent-leak base from transmitted
+	// pulses to received bits (Section 6).
+	Entangled bool
+	// RandomnessTest, when set, runs the Section 6 randomness tests
+	// on each batch and feeds the resulting non-randomness measure r
+	// into the entropy estimate (the paper leaves r a placeholder; see
+	// entropy.NonRandomness).
+	RandomnessTest bool
+	// AuthReplenishBits, when positive, diverts 2x this many bits of
+	// every distilled batch into the link's authentication pad pools
+	// (one stream per direction) before the remainder reaches the
+	// reservoir.
+	AuthReplenishBits int
+	// Seed derives the engine's protocol randomness (subset seeds,
+	// amplification parameters). The two ends may use different seeds;
+	// all shared randomness travels in protocol messages.
+	Seed uint64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.BatchBits == 0 {
+		c.BatchBits = 4096
+	}
+	if c.InitialQBER == 0 {
+		c.InitialQBER = 0.05
+	}
+	if c.AbortQBER == 0 {
+		c.AbortQBER = 0.15
+	}
+	if c.Confidence == 0 {
+		c.Confidence = 5
+	}
+	return c
+}
+
+// Metrics counts pipeline activity on one engine.
+type Metrics struct {
+	FramesSifted     uint64
+	PulsesSent       uint64 // Alice only
+	SiftedBits       uint64
+	BatchesDistilled uint64
+	BatchesAborted   uint64
+	ErrorsCorrected  uint64
+	ParityDisclosed  uint64
+	DistilledBits    uint64
+	AuthReplenished  uint64
+	LastQBER         float64
+	LastEntropyBits  int
+}
+
+// connMessenger adapts channel.Conn to cascade.Messenger with a fixed
+// message type, enforcing that only EC traffic arrives mid-correction.
+type connMessenger struct {
+	conn channel.Conn
+}
+
+func (m connMessenger) Send(p []byte) error { return m.conn.Send(TEC, p) }
+
+func (m connMessenger) Recv() ([]byte, error) {
+	msg, err := m.conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if msg.Type != TEC {
+		return nil, fmt.Errorf("core: expected EC message, got type %#x", msg.Type)
+	}
+	return msg.Payload, nil
+}
+
+// batchState accumulates one distillation batch on either engine.
+type batchState struct {
+	bits   *bitarray.BitArray
+	pulses int // transmitted pulses contributing to this batch (Alice)
+}
+
+// engineCommon holds state shared by Alice and Bob engines.
+type engineCommon struct {
+	cfg      Config
+	conn     channel.Conn
+	pool     *keypool.Reservoir
+	sendPads *keypool.Reservoir // auth pad pools, optional
+	recvPads *keypool.Reservoir
+	rand     *rng.SplitMix64
+	batch    batchState
+	metrics  Metrics
+	qberEst  float64
+}
+
+func newCommon(conn channel.Conn, pool *keypool.Reservoir, cfg Config) engineCommon {
+	cfg = cfg.withDefaults()
+	return engineCommon{
+		cfg:     cfg,
+		conn:    conn,
+		pool:    pool,
+		rand:    rng.NewSplitMix64(cfg.Seed ^ 0x9E3779B97F4A7C15),
+		batch:   batchState{bits: bitarray.New(0)},
+		qberEst: cfg.InitialQBER,
+	}
+}
+
+// SetAuthPools registers the link's authentication pad reservoirs for
+// replenishment from distilled batches (first the send-direction pool,
+// then the receive-direction pool — both ends must register theirs so
+// mirrored streams stay aligned: Alice's send pool is Bob's receive
+// pool).
+func (e *engineCommon) SetAuthPools(send, recv *keypool.Reservoir) {
+	e.sendPads = send
+	e.recvPads = recv
+}
+
+// Metrics returns a snapshot.
+func (e *engineCommon) Metrics() Metrics { return e.metrics }
+
+// Pool returns the distilled-key reservoir.
+func (e *engineCommon) Pool() *keypool.Reservoir { return e.pool }
+
+// corrector instantiates the configured EC protocol with the current
+// error estimate. The seed travels inside protocol messages, so the two
+// ends need not agree on it.
+func (e *engineCommon) corrector() cascade.Protocol {
+	switch e.cfg.Corrector {
+	case CorrectorClassic:
+		return cascade.NewClassic(e.qberEst, e.rand.Uint64())
+	case CorrectorBlockParity:
+		return cascade.NewBlockParity(64)
+	default:
+		return cascade.NewBBN(e.rand.Uint64())
+	}
+}
+
+// deposit splits a distilled batch between auth-pad replenishment and
+// the reservoir, identically on both ends. isAlice picks which pad pool
+// maps to which shared stream.
+func (e *engineCommon) deposit(bits *bitarray.BitArray, isAlice bool) {
+	r := e.cfg.AuthReplenishBits
+	if r > 0 && e.sendPads != nil && bits.Len() >= 2*r {
+		ab := bits.Slice(0, r)   // stream for the Alice->Bob direction
+		ba := bits.Slice(r, 2*r) // stream for the Bob->Alice direction
+		bits = bits.Slice(2*r, bits.Len())
+		if isAlice {
+			e.sendPads.Deposit(ab) // Alice sends A->B
+			e.recvPads.Deposit(ba)
+		} else {
+			e.recvPads.Deposit(ab) // Bob receives A->B
+			e.sendPads.Deposit(ba)
+		}
+		e.metrics.AuthReplenished += uint64(2 * r)
+	}
+	e.pool.Deposit(bits)
+	e.metrics.DistilledBits += uint64(bits.Len())
+}
+
+// updateQBER folds a batch's measured error rate into the running
+// estimate (exponential smoothing).
+func (e *engineCommon) updateQBER(measured float64) {
+	e.qberEst = 0.5*e.qberEst + 0.5*measured
+	if e.qberEst < 0.001 {
+		e.qberEst = 0.001
+	}
+	e.metrics.LastQBER = measured
+}
+
+// ---------------------------------------------------------------------
+// Alice
+// ---------------------------------------------------------------------
+
+// Alice is the transmitter-side engine: it answers sift messages,
+// serves as the error-correction reference, performs the entropy
+// estimate and chooses privacy-amplification parameters.
+type Alice struct {
+	engineCommon
+}
+
+// NewAlice builds the transmitter engine.
+func NewAlice(conn channel.Conn, pool *keypool.Reservoir, cfg Config) *Alice {
+	return &Alice{engineCommon: newCommon(conn, pool, cfg)}
+}
+
+// HandleFrame processes one transmitted frame: it serves Bob's sift
+// transaction, accumulates the resulting sifted bits, and when the
+// batch threshold is reached runs the rest of the pipeline.
+func (a *Alice) HandleFrame(tx *qframe.TxFrame) error {
+	msg, err := a.conn.Recv()
+	if err != nil {
+		return fmt.Errorf("core/alice: receiving sift: %w", err)
+	}
+	if msg.Type != TSift {
+		return fmt.Errorf("core/alice: expected sift, got type %#x", msg.Type)
+	}
+	sm, err := sifting.DecodeSift(msg.Payload)
+	if err != nil {
+		return fmt.Errorf("core/alice: %w", err)
+	}
+	resp, res, err := sifting.Respond(tx, sm)
+	if err != nil {
+		return fmt.Errorf("core/alice: %w", err)
+	}
+	if err := a.conn.Send(TSiftResp, resp.Encode()); err != nil {
+		return fmt.Errorf("core/alice: sending sift response: %w", err)
+	}
+	a.metrics.FramesSifted++
+	a.metrics.PulsesSent += uint64(len(tx.Pulses))
+	a.metrics.SiftedBits += uint64(res.Bits.Len())
+	a.batch.bits.AppendAll(res.Bits)
+	a.batch.pulses += len(tx.Pulses)
+
+	if a.batch.bits.Len() >= a.cfg.BatchBits {
+		if err := a.distill(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// distill runs error correction (as reference), entropy estimation and
+// privacy amplification over the accumulated batch.
+func (a *Alice) distill() error {
+	bits := a.batch.bits
+	pulses := a.batch.pulses
+	a.batch = batchState{bits: bitarray.New(0)}
+
+	proto := a.corrector()
+	disclosed, err := proto.RunReference(connMessenger{a.conn}, bits)
+	if err != nil {
+		return fmt.Errorf("core/alice: error correction: %w", err)
+	}
+
+	// Bob reports what he measured during correction.
+	msg, err := a.conn.Recv()
+	if err != nil {
+		return fmt.Errorf("core/alice: receiving EC summary: %w", err)
+	}
+	if msg.Type != TECSummary || len(msg.Payload) != 16 {
+		return fmt.Errorf("core/alice: bad EC summary")
+	}
+	flips := int(binary.LittleEndian.Uint64(msg.Payload[0:]))
+	bobDisclosed := int(binary.LittleEndian.Uint64(msg.Payload[8:]))
+	if bobDisclosed > disclosed {
+		disclosed = bobDisclosed
+	}
+	a.metrics.ErrorsCorrected += uint64(flips)
+	a.metrics.ParityDisclosed += uint64(disclosed)
+
+	qber := 0.0
+	if bits.Len() > 0 {
+		qber = float64(flips) / float64(bits.Len())
+	}
+	a.updateQBER(qber)
+
+	if qber >= a.cfg.AbortQBER {
+		a.metrics.BatchesAborted++
+		return a.conn.Send(TPAParams, nil) // empty params = abort
+	}
+
+	nonRandom := 0
+	if a.cfg.RandomnessTest {
+		nonRandom = entropy.NonRandomness(bits)
+	}
+	est, err := entropy.Estimate(entropy.Inputs{
+		SiftedBits:      bits.Len(),
+		Errors:          flips,
+		Transmitted:     pulses,
+		Disclosed:       disclosed,
+		NonRandomness:   nonRandom,
+		MultiPhotonProb: a.cfg.MultiPhotonProb,
+		NonVacuumProb:   a.cfg.NonVacuumProb,
+		PNS:             a.cfg.PNS,
+		Entangled:       a.cfg.Entangled,
+		Confidence:      a.cfg.Confidence,
+	}, a.cfg.Defense)
+	if err != nil {
+		return fmt.Errorf("core/alice: entropy estimate: %w", err)
+	}
+	a.metrics.LastEntropyBits = est.Bits
+	if est.Bits <= 0 {
+		a.metrics.BatchesAborted++
+		return a.conn.Send(TPAParams, nil)
+	}
+
+	params, err := privacy.NewParams(bits.Len(), est.Bits, a.rand)
+	if err != nil {
+		return fmt.Errorf("core/alice: amplification params: %w", err)
+	}
+	if err := a.conn.Send(TPAParams, params.Encode()); err != nil {
+		return fmt.Errorf("core/alice: sending PA params: %w", err)
+	}
+	out, err := params.Apply(bits)
+	if err != nil {
+		return fmt.Errorf("core/alice: applying amplification: %w", err)
+	}
+	a.metrics.BatchesDistilled++
+	a.deposit(out, true)
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Bob
+// ---------------------------------------------------------------------
+
+// Bob is the receiver-side engine: it initiates sifting, corrects his
+// bits toward Alice's, and applies the privacy amplification Alice
+// chooses.
+type Bob struct {
+	engineCommon
+}
+
+// NewBob builds the receiver engine.
+func NewBob(conn channel.Conn, pool *keypool.Reservoir, cfg Config) *Bob {
+	return &Bob{engineCommon: newCommon(conn, pool, cfg)}
+}
+
+// HandleFrame processes one received frame, mirroring Alice.
+func (b *Bob) HandleFrame(rx *qframe.RxFrame) error {
+	sm := sifting.BuildSift(rx)
+	if err := b.conn.Send(TSift, sm.Encode()); err != nil {
+		return fmt.Errorf("core/bob: sending sift: %w", err)
+	}
+	msg, err := b.conn.Recv()
+	if err != nil {
+		return fmt.Errorf("core/bob: receiving sift response: %w", err)
+	}
+	if msg.Type != TSiftResp {
+		return fmt.Errorf("core/bob: expected sift response, got type %#x", msg.Type)
+	}
+	resp, err := sifting.DecodeResponse(msg.Payload)
+	if err != nil {
+		return fmt.Errorf("core/bob: %w", err)
+	}
+	res, err := sifting.Apply(rx, sm, resp)
+	if err != nil {
+		return fmt.Errorf("core/bob: %w", err)
+	}
+	b.metrics.FramesSifted++
+	b.metrics.SiftedBits += uint64(res.Bits.Len())
+	b.batch.bits.AppendAll(res.Bits)
+
+	if b.batch.bits.Len() >= b.cfg.BatchBits {
+		if err := b.distill(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *Bob) distill() error {
+	bits := b.batch.bits
+	b.batch = batchState{bits: bitarray.New(0)}
+
+	proto := b.corrector()
+	res, err := proto.RunCorrect(connMessenger{b.conn}, bits)
+	if err != nil {
+		return fmt.Errorf("core/bob: error correction: %w", err)
+	}
+	summary := make([]byte, 16)
+	binary.LittleEndian.PutUint64(summary[0:], uint64(res.Flips))
+	binary.LittleEndian.PutUint64(summary[8:], uint64(res.Disclosed))
+	if err := b.conn.Send(TECSummary, summary); err != nil {
+		return fmt.Errorf("core/bob: sending EC summary: %w", err)
+	}
+	b.metrics.ErrorsCorrected += uint64(res.Flips)
+	b.metrics.ParityDisclosed += uint64(res.Disclosed)
+	qber := 0.0
+	if bits.Len() > 0 {
+		qber = float64(res.Flips) / float64(bits.Len())
+	}
+	b.updateQBER(qber)
+
+	msg, err := b.conn.Recv()
+	if err != nil {
+		return fmt.Errorf("core/bob: receiving PA params: %w", err)
+	}
+	if msg.Type != TPAParams {
+		return fmt.Errorf("core/bob: expected PA params, got type %#x", msg.Type)
+	}
+	if len(msg.Payload) == 0 {
+		// Alice aborted the batch.
+		b.metrics.BatchesAborted++
+		return nil
+	}
+	params, err := privacy.DecodeParams(msg.Payload)
+	if err != nil {
+		return fmt.Errorf("core/bob: %w", err)
+	}
+	b.metrics.LastEntropyBits = params.M
+	out, err := params.Apply(res.Corrected)
+	if err != nil {
+		return fmt.Errorf("core/bob: applying amplification: %w", err)
+	}
+	b.metrics.BatchesDistilled++
+	b.deposit(out, false)
+	return nil
+}

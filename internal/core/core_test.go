@@ -1,0 +1,338 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"qkd/internal/auth"
+	"qkd/internal/channel"
+	"qkd/internal/entropy"
+	"qkd/internal/eve"
+	"qkd/internal/keypool"
+	"qkd/internal/photonics"
+	"qkd/internal/rng"
+)
+
+// fastParams returns link parameters with a high detection rate so
+// tests accumulate batches quickly, while keeping the paper's QBER.
+func fastParams() photonics.Params {
+	p := photonics.DefaultParams()
+	// Keep mu at 0.1: a brighter source would be faster but its
+	// multi-photon fraction gets charged against the entropy estimate
+	// (transparent eavesdropping), wiping out the yield — the same
+	// trade the real system faced.
+	p.MeanPhotons = 0.1
+	p.FiberKm = 0
+	p.SystemLossDB = 0
+	p.DetectorEff = 1.0
+	p.DarkCountProb = 1e-5
+	p.Visibility = 0.96 // ~2 % optical QBER
+	return p
+}
+
+func TestEndToEndDistillation(t *testing.T) {
+	s := NewSession(fastParams(), Config{BatchBits: 2048}, 10000, 42)
+	if err := s.RunUntilDistilled(1024, 50); err != nil {
+		t.Fatal(err)
+	}
+
+	am := s.Alice.Metrics()
+	bm := s.Bob.Metrics()
+	if am.BatchesDistilled == 0 {
+		t.Fatal("no batches distilled")
+	}
+	if am.BatchesDistilled != bm.BatchesDistilled {
+		t.Errorf("batch counts differ: %d vs %d", am.BatchesDistilled, bm.BatchesDistilled)
+	}
+	if am.DistilledBits != bm.DistilledBits {
+		t.Errorf("distilled bit counts differ: %d vs %d", am.DistilledBits, bm.DistilledBits)
+	}
+
+	// The decisive property: both reservoirs hold IDENTICAL secret bits.
+	n := s.Alice.Pool().Available()
+	if n != s.Bob.Pool().Available() {
+		t.Fatalf("reservoir sizes differ: %d vs %d", n, s.Bob.Pool().Available())
+	}
+	a, err := s.Alice.Pool().TryConsume(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Bob.Pool().TryConsume(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("distilled keys differ in %d of %d bits", a.HammingDistance(b), n)
+	}
+}
+
+func TestDistilledKeyLooksRandom(t *testing.T) {
+	s := NewSession(fastParams(), Config{BatchBits: 2048}, 10000, 7)
+	if err := s.RunUntilDistilled(2048, 80); err != nil {
+		t.Fatal(err)
+	}
+	bits, err := s.Alice.Pool().TryConsume(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := bits.OnesCount()
+	if ones < 2048*40/100 || ones > 2048*60/100 {
+		t.Errorf("distilled key biased: %d/2048 ones", ones)
+	}
+}
+
+func TestAllCorrectorsDistill(t *testing.T) {
+	for _, k := range []CorrectorKind{CorrectorBBN, CorrectorClassic, CorrectorBlockParity} {
+		s := NewSession(fastParams(), Config{BatchBits: 2048, Corrector: k}, 10000, 11)
+		if err := s.RunUntilDistilled(256, 60); err != nil {
+			t.Errorf("%v: %v", k, err)
+			continue
+		}
+		n := s.Alice.Pool().Available()
+		a, _ := s.Alice.Pool().TryConsume(n)
+		b, _ := s.Bob.Pool().TryConsume(n)
+		if k == CorrectorBlockParity {
+			// The baseline may leave residual errors; that manifests as
+			// differing amplified keys — the deficiency E4 quantifies.
+			// We only require the pipeline to complete.
+			continue
+		}
+		if !a.Equal(b) {
+			t.Errorf("%v: distilled keys differ", k)
+		}
+	}
+}
+
+func TestBothDefensesDistill(t *testing.T) {
+	for _, d := range []entropy.Defense{entropy.Bennett, entropy.Slutsky} {
+		s := NewSession(fastParams(), Config{BatchBits: 2048, Defense: d}, 10000, 13)
+		if err := s.RunUntilDistilled(256, 60); err != nil {
+			t.Errorf("defense %v: %v", d, err)
+		}
+	}
+}
+
+func TestInterceptResendAborted(t *testing.T) {
+	// A full intercept-resend attack drives QBER to ~25 %, above the
+	// abort threshold: every batch must be dropped and no key distilled.
+	s := NewSession(fastParams(), Config{BatchBits: 2048}, 10000, 17)
+	s.Link.SetTap(eve.NewInterceptResend(1.0, 99))
+	if err := s.RunFrames(20); err != nil {
+		t.Fatal(err)
+	}
+	am := s.Alice.Metrics()
+	if am.BatchesDistilled != 0 {
+		t.Errorf("%d batches distilled under full attack", am.BatchesDistilled)
+	}
+	if am.BatchesAborted == 0 {
+		t.Error("no batches aborted — the attack went unnoticed")
+	}
+	if s.Alice.Pool().Available() != 0 {
+		t.Errorf("%d key bits banked under attack", s.Alice.Pool().Available())
+	}
+	if am.LastQBER < 0.18 {
+		t.Errorf("measured QBER %v under full intercept-resend", am.LastQBER)
+	}
+}
+
+func TestPartialAttackReducedYield(t *testing.T) {
+	// A 20 % intercept-resend raises QBER by ~5 points; batches may
+	// survive but the entropy estimate must shrink the yield relative
+	// to the clean link.
+	clean := NewSession(fastParams(), Config{BatchBits: 4096}, 10000, 19)
+	if err := clean.RunFrames(40); err != nil {
+		t.Fatal(err)
+	}
+	attacked := NewSession(fastParams(), Config{BatchBits: 4096}, 10000, 19)
+	attacked.Link.SetTap(eve.NewInterceptResend(0.2, 5))
+	if err := attacked.RunFrames(40); err != nil {
+		t.Fatal(err)
+	}
+	cm := clean.Alice.Metrics()
+	amet := attacked.Alice.Metrics()
+	if cm.DistilledBits == 0 {
+		t.Fatal("clean link produced nothing")
+	}
+	if amet.DistilledBits >= cm.DistilledBits {
+		t.Errorf("attacked link distilled %d >= clean %d", amet.DistilledBits, cm.DistilledBits)
+	}
+}
+
+func TestAuthenticatedSessionDistills(t *testing.T) {
+	s, err := NewAuthenticatedSession(fastParams(), Config{BatchBits: 2048}, 10000, 23, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilDistilled(512, 60); err != nil {
+		t.Fatal(err)
+	}
+	n := s.Alice.Pool().Available()
+	a, _ := s.Alice.Pool().TryConsume(n)
+	b, _ := s.Bob.Pool().TryConsume(n)
+	if !a.Equal(b) {
+		t.Fatal("authenticated session produced differing keys")
+	}
+	am := s.Alice.Metrics()
+	if am.AuthReplenished == 0 {
+		t.Error("auth pools never replenished")
+	}
+}
+
+func TestMetricsConsistency(t *testing.T) {
+	s := NewSession(fastParams(), Config{BatchBits: 2048}, 10000, 29)
+	if err := s.RunFrames(30); err != nil {
+		t.Fatal(err)
+	}
+	am := s.Alice.Metrics()
+	bm := s.Bob.Metrics()
+	if am.SiftedBits != bm.SiftedBits {
+		t.Errorf("sifted counts differ: %d vs %d", am.SiftedBits, bm.SiftedBits)
+	}
+	if am.FramesSifted != 30 || bm.FramesSifted != 30 {
+		t.Errorf("frames sifted: %d, %d", am.FramesSifted, bm.FramesSifted)
+	}
+	if am.PulsesSent != 300000 {
+		t.Errorf("PulsesSent = %d", am.PulsesSent)
+	}
+	if am.ErrorsCorrected != bm.ErrorsCorrected {
+		t.Errorf("error counts differ: %d vs %d", am.ErrorsCorrected, bm.ErrorsCorrected)
+	}
+}
+
+func TestRealisticOperatingPointYieldsKey(t *testing.T) {
+	// The paper's actual operating point (1 MHz, mu=0.1, 10 km,
+	// QBER 6-8 %) must produce distilled key, if slowly.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := NewSession(photonics.DefaultParams(), Config{BatchBits: 4096, Corrector: CorrectorClassic}, 100000, 31)
+	if err := s.RunUntilDistilled(128, 200); err != nil {
+		t.Fatal(err)
+	}
+	am := s.Alice.Metrics()
+	if am.LastQBER < 0.03 || am.LastQBER > 0.11 {
+		t.Errorf("operating QBER %v outside the paper's band", am.LastQBER)
+	}
+}
+
+func BenchmarkPipelineFrame(b *testing.B) {
+	s := NewSession(fastParams(), Config{BatchBits: 4096}, 10000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.RunFrames(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRandomnessTestEnabled(t *testing.T) {
+	// With the Section 6 randomness tests switched on, a healthy link's
+	// sifted bits are balanced and the charge is negligible: the
+	// pipeline distills essentially the same amount of key.
+	plain := NewSession(fastParams(), Config{BatchBits: 2048}, 10000, 37)
+	if err := plain.RunFrames(30); err != nil {
+		t.Fatal(err)
+	}
+	tested := NewSession(fastParams(), Config{BatchBits: 2048, RandomnessTest: true}, 10000, 37)
+	if err := tested.RunFrames(30); err != nil {
+		t.Fatal(err)
+	}
+	p := plain.Alice.Metrics().DistilledBits
+	q := tested.Alice.Metrics().DistilledBits
+	if q == 0 {
+		t.Fatal("randomness testing zeroed a healthy link")
+	}
+	if float64(q) < 0.9*float64(p) {
+		t.Errorf("randomness testing cost too much: %d vs %d bits", q, p)
+	}
+	// Both ends still agree.
+	n := tested.Alice.Pool().Available()
+	a, _ := tested.Alice.Pool().TryConsume(n)
+	b, _ := tested.Bob.Pool().TryConsume(n)
+	if !a.Equal(b) {
+		t.Fatal("keys differ with randomness testing enabled")
+	}
+}
+
+func TestEntangledAccountingRescuesLossyLink(t *testing.T) {
+	// Section 6's argument for the planned entangled link: on a lossy
+	// path, the conservative transmitted-based PNS charge zeroes a
+	// weak-coherent source, while the entangled accounting (leak
+	// proportional to received bits) still yields key. The photonic
+	// behaviour is identical; the entropy accounting is the difference.
+	lossy := fastParams()
+	lossy.SystemLossDB = 13 // ~5% click probability
+
+	wc := Config{BatchBits: 2048, PNS: entropy.PNSTransmitted}
+	wcSession := NewSession(lossy, wc, 50000, 41)
+	if err := wcSession.RunFrames(40); err != nil {
+		t.Fatal(err)
+	}
+	if got := wcSession.Alice.Metrics().DistilledBits; got != 0 {
+		t.Errorf("weak-coherent with POVM accounting yielded %d bits on a 13 dB link", got)
+	}
+
+	ent := Config{BatchBits: 2048, Entangled: true,
+		MultiPhotonProb: lossy.MultiPhotonProb(), NonVacuumProb: lossy.NonVacuumProb()}
+	entSession := NewSession(lossy, ent, 50000, 41)
+	if err := entSession.RunFrames(40); err != nil {
+		t.Fatal(err)
+	}
+	if got := entSession.Alice.Metrics().DistilledBits; got == 0 {
+		t.Error("entangled accounting yielded nothing on the same link")
+	}
+}
+
+func TestForgedProtocolMessagesAbortPipeline(t *testing.T) {
+	// Eve rewrites QKD protocol messages on the public channel. With
+	// Wegman-Carter authentication in place the forgery is detected and
+	// the pipeline halts with an error instead of distilling key from a
+	// conversation Eve steered.
+	link := photonics.NewLink(fastParams(), 51)
+	mitmA, mitmB := channel.NewMITM(func(dir channel.Direction, m channel.Message) (channel.Message, bool) {
+		if dir == channel.BobToAlice && m.Type == TSift && len(m.Payload) > 20 {
+			m.Payload[5] ^= 0xFF // rewrite part of the sift message
+		}
+		return m, false
+	})
+	secret := rng.NewSplitMix64(3).Bits(1 << 16)
+	mkPools := func() (*keypool.Reservoir, *keypool.Reservoir) {
+		a, b := keypool.New(), keypool.New()
+		a.Deposit(secret.Clone())
+		b.Deposit(secret.Clone())
+		return a, b
+	}
+	abA, abB := mkPools()
+	baA, baB := mkPools()
+	aliceConn, err := auth.Wrap(mitmA, abA, baA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobConn, err := auth.Wrap(mitmB, baB, abB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{BatchBits: 2048}
+	alice := NewAlice(aliceConn, keypool.New(), cfg)
+	bob := NewBob(bobConn, keypool.New(), cfg)
+
+	tx, rx := link.TransmitFrame(0, 10000)
+	aliceErr := make(chan error, 1)
+	go func() {
+		err := alice.HandleFrame(tx)
+		if err != nil {
+			aliceConn.Close()
+		}
+		aliceErr <- err
+	}()
+	bobErr := bob.HandleFrame(rx)
+	if err := <-aliceErr; !errors.Is(err, auth.ErrForged) {
+		t.Fatalf("alice err = %v, want ErrForged", err)
+	}
+	// Bob fails too (his channel died when Alice bailed) — either way
+	// nothing is distilled.
+	_ = bobErr
+	if alice.Pool().Available() != 0 || bob.Pool().Available() != 0 {
+		t.Error("key distilled from a forged conversation")
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"qkd/internal/auth"
+	"qkd/internal/channel"
+	"qkd/internal/keypool"
+	"qkd/internal/photonics"
+	"qkd/internal/rng"
+)
+
+// Session wires a simulated quantum link to an Alice/Bob engine pair
+// over an in-memory public channel and pumps frames through the full
+// pipeline. It is the harness the examples, experiments, and the VPN
+// layer build on; deployments that split Alice and Bob across real
+// machines construct the engines directly over a TCP channel.Conn.
+type Session struct {
+	Link  *photonics.Link
+	Alice *Alice
+	Bob   *Bob
+
+	aliceConn  channel.Conn
+	bobConn    channel.Conn
+	frameSlots int
+	nextFrame  uint64
+}
+
+// FrameSlotsDefault is the pulse count per frame used when the caller
+// passes 0: at the paper's 1 MHz trigger rate this is 10 ms of pulses.
+const FrameSlotsDefault = 10000
+
+// NewSession builds a complete simulated link: photonics, public
+// channel, engines, and per-end key reservoirs (reachable via
+// Session.Alice.Pool() / Session.Bob.Pool()).
+func NewSession(params photonics.Params, cfg Config, frameSlots int, seed uint64) *Session {
+	if frameSlots <= 0 {
+		frameSlots = FrameSlotsDefault
+	}
+	link := photonics.NewLink(params, seed)
+	ca, cb := channel.MemPair(256)
+	cfgA, cfgB := cfg, cfg
+	cfgA.Seed = seed ^ 0xA11CE
+	cfgB.Seed = seed ^ 0xB0B
+	if cfg.MultiPhotonProb == 0 && !cfg.Entangled {
+		cfgA.MultiPhotonProb = params.MultiPhotonProb()
+		cfgB.MultiPhotonProb = params.MultiPhotonProb()
+		cfgA.NonVacuumProb = params.NonVacuumProb()
+		cfgB.NonVacuumProb = params.NonVacuumProb()
+	}
+	return &Session{
+		Link:       link,
+		Alice:      NewAlice(ca, keypool.New(), cfgA),
+		Bob:        NewBob(cb, keypool.New(), cfgB),
+		aliceConn:  ca,
+		bobConn:    cb,
+		frameSlots: frameSlots,
+	}
+}
+
+// NewAuthenticatedSession is NewSession with Wegman-Carter
+// authentication on the public channel, bootstrapped from
+// prepositionBits of shared secret per direction (the "prepositioned
+// secret keys" authentication strategy of Section 2), and continuous
+// replenishment of the pad pools from distilled key.
+func NewAuthenticatedSession(params photonics.Params, cfg Config, frameSlots int, seed uint64, prepositionBits int) (*Session, error) {
+	if frameSlots <= 0 {
+		frameSlots = FrameSlotsDefault
+	}
+	if prepositionBits < 128 {
+		return nil, fmt.Errorf("core: preposition at least 128 bits per direction")
+	}
+	if cfg.AuthReplenishBits == 0 {
+		cfg.AuthReplenishBits = 256
+	}
+	link := photonics.NewLink(params, seed)
+	ca, cb := channel.MemPair(256)
+
+	// Preposition identical pad material at both ends, per direction.
+	secret := rng.NewSplitMix64(seed ^ 0x5EC12E7)
+	abBits := secret.Bits(prepositionBits)
+	baBits := secret.Bits(prepositionBits)
+	aliceAB, aliceBA := keypool.New(), keypool.New()
+	bobAB, bobBA := keypool.New(), keypool.New()
+	aliceAB.Deposit(abBits.Clone())
+	bobAB.Deposit(abBits)
+	aliceBA.Deposit(baBits.Clone())
+	bobBA.Deposit(baBits)
+
+	aliceConn, err := auth.Wrap(ca, aliceAB, aliceBA)
+	if err != nil {
+		return nil, fmt.Errorf("core: wrapping alice channel: %w", err)
+	}
+	bobConn, err := auth.Wrap(cb, bobBA, bobAB)
+	if err != nil {
+		return nil, fmt.Errorf("core: wrapping bob channel: %w", err)
+	}
+
+	cfgA, cfgB := cfg, cfg
+	cfgA.Seed = seed ^ 0xA11CE
+	cfgB.Seed = seed ^ 0xB0B
+	if cfg.MultiPhotonProb == 0 && !cfg.Entangled {
+		cfgA.MultiPhotonProb = params.MultiPhotonProb()
+		cfgB.MultiPhotonProb = params.MultiPhotonProb()
+		cfgA.NonVacuumProb = params.NonVacuumProb()
+		cfgB.NonVacuumProb = params.NonVacuumProb()
+	}
+	s := &Session{
+		Link:       link,
+		Alice:      NewAlice(aliceConn, keypool.New(), cfgA),
+		Bob:        NewBob(bobConn, keypool.New(), cfgB),
+		aliceConn:  aliceConn,
+		bobConn:    bobConn,
+		frameSlots: frameSlots,
+	}
+	s.Alice.SetAuthPools(aliceAB, aliceBA)
+	s.Bob.SetAuthPools(bobBA, bobAB)
+	return s, nil
+}
+
+// RunFrames transmits n frames through the link and the full protocol
+// pipeline. The two engines run concurrently (they exchange messages);
+// errors from either side abort the run.
+func (s *Session) RunFrames(n int) error {
+	for i := 0; i < n; i++ {
+		tx, rx := s.Link.TransmitFrame(s.nextFrame, s.frameSlots)
+		s.nextFrame++
+
+		var wg sync.WaitGroup
+		var aliceErr, bobErr error
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			aliceErr = s.Alice.HandleFrame(tx)
+			if aliceErr != nil {
+				// Unblock Bob if he is mid-exchange with a failed peer.
+				s.aliceConn.Close()
+			}
+		}()
+		bobErr = s.Bob.HandleFrame(rx)
+		if bobErr != nil {
+			s.bobConn.Close()
+		}
+		wg.Wait()
+		if aliceErr != nil {
+			return fmt.Errorf("frame %d: %w", s.nextFrame-1, aliceErr)
+		}
+		if bobErr != nil {
+			return fmt.Errorf("frame %d: %w", s.nextFrame-1, bobErr)
+		}
+	}
+	return nil
+}
+
+// RunUntilDistilled keeps transmitting frames until at least bits of
+// distilled key are available in both reservoirs, or maxFrames elapse.
+func (s *Session) RunUntilDistilled(bits, maxFrames int) error {
+	for f := 0; f < maxFrames; f++ {
+		if s.Alice.Pool().Available() >= bits && s.Bob.Pool().Available() >= bits {
+			return nil
+		}
+		if err := s.RunFrames(1); err != nil {
+			return err
+		}
+	}
+	if s.Alice.Pool().Available() >= bits && s.Bob.Pool().Available() >= bits {
+		return nil
+	}
+	return fmt.Errorf("core: %d frames produced only %d/%d distilled bits",
+		maxFrames, s.Alice.Pool().Available(), bits)
+}

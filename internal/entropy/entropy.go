@@ -1,0 +1,247 @@
+// Package entropy implements the eavesdropping-free entropy estimation
+// of Section 6 and the paper's appendix: before privacy amplification,
+// Alice and Bob must bound how much Eve could know about their
+// error-corrected bits, combining
+//
+//   - a defense function bounding the information leaked through
+//     error-inducing (non-transparent) attacks, given the observed
+//     error count — Bennett et al.'s and Slutsky et al.'s estimates are
+//     both provided, selectable exactly as in the BBN engine;
+//   - the information leaked transparently through multi-photon pulses
+//     (beamsplitting / PNS): proportional to the number of bits
+//     *transmitted* for weak-coherent sources but only to the number
+//     *received* for entangled sources (Brassard-Mor-Sanders);
+//   - the parity bits disclosed during error correction (exact); and
+//   - a non-randomness measure, a placeholder in the paper and here.
+//
+// Stochastic terms carry standard deviations which are combined at the
+// end and scaled by a confidence parameter c ("a parameter c = 5 means
+// 5 standard deviations, or about 10^-6 chance of successful
+// eavesdropping").
+//
+// The appendix formulas in the source text are OCR-damaged; DESIGN.md
+// section 3 records the reconstruction implemented here.
+package entropy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Defense selects which published defense function bounds Eve's
+// information from error-inducing attacks.
+type Defense int
+
+const (
+	// Bennett is the estimate from Bennett et al. 1992: Eve's expected
+	// information is at most (4/sqrt 2)*e bits with standard deviation
+	// sqrt((4+2*sqrt 2)*e) for e observed errors.
+	Bennett Defense = iota
+	// Slutsky is the defense-frontier estimate of Slutsky et al. 1998,
+	// asymptotically tight but conservative at finite block sizes.
+	Slutsky
+)
+
+func (d Defense) String() string {
+	switch d {
+	case Bennett:
+		return "bennett"
+	case Slutsky:
+		return "slutsky"
+	}
+	return fmt.Sprintf("Defense(%d)", int(d))
+}
+
+// PNSAccounting selects how transparent (multi-photon) eavesdropping
+// is charged for weak-coherent sources. Section 6: "Information from
+// transparent eavesdropping is not uniformly treated in the QKD
+// community."
+type PNSAccounting int
+
+const (
+	// PNSReceived is the traditional beamsplitting account: Eve holds a
+	// photon for the multi-photon fraction of the bits Bob actually
+	// received. The charge is b * P[multi | non-vacuum].
+	PNSReceived PNSAccounting = iota
+	// PNSTransmitted is the conservative POVM view of Brassard, Mor and
+	// Sanders: leakage "can be proportional to the number of
+	// transmitted bits times the multi-photon probability". The charge
+	// is n * P[multi]; on lossy links this can exceed the batch and
+	// zero the yield.
+	PNSTransmitted
+)
+
+// Inputs gathers the quantities entropy estimation consumes, named as
+// in Section 6 of the paper.
+type Inputs struct {
+	SiftedBits      int           // b: number of received (sifted) bits
+	Errors          int           // e: errors found in the sifted bits
+	Transmitted     int           // n: total pulses transmitted for this batch
+	Disclosed       int           // d: parity bits disclosed during error correction
+	NonRandomness   int           // r: non-randomness measure (placeholder, usually 0)
+	MultiPhotonProb float64       // source's P[photons >= 2] per pulse
+	NonVacuumProb   float64       // source's P[photons >= 1] per pulse (received-based conditioning)
+	PNS             PNSAccounting // weak-coherent transparent-leak policy
+	Entangled       bool          // entangled source: leak is b * MultiPhotonProb (Section 6)
+	Confidence      float64       // c: standard deviations of margin (paper uses 5)
+}
+
+// Validate reports obviously inconsistent inputs.
+func (in Inputs) Validate() error {
+	switch {
+	case in.SiftedBits < 0 || in.Errors < 0 || in.Transmitted < 0 ||
+		in.Disclosed < 0 || in.NonRandomness < 0:
+		return fmt.Errorf("entropy: negative input")
+	case in.Errors > in.SiftedBits:
+		return fmt.Errorf("entropy: %d errors exceed %d sifted bits", in.Errors, in.SiftedBits)
+	case in.MultiPhotonProb < 0 || in.MultiPhotonProb > 1:
+		return fmt.Errorf("entropy: multi-photon probability %v out of [0,1]", in.MultiPhotonProb)
+	case in.Confidence < 0:
+		return fmt.Errorf("entropy: negative confidence %v", in.Confidence)
+	}
+	return nil
+}
+
+// Components breaks the estimate down for experiment reporting.
+type Components struct {
+	Defense       float64 // t: defense-function point estimate
+	DefenseSigma  float64 // standard deviation of t
+	MultiPhoton   float64 // m: transparent-eavesdropping point estimate
+	MultiSigma    float64 // standard deviation of m
+	Disclosed     int     // d, copied from inputs
+	NonRandomness int     // r, copied from inputs
+	Margin        float64 // c * combined sigma
+}
+
+// Result is the outcome of an estimate.
+type Result struct {
+	// Bits is the eavesdropping-free entropy: the number of bits privacy
+	// amplification may safely retain. Never negative.
+	Bits int
+	// Raw is the un-clamped floating point value (may be negative when
+	// the channel is hopeless, e.g. under full intercept-resend).
+	Raw        float64
+	Components Components
+}
+
+// BennettEstimate returns the point estimate and standard deviation of
+// Eve's information for e observed errors under the Bennett et al.
+// bound.
+func BennettEstimate(e int) (t, sigma float64) {
+	fe := float64(e)
+	return 4 * fe / math.Sqrt2, math.Sqrt((4 + 2*math.Sqrt2) * fe)
+}
+
+// SlutskyFraction is the defense frontier t'(e'): the fraction of bits
+// that must be sacrificed at inflated error rate e'. It is 0 at e'=0
+// and saturates at 1 for e' >= 1/3 (at a third errors, intercept-resend
+// in the breakdown regime gives Eve everything).
+func SlutskyFraction(ePrime float64) float64 {
+	if ePrime >= 1.0/3 {
+		return 1
+	}
+	if ePrime < 0 {
+		ePrime = 0
+	}
+	u := (1 - 3*ePrime) / (1 - ePrime)
+	v := 1 - 0.5*u*u
+	if v <= 0 {
+		return 1
+	}
+	t := 1 + math.Log2(v)
+	if t < 0 {
+		return 0
+	}
+	if t > 1 {
+		return 1
+	}
+	return t
+}
+
+// SlutskyEstimate returns the point estimate and a one-standard-
+// deviation sensitivity for e errors in b bits.
+func SlutskyEstimate(b, e int) (t, sigma float64) {
+	if b == 0 {
+		return 0, 0
+	}
+	fb := float64(b)
+	e0 := float64(e) / fb
+	t = fb * SlutskyFraction(e0)
+	// Sensitivity: shift e by one standard deviation (sqrt e) and take
+	// the difference, per the paper's "separate out the standard
+	// deviation of each term" treatment.
+	e1 := (float64(e) + math.Sqrt(float64(e))) / fb
+	sigma = fb*SlutskyFraction(e1) - t
+	if sigma < 0 {
+		sigma = 0
+	}
+	return t, sigma
+}
+
+// Estimate computes the resultant entropy
+//
+//	H = b - r - d - t - m - c*sqrt(sigma_t^2 + sigma_m^2)
+//
+// where t is the chosen defense function and m the transparent
+// (multi-photon) leakage.
+func Estimate(in Inputs, d Defense) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	var t, sigmaT float64
+	switch d {
+	case Bennett:
+		t, sigmaT = BennettEstimate(in.Errors)
+	case Slutsky:
+		t, sigmaT = SlutskyEstimate(in.SiftedBits, in.Errors)
+	default:
+		return Result{}, fmt.Errorf("entropy: unknown defense function %d", d)
+	}
+
+	var base, p float64
+	switch {
+	case in.Entangled:
+		// Entangled pairs: "the amount of information Eve may obtain is
+		// only proportional to the number of received bits times the
+		// multi-photon probability."
+		base, p = float64(in.SiftedBits), in.MultiPhotonProb
+	case in.PNS == PNSTransmitted:
+		base, p = float64(in.Transmitted), in.MultiPhotonProb
+	default: // PNSReceived
+		base = float64(in.SiftedBits)
+		if in.NonVacuumProb > 0 {
+			p = in.MultiPhotonProb / in.NonVacuumProb
+		} else {
+			p = in.MultiPhotonProb
+		}
+	}
+	if p > 1 {
+		p = 1
+	}
+	m := base * p
+	sigmaM := math.Sqrt(base * p * (1 - p))
+
+	margin := in.Confidence * math.Sqrt(sigmaT*sigmaT+sigmaM*sigmaM)
+	raw := float64(in.SiftedBits) - float64(in.NonRandomness) - float64(in.Disclosed) -
+		t - m - margin
+
+	res := Result{
+		Raw: raw,
+		Components: Components{
+			Defense:       t,
+			DefenseSigma:  sigmaT,
+			MultiPhoton:   m,
+			MultiSigma:    sigmaM,
+			Disclosed:     in.Disclosed,
+			NonRandomness: in.NonRandomness,
+			Margin:        margin,
+		},
+	}
+	if raw > 0 {
+		res.Bits = int(raw)
+	}
+	if res.Bits > in.SiftedBits {
+		res.Bits = in.SiftedBits
+	}
+	return res, nil
+}

@@ -1,0 +1,309 @@
+package entropy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSlutskyFractionEndpoints(t *testing.T) {
+	if f := SlutskyFraction(0); f != 0 {
+		t.Errorf("t'(0) = %v, want 0", f)
+	}
+	if f := SlutskyFraction(1.0 / 3); f != 1 {
+		t.Errorf("t'(1/3) = %v, want 1", f)
+	}
+	if f := SlutskyFraction(0.5); f != 1 {
+		t.Errorf("t'(0.5) = %v, want 1", f)
+	}
+	if f := SlutskyFraction(-0.1); f != 0 {
+		t.Errorf("t'(-0.1) = %v, want 0 (clamped)", f)
+	}
+}
+
+func TestSlutskyFractionMonotone(t *testing.T) {
+	prev := -1.0
+	for e := 0.0; e <= 0.34; e += 0.005 {
+		f := SlutskyFraction(e)
+		if f < prev-1e-12 {
+			t.Fatalf("t' not monotone at e'=%v: %v < %v", e, f, prev)
+		}
+		if f < 0 || f > 1 {
+			t.Fatalf("t'(%v) = %v out of [0,1]", e, f)
+		}
+		prev = f
+	}
+}
+
+func TestBennettEstimateShape(t *testing.T) {
+	t0, s0 := BennettEstimate(0)
+	if t0 != 0 || s0 != 0 {
+		t.Errorf("Bennett(0) = %v, %v", t0, s0)
+	}
+	t100, s100 := BennettEstimate(100)
+	want := 4 * 100 / math.Sqrt2
+	if math.Abs(t100-want) > 1e-9 {
+		t.Errorf("Bennett(100) = %v, want %v", t100, want)
+	}
+	if s100 <= 0 {
+		t.Error("Bennett sigma must be positive for e>0")
+	}
+	// Point estimate is linear in e; sigma grows like sqrt(e).
+	t200, s200 := BennettEstimate(200)
+	if math.Abs(t200-2*t100) > 1e-9 {
+		t.Error("Bennett point estimate not linear")
+	}
+	if math.Abs(s200-math.Sqrt2*s100) > 1e-9 {
+		t.Error("Bennett sigma not sqrt-scaling")
+	}
+}
+
+func TestEstimateNoErrorsNoLoss(t *testing.T) {
+	// Perfect channel, no disclosure, no multi-photon: H = b.
+	in := Inputs{SiftedBits: 1000, Confidence: 5}
+	for _, d := range []Defense{Bennett, Slutsky} {
+		res, err := Estimate(in, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Bits != 1000 {
+			t.Errorf("%v: H = %d, want 1000", d, res.Bits)
+		}
+	}
+}
+
+func TestEstimateDisclosureSubtracted(t *testing.T) {
+	in := Inputs{SiftedBits: 1000, Disclosed: 137, Confidence: 0}
+	res, err := Estimate(in, Bennett)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bits != 1000-137 {
+		t.Errorf("H = %d, want %d", res.Bits, 863)
+	}
+}
+
+func TestEstimateInterceptResendKillsChannel(t *testing.T) {
+	// Under full intercept-resend (25 % QBER) Eve knows half the sifted
+	// bits; both defenses must sacrifice at least that much. (The paper
+	// notes Bennett's estimate is the less conservative of the two; at
+	// e=b/4 it still discards ~71 % per bit, Slutsky ~92 %.)
+	in := Inputs{SiftedBits: 4096, Errors: 1024, Confidence: 5}
+	for _, d := range []Defense{Bennett, Slutsky} {
+		res, err := Estimate(in, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(res.Bits) > 0.5*4096 {
+			t.Errorf("%v: %d bits survive 25%% QBER — does not cover Eve's actual haul", d, res.Bits)
+		}
+	}
+	// And at one-third QBER Slutsky must zero the channel entirely.
+	in.Errors = 4096 / 3
+	res, err := Estimate(in, Slutsky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bits != 0 {
+		t.Errorf("slutsky: %d bits survive 33%% QBER, want 0", res.Bits)
+	}
+}
+
+func TestSlutskyMoreConservativeAtModerateQBER(t *testing.T) {
+	// The paper: Slutsky's estimate "is overly conservative for
+	// finite-length blocks" — at the same observed error rate it should
+	// allow fewer bits than Bennett in the operating regime.
+	in := Inputs{SiftedBits: 4096, Errors: 4096 * 7 / 100, Confidence: 5}
+	bres, err := Estimate(in, Bennett)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := Estimate(in, Slutsky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Bits >= bres.Bits {
+		t.Errorf("Slutsky (%d) not more conservative than Bennett (%d) at 7%% QBER",
+			sres.Bits, bres.Bits)
+	}
+}
+
+func TestMultiPhotonChargesTransmittedForWeakCoherent(t *testing.T) {
+	// Weak-coherent: leak proportional to transmitted pulses n.
+	// Entangled: proportional to sifted bits b. With n >> b the
+	// weak-coherent charge must be much larger (Section 6).
+	base := Inputs{
+		SiftedBits:      4096,
+		Errors:          100,
+		Transmitted:     1000000,
+		MultiPhotonProb: 0.0047,
+		NonVacuumProb:   0.0952,
+		Confidence:      5,
+	}
+	wc := base
+	wc.PNS = PNSTransmitted
+	ent := base
+	ent.Entangled = true
+	wres, err := Estimate(wc, Bennett)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres, err := Estimate(ent, Bennett)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.Components.MultiPhoton <= eres.Components.MultiPhoton {
+		t.Errorf("weak-coherent multi-photon charge %v not above entangled %v",
+			wres.Components.MultiPhoton, eres.Components.MultiPhoton)
+	}
+	if wres.Bits >= eres.Bits {
+		t.Errorf("weak-coherent H (%d) not below entangled H (%d)", wres.Bits, eres.Bits)
+	}
+	// At mu=0.1 over 1e6 pulses the weak-coherent charge (~4700) wipes
+	// out a 4096-bit batch entirely.
+	if wres.Bits != 0 {
+		t.Errorf("weak-coherent H = %d, want 0 (PNS charge exceeds batch)", wres.Bits)
+	}
+}
+
+func TestConfidenceMarginReducesYield(t *testing.T) {
+	in := Inputs{SiftedBits: 4096, Errors: 200, Confidence: 0}
+	relaxed, err := Estimate(in, Bennett)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Confidence = 5
+	strict, err := Estimate(in, Bennett)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Bits >= relaxed.Bits {
+		t.Errorf("c=5 (%d bits) not below c=0 (%d bits)", strict.Bits, relaxed.Bits)
+	}
+	if strict.Components.Margin <= 0 {
+		t.Error("margin not reported")
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	bad := []Inputs{
+		{SiftedBits: -1},
+		{SiftedBits: 10, Errors: 11},
+		{SiftedBits: 10, MultiPhotonProb: 1.5},
+		{SiftedBits: 10, Confidence: -1},
+	}
+	for i, in := range bad {
+		if _, err := Estimate(in, Bennett); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := Estimate(Inputs{SiftedBits: 10}, Defense(99)); err == nil {
+		t.Error("unknown defense accepted")
+	}
+}
+
+func TestNonRandomnessSubtracted(t *testing.T) {
+	in := Inputs{SiftedBits: 1000, NonRandomness: 50, Confidence: 0}
+	res, err := Estimate(in, Bennett)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bits != 950 {
+		t.Errorf("H = %d, want 950", res.Bits)
+	}
+}
+
+// Property: the estimate never exceeds the sifted bit count and never
+// goes negative, for any consistent inputs.
+func TestPropertyEstimateBounded(t *testing.T) {
+	f := func(b uint16, eFrac, dFrac uint8, conf uint8, defense bool) bool {
+		in := Inputs{
+			SiftedBits: int(b),
+			Errors:     int(b) * int(eFrac) / 255,
+			Disclosed:  int(b) * int(dFrac) / 255,
+			Confidence: float64(conf % 10),
+		}
+		d := Bennett
+		if defense {
+			d = Slutsky
+		}
+		res, err := Estimate(in, d)
+		if err != nil {
+			return false
+		}
+		return res.Bits >= 0 && res.Bits <= in.SiftedBits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: more errors never increase the Slutsky yield.
+func TestPropertySlutskyMonotoneInErrors(t *testing.T) {
+	f := func(e1, e2 uint8) bool {
+		lo, hi := int(e1), int(e2)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		b := 1024
+		r1, err1 := Estimate(Inputs{SiftedBits: b, Errors: lo, Confidence: 0}, Slutsky)
+		r2, err2 := Estimate(Inputs{SiftedBits: b, Errors: hi, Confidence: 0}, Slutsky)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r2.Bits <= r1.Bits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	in := Inputs{SiftedBits: 4096, Errors: 280, Transmitted: 800000,
+		Disclosed: 900, MultiPhotonProb: 0.0047, Confidence: 5}
+	for i := 0; i < b.N; i++ {
+		if _, err := Estimate(in, Slutsky); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPNSReceivedConditionsOnNonVacuum(t *testing.T) {
+	// Received-based accounting charges b * P[multi | non-vacuum]:
+	// at mu=0.1 that is ~4.9 % of the sifted bits.
+	in := Inputs{
+		SiftedBits:      4096,
+		MultiPhotonProb: 0.00467,
+		NonVacuumProb:   0.0952,
+		Confidence:      0,
+	}
+	res, err := Estimate(in, Bennett)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4096 * 0.00467 / 0.0952
+	if math.Abs(res.Components.MultiPhoton-want) > 1 {
+		t.Errorf("received-based charge %v, want ~%v", res.Components.MultiPhoton, want)
+	}
+}
+
+func TestPNSTransmittedCanZeroLossyLink(t *testing.T) {
+	// The conservative POVM accounting wipes out a high-loss link: the
+	// phenomenon Brassard et al. warned about and the reason entangled
+	// sources matter (Section 6).
+	in := Inputs{
+		SiftedBits:      4096,
+		Transmitted:     3700000, // ~10 km operating point for a 4096-bit batch
+		MultiPhotonProb: 0.00467,
+		NonVacuumProb:   0.0952,
+		PNS:             PNSTransmitted,
+		Confidence:      5,
+	}
+	res, err := Estimate(in, Bennett)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bits != 0 {
+		t.Errorf("transmitted-based charge left %d bits on a 900x-loss link", res.Bits)
+	}
+}

@@ -1,0 +1,79 @@
+package entropy
+
+import (
+	"testing"
+
+	"qkd/internal/bitarray"
+	"qkd/internal/rng"
+)
+
+func TestNonRandomnessFairStringChargesNothing(t *testing.T) {
+	gen := rng.NewSplitMix64(1)
+	for trial := 0; trial < 10; trial++ {
+		bits := gen.Bits(4096)
+		if r := NonRandomness(bits); r > 40 {
+			t.Errorf("trial %d: fair string charged %d bits", trial, r)
+		}
+	}
+}
+
+func TestNonRandomnessConstantStringChargedFully(t *testing.T) {
+	zeros := bitarray.New(4096)
+	r := NonRandomness(zeros)
+	if r < 4000 {
+		t.Errorf("all-zeros charged only %d of 4096", r)
+	}
+	ones := bitarray.New(4096)
+	ones.SetRange(0, 4096, 1)
+	if r := NonRandomness(ones); r < 4000 {
+		t.Errorf("all-ones charged only %d of 4096", r)
+	}
+}
+
+func TestNonRandomnessDetectsDetectorBias(t *testing.T) {
+	// 70/30 bias (a detector-efficiency mismatch): deficit should be
+	// roughly n*(1-h2(0.7)) ~ 0.12n.
+	gen := rng.NewSplitMix64(2)
+	bits := bitarray.New(4096)
+	for i := 0; i < 4096; i++ {
+		if gen.Float64() < 0.7 {
+			bits.Set(i, 1)
+		}
+	}
+	r := NonRandomness(bits)
+	if r < 200 || r > 900 {
+		t.Errorf("70%% bias charged %d bits, want roughly 0.12*4096 ~ 500", r)
+	}
+}
+
+func TestNonRandomnessDetectsPeriodicStructure(t *testing.T) {
+	// Alternating 0101... is perfectly balanced (monobit blind) but
+	// fully predictable; the serial test must charge nearly everything.
+	bits := bitarray.New(4096)
+	for i := 0; i < 4096; i += 2 {
+		bits.Set(i, 1)
+	}
+	r := NonRandomness(bits)
+	if r < 2000 {
+		t.Errorf("alternating pattern charged only %d of 4096", r)
+	}
+}
+
+func TestNonRandomnessShortStringsExempt(t *testing.T) {
+	if r := NonRandomness(bitarray.New(32)); r != 0 {
+		t.Errorf("short string charged %d", r)
+	}
+}
+
+func TestNonRandomnessFeedsEstimate(t *testing.T) {
+	// The r measure plugs into the estimate as Section 6 specifies.
+	bits := bitarray.New(1024) // pathological key
+	r := NonRandomness(bits)
+	res, err := Estimate(Inputs{SiftedBits: 1024, NonRandomness: r, Confidence: 0}, Bennett)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bits > 50 {
+		t.Errorf("pathological key still yields %d bits", res.Bits)
+	}
+}

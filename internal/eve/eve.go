@@ -1,0 +1,196 @@
+// Package eve implements the eavesdropping attacks of Section 6 of the
+// paper against the simulated quantum channel.
+//
+// Within the quantum-cryptographic threat model Eve is limited only by
+// physics: she detects every dim pulse without loss, fabricates pulses
+// indistinguishable from Alice's (up to no-cloning), and reads the
+// public channel freely. The two canonical quantum-channel attacks are:
+//
+//   - intercept-resend (non-transparent): Eve measures each attacked
+//     pulse in a random basis and resends her result. When her basis
+//     disagrees with Alice's she learns nothing and randomizes Bob's
+//     outcome, inducing a 25 % error rate on attacked sifted bits —
+//     which is what makes the attack detectable.
+//
+//   - beamsplitting / photon-number splitting (transparent): on pulses
+//     carrying two or more photons Eve steals one and stores it,
+//     measuring it only after bases are revealed during sifting. She
+//     gains full knowledge of those bits and induces no errors at all,
+//     which is why privacy amplification must charge the multi-photon
+//     fraction of *transmitted* pulses against the entropy estimate on
+//     weak-coherent links (Brassard, Mor, Sanders).
+//
+// Attacks implement photonics.Tap plus knowledge accounting so
+// experiments can compare Eve's actual haul with the entropy estimator's
+// allowance.
+package eve
+
+import (
+	"qkd/internal/photonics"
+	"qkd/internal/qframe"
+	"qkd/internal/rng"
+)
+
+// measurement is Eve's record of one intercepted pulse.
+type measurement struct {
+	basis qframe.Basis
+	value uint8
+}
+
+// InterceptResend measures a fraction Prob of pulses in a uniformly
+// random basis and retransmits the measured result as a fresh pulse of
+// ResendPhotons photons.
+//
+// The attack tracks its measurements per frame; install it with
+// photonics.Link.SetTap and call BeginFrame (the link does this
+// automatically) so slots resolve unambiguously.
+type InterceptResend struct {
+	// Prob is the fraction of pulses Eve attacks, in [0, 1].
+	Prob float64
+	// ResendPhotons is the photon number of Eve's regenerated pulse.
+	// The default 0 is treated as 1. Eve may boost this to compensate
+	// for downstream loss (she is allowed lossless delivery).
+	ResendPhotons int
+	// rand is Eve's private randomness.
+	rand *rng.SplitMix64
+
+	frame    uint64
+	measured map[uint32]measurement
+}
+
+// NewInterceptResend builds the attack with its own seeded randomness.
+func NewInterceptResend(prob float64, seed uint64) *InterceptResend {
+	return &InterceptResend{
+		Prob:     prob,
+		rand:     rng.NewSplitMix64(seed),
+		measured: make(map[uint32]measurement),
+	}
+}
+
+// Name implements photonics.Tap.
+func (a *InterceptResend) Name() string { return "intercept-resend" }
+
+// BeginFrame clears per-frame measurement state.
+func (a *InterceptResend) BeginFrame(id uint64) {
+	a.frame = id
+	a.measured = make(map[uint32]measurement)
+}
+
+// Intercept implements photonics.Tap.
+func (a *InterceptResend) Intercept(p *photonics.Pulse, _ *rng.SplitMix64) {
+	if p.Photons == 0 || a.rand.Float64() >= a.Prob {
+		return
+	}
+	// Eve measures in a random basis. Axiomatically she detects the
+	// pulse with certainty (Section 6: "detect all dim pulses with
+	// zero loss").
+	eb := qframe.Basis(a.rand.Bit())
+	var ev uint8
+	if eb == p.Basis {
+		ev = p.Value
+	} else {
+		ev = uint8(a.rand.Bit())
+	}
+	a.measured[p.Slot] = measurement{basis: eb, value: ev}
+
+	// Resend: the pulse Bob now receives carries Eve's basis and value.
+	n := a.ResendPhotons
+	if n <= 0 {
+		n = 1
+	}
+	p.Basis = eb
+	p.Value = ev
+	p.Photons = n
+}
+
+// AttackedCount returns how many pulses of the current frame Eve
+// measured.
+func (a *InterceptResend) AttackedCount() int { return len(a.measured) }
+
+// KnownBits returns the number of sifted bits of the current frame that
+// Eve knows with certainty: those she measured in the basis Alice later
+// revealed. sifted lists the slot numbers that survived sifting.
+func (a *InterceptResend) KnownBits(tx *qframe.TxFrame, sifted []uint32) int {
+	known := 0
+	for _, slot := range sifted {
+		m, ok := a.measured[slot]
+		if !ok {
+			continue
+		}
+		if m.basis == tx.Pulses[slot].Basis {
+			known++
+		}
+	}
+	return known
+}
+
+// Beamsplit steals one photon from every multi-photon pulse and stores
+// it for measurement after basis revelation. It induces no errors.
+type Beamsplit struct {
+	frame  uint64
+	stolen map[uint32]bool
+}
+
+// NewBeamsplit builds the attack.
+func NewBeamsplit() *Beamsplit {
+	return &Beamsplit{stolen: make(map[uint32]bool)}
+}
+
+// Name implements photonics.Tap.
+func (a *Beamsplit) Name() string { return "beamsplit" }
+
+// BeginFrame clears per-frame state.
+func (a *Beamsplit) BeginFrame(id uint64) {
+	a.frame = id
+	a.stolen = make(map[uint32]bool)
+}
+
+// Intercept implements photonics.Tap.
+func (a *Beamsplit) Intercept(p *photonics.Pulse, _ *rng.SplitMix64) {
+	if p.Photons >= 2 {
+		p.Photons--
+		a.stolen[p.Slot] = true
+	}
+}
+
+// StolenCount returns the number of pulses Eve split this frame.
+func (a *Beamsplit) StolenCount() int { return len(a.stolen) }
+
+// KnownBits returns how many sifted bits Eve knows: every sifted slot
+// from which she holds a stored photon, since she measures it in the
+// publicly announced basis.
+func (a *Beamsplit) KnownBits(sifted []uint32) int {
+	known := 0
+	for _, slot := range sifted {
+		if a.stolen[slot] {
+			known++
+		}
+	}
+	return known
+}
+
+// Composite chains several attacks; each sees the pulse after the
+// previous one's modifications (e.g. beamsplit then intercept-resend a
+// fraction of the remainder).
+type Composite struct {
+	Taps []photonics.Tap
+}
+
+// Name implements photonics.Tap.
+func (c *Composite) Name() string { return "composite" }
+
+// BeginFrame forwards frame boundaries to members that track them.
+func (c *Composite) BeginFrame(id uint64) {
+	for _, t := range c.Taps {
+		if f, ok := t.(photonics.FrameAware); ok {
+			f.BeginFrame(id)
+		}
+	}
+}
+
+// Intercept implements photonics.Tap.
+func (c *Composite) Intercept(p *photonics.Pulse, r *rng.SplitMix64) {
+	for _, t := range c.Taps {
+		t.Intercept(p, r)
+	}
+}

@@ -1,0 +1,214 @@
+package eve
+
+import (
+	"math"
+	"testing"
+
+	"qkd/internal/photonics"
+	"qkd/internal/qframe"
+)
+
+// singlePhotonParams: lossless, noiseless link where (almost) every
+// pulse that exists carries exactly one photon, isolating the attack's
+// effect from channel noise.
+func singlePhotonParams() photonics.Params {
+	p := photonics.DefaultParams()
+	p.MeanPhotons = 0.2
+	p.FiberKm = 0
+	p.SystemLossDB = 0
+	p.DetectorEff = 1
+	p.DarkCountProb = 0
+	p.Visibility = 1
+	return p
+}
+
+// runFrames transmits frames and aggregates sifted/error counts plus
+// the sifted slot lists per frame (ground truth, for Eve accounting).
+func runFrames(l *photonics.Link, frames, slots int) (sifted, errors int) {
+	for f := 0; f < frames; f++ {
+		tx, rx := l.TransmitFrame(uint64(f), slots)
+		s, e := photonics.MeasuredQBER(tx, rx)
+		sifted += s
+		errors += e
+	}
+	return
+}
+
+func TestInterceptResendFullInducesQuarterQBER(t *testing.T) {
+	l := photonics.NewLink(singlePhotonParams(), 1)
+	l.SetTap(NewInterceptResend(1.0, 99))
+	sifted, errors := runFrames(l, 30, 5000)
+	if sifted < 2000 {
+		t.Fatalf("too few sifted bits: %d", sifted)
+	}
+	qber := float64(errors) / float64(sifted)
+	if math.Abs(qber-0.25) > 0.03 {
+		t.Errorf("full intercept-resend QBER = %.3f, want ~0.25", qber)
+	}
+}
+
+func TestInterceptResendPartial(t *testing.T) {
+	// Attacking half the pulses should induce ~12.5 % QBER.
+	l := photonics.NewLink(singlePhotonParams(), 2)
+	l.SetTap(NewInterceptResend(0.5, 7))
+	sifted, errors := runFrames(l, 30, 5000)
+	qber := float64(errors) / float64(sifted)
+	if math.Abs(qber-0.125) > 0.025 {
+		t.Errorf("half intercept-resend QBER = %.3f, want ~0.125", qber)
+	}
+}
+
+func TestInterceptResendZeroProbHarmless(t *testing.T) {
+	l := photonics.NewLink(singlePhotonParams(), 3)
+	a := NewInterceptResend(0, 7)
+	l.SetTap(a)
+	sifted, errors := runFrames(l, 10, 5000)
+	if errors != 0 {
+		t.Errorf("prob-0 attack induced %d errors in %d bits", errors, sifted)
+	}
+	if a.AttackedCount() != 0 {
+		t.Errorf("prob-0 attack measured %d pulses", a.AttackedCount())
+	}
+}
+
+func TestInterceptResendKnowledgeAccounting(t *testing.T) {
+	// Eve's known fraction of sifted bits should approach 1/2 under a
+	// full attack (she guesses the right basis half the time).
+	l := photonics.NewLink(singlePhotonParams(), 4)
+	a := NewInterceptResend(1.0, 5)
+	l.SetTap(a)
+
+	totalSifted, totalKnown := 0, 0
+	for f := 0; f < 30; f++ {
+		tx, rx := l.TransmitFrame(uint64(f), 5000)
+		var sifted []uint32
+		for _, d := range rx.Detections {
+			if _, ok := d.Value(); !ok {
+				continue
+			}
+			if tx.Pulses[d.Slot].Basis == d.Basis {
+				sifted = append(sifted, d.Slot)
+			}
+		}
+		totalSifted += len(sifted)
+		totalKnown += a.KnownBits(tx, sifted)
+	}
+	frac := float64(totalKnown) / float64(totalSifted)
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Errorf("Eve knows %.3f of sifted bits, want ~0.5", frac)
+	}
+}
+
+func TestBeamsplitTransparent(t *testing.T) {
+	// Beamsplitting must induce no errors at all.
+	p := singlePhotonParams()
+	p.MeanPhotons = 0.5 // plenty of multi-photon pulses
+	l := photonics.NewLink(p, 5)
+	a := NewBeamsplit()
+	l.SetTap(a)
+	sifted, errors := runFrames(l, 20, 5000)
+	if sifted == 0 {
+		t.Fatal("no sifted bits")
+	}
+	if errors != 0 {
+		t.Errorf("beamsplit induced %d errors — it must be transparent", errors)
+	}
+}
+
+func TestBeamsplitKnowledgeScalesWithMu(t *testing.T) {
+	// Eve's haul should grow with the multi-photon probability.
+	haul := func(mu float64) float64 {
+		p := singlePhotonParams()
+		p.MeanPhotons = mu
+		l := photonics.NewLink(p, 6)
+		a := NewBeamsplit()
+		l.SetTap(a)
+		known, sifted := 0, 0
+		for f := 0; f < 10; f++ {
+			tx, rx := l.TransmitFrame(uint64(f), 5000)
+			var sslots []uint32
+			for _, d := range rx.Detections {
+				if _, ok := d.Value(); !ok {
+					continue
+				}
+				if tx.Pulses[d.Slot].Basis == d.Basis {
+					sslots = append(sslots, d.Slot)
+				}
+			}
+			sifted += len(sslots)
+			known += a.KnownBits(sslots)
+		}
+		if sifted == 0 {
+			return 0
+		}
+		return float64(known) / float64(sifted)
+	}
+	low := haul(0.1)
+	high := haul(1.0)
+	if high <= low {
+		t.Errorf("beamsplit haul did not grow with mu: %.4f (mu=0.1) vs %.4f (mu=1.0)", low, high)
+	}
+	if low > 0.2 {
+		t.Errorf("haul at mu=0.1 suspiciously high: %.4f", low)
+	}
+}
+
+func TestBeamsplitStealsOnePhotonOnly(t *testing.T) {
+	a := NewBeamsplit()
+	a.BeginFrame(0)
+	p := &photonics.Pulse{Slot: 3, Photons: 5}
+	a.Intercept(p, nil)
+	if p.Photons != 4 {
+		t.Errorf("photons after split = %d, want 4", p.Photons)
+	}
+	if a.StolenCount() != 1 {
+		t.Errorf("StolenCount = %d", a.StolenCount())
+	}
+	single := &photonics.Pulse{Slot: 4, Photons: 1}
+	a.Intercept(single, nil)
+	if single.Photons != 1 || a.StolenCount() != 1 {
+		t.Error("beamsplit touched a single-photon pulse")
+	}
+}
+
+func TestCompositeAppliesInOrder(t *testing.T) {
+	bs := NewBeamsplit()
+	ir := NewInterceptResend(1.0, 11)
+	c := &Composite{Taps: []photonics.Tap{bs, ir}}
+	c.BeginFrame(0)
+	p := &photonics.Pulse{Slot: 0, Photons: 2, Basis: qframe.BasisRect, Value: 1}
+	c.Intercept(p, nil)
+	if bs.StolenCount() != 1 {
+		t.Error("composite did not run beamsplit")
+	}
+	if ir.AttackedCount() != 1 {
+		t.Error("composite did not run intercept-resend")
+	}
+	if p.Photons != 1 {
+		t.Errorf("resent photon count = %d, want 1", p.Photons)
+	}
+}
+
+func TestFrameAwareResetsState(t *testing.T) {
+	a := NewInterceptResend(1.0, 13)
+	a.BeginFrame(0)
+	a.Intercept(&photonics.Pulse{Slot: 1, Photons: 1}, nil)
+	if a.AttackedCount() != 1 {
+		t.Fatal("no measurement recorded")
+	}
+	a.BeginFrame(1)
+	if a.AttackedCount() != 0 {
+		t.Error("BeginFrame did not clear measurements")
+	}
+}
+
+func TestResendBoost(t *testing.T) {
+	a := NewInterceptResend(1.0, 17)
+	a.ResendPhotons = 7
+	a.BeginFrame(0)
+	p := &photonics.Pulse{Slot: 0, Photons: 1}
+	a.Intercept(p, nil)
+	if p.Photons != 7 {
+		t.Errorf("boosted resend photons = %d, want 7", p.Photons)
+	}
+}

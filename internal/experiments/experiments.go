@@ -1,0 +1,79 @@
+// Package experiments regenerates every quantitative claim, operating
+// point, table and figure of the paper's evaluation. Each experiment
+// Exx function runs a workload and returns a Report whose rows mirror
+// what the paper states; cmd/qkdexp prints them and the repository's
+// bench_test.go wraps each in a testing.B benchmark. EXPERIMENTS.md
+// records paper-versus-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Report is one experiment's output.
+type Report struct {
+	ID    string
+	Title string
+	// Paper is the claim being reproduced, quoted or paraphrased.
+	Paper string
+	rows  []string
+}
+
+// Rowf appends a formatted table row.
+func (r *Report) Rowf(format string, args ...interface{}) {
+	r.rows = append(r.rows, fmt.Sprintf(format, args...))
+}
+
+// Rows returns the table rows.
+func (r *Report) Rows() []string { return r.rows }
+
+// String renders the report.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	fmt.Fprintf(&sb, "paper: %s\n", r.Paper)
+	for _, row := range r.rows {
+		sb.WriteString("  ")
+		sb.WriteString(row)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// h2 is the binary entropy function.
+func h2(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// All runs every experiment. quick trims Monte Carlo sizes for use
+// under the bench harness.
+func All(seed uint64, quick bool) ([]*Report, error) {
+	runs := []func(uint64, bool) (*Report, error){
+		E1EndToEnd,
+		E2RateVsDistance,
+		E3SiftRatio,
+		E4Cascade,
+		E5Defense,
+		E6PrivacyAmp,
+		E7Eve,
+		E8IKE,
+		E9RelayMesh,
+		E10Switches,
+		E11Auth,
+		E12Transcript,
+	}
+	var out []*Report
+	for i, run := range runs {
+		r, err := run(seed, quick)
+		if err != nil {
+			return out, fmt.Errorf("experiment %d failed: %w", i+1, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

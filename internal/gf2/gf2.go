@@ -1,0 +1,474 @@
+// Package gf2 implements arithmetic in the binary fields GF(2^n) that
+// privacy amplification hashes over. The paper's protocol transmits
+// "the (sparse) primitive polynomial of the Galois field, a multiplier
+// (n bits long), and an m-bit polynomial to add", with n the number of
+// input bits rounded up to a multiple of 32.
+//
+// Because n varies per privacy-amplification batch, the package finds a
+// sparse irreducible polynomial of the required degree at runtime: a
+// pentanomial x^n + x^a + x^b + x^c + 1 with small middle exponents
+// (degrees that are multiples of 32 are multiples of 8, and no
+// irreducible trinomials exist for those degrees). Candidates are
+// verified with Rabin's irreducibility test; results are cached per
+// degree. Universality of the hash needs a field — irreducibility
+// suffices; primitivity would only matter for maximal element order,
+// which the hash does not rely on.
+//
+// Elements are bit vectors packed LSB-first into []uint64 words,
+// compatible with package bitarray's layout.
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Field is GF(2)[x] / (f) for a sparse irreducible f of degree N.
+type Field struct {
+	// N is the extension degree.
+	N int
+	// exps are the exponents of f in descending order, starting with N
+	// and ending with 0, e.g. {128, 7, 2, 1, 0}.
+	exps []int
+	// words is len of an element in 64-bit words.
+	words int
+}
+
+// fieldCache memoizes the (expensive) polynomial search per degree.
+var fieldCache sync.Map // int -> *Field
+
+// knownPolys lists sparse irreducible pentanomials for common degrees,
+// found by this package's own search (findIrreducible) and re-verified
+// by TestKnownPolyTable. The table short-circuits the runtime search
+// for the degrees privacy amplification typically uses.
+var knownPolys = map[int][]int{
+	32:   {32, 7, 3, 2, 0},
+	64:   {64, 4, 3, 1, 0},
+	96:   {96, 10, 9, 6, 0},
+	128:  {128, 7, 2, 1, 0},
+	160:  {160, 5, 3, 2, 0},
+	192:  {192, 7, 2, 1, 0},
+	224:  {224, 9, 8, 3, 0},
+	256:  {256, 10, 5, 2, 0},
+	288:  {288, 11, 10, 1, 0},
+	320:  {320, 4, 3, 1, 0},
+	384:  {384, 12, 3, 2, 0},
+	448:  {448, 11, 6, 4, 0},
+	512:  {512, 8, 5, 2, 0},
+	640:  {640, 14, 3, 2, 0},
+	768:  {768, 19, 17, 4, 0},
+	896:  {896, 7, 5, 3, 0},
+	1024: {1024, 19, 6, 1, 0},
+	1280: {1280, 12, 7, 5, 0},
+	1536: {1536, 21, 6, 2, 0},
+	2048: {2048, 19, 14, 13, 0},
+	3072: {3072, 11, 10, 5, 0},
+	4096: {4096, 27, 15, 1, 0},
+	8192: {8192, 9, 5, 2, 0},
+}
+
+// NewField returns a field of degree n, locating (and caching) a sparse
+// irreducible polynomial. n must be positive and a multiple of 32, per
+// the paper's rounding rule.
+func NewField(n int) (*Field, error) {
+	if n <= 0 || n%32 != 0 {
+		return nil, fmt.Errorf("gf2: degree %d must be a positive multiple of 32", n)
+	}
+	if f, ok := fieldCache.Load(n); ok {
+		return f.(*Field), nil
+	}
+	exps, ok := knownPolys[n]
+	if !ok {
+		var err error
+		exps, err = findIrreducible(n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	f := &Field{N: n, exps: exps, words: (n + 63) / 64}
+	fieldCache.Store(n, f)
+	return f, nil
+}
+
+// FieldWithPoly builds a field from explicit exponents (descending,
+// ending in 0), verifying irreducibility. The receiving side of privacy
+// amplification uses this to validate the polynomial its peer proposed
+// — accepting a reducible polynomial would break the hash family's
+// universality, so validation is a security check, not pedantry.
+func FieldWithPoly(exps []int) (*Field, error) {
+	if len(exps) < 2 || exps[len(exps)-1] != 0 {
+		return nil, fmt.Errorf("gf2: polynomial must include x^n and 1")
+	}
+	for i := 1; i < len(exps); i++ {
+		if exps[i] >= exps[i-1] {
+			return nil, fmt.Errorf("gf2: exponents must be strictly descending")
+		}
+	}
+	n := exps[0]
+	if n <= 0 {
+		return nil, fmt.Errorf("gf2: degree %d must be positive", n)
+	}
+	if !Irreducible(exps) {
+		return nil, fmt.Errorf("gf2: polynomial of degree %d is reducible", n)
+	}
+	return &Field{N: n, exps: exps, words: (n + 63) / 64}, nil
+}
+
+// Poly returns the field polynomial's exponents (descending, a copy).
+func (f *Field) Poly() []int {
+	out := make([]int, len(f.exps))
+	copy(out, f.exps)
+	return out
+}
+
+// Words returns the element size in 64-bit words.
+func (f *Field) Words() int { return f.words }
+
+// Mul returns a*b in the field. Inputs must be f.Words() words with
+// bits above N zero; the result has the same shape.
+func (f *Field) Mul(a, b []uint64) []uint64 {
+	prod := clmul(a, b)
+	return f.reduce(prod)
+}
+
+// Square returns a^2 in the field, in O(n) time (squaring is linear
+// over GF(2)).
+func (f *Field) Square(a []uint64) []uint64 {
+	sq := spread(a)
+	return f.reduce(sq)
+}
+
+// reduce folds a (up to) 2N-bit polynomial down modulo f using the
+// sparse exponent list: x^(N+i) = sum over non-leading exponents e of
+// x^(i+e).
+func (f *Field) reduce(v []uint64) []uint64 {
+	n := f.N
+	// Ensure capacity for word-aligned folding.
+	need := (2*n + 63) / 64
+	for len(v) < need {
+		v = append(v, 0)
+	}
+	// Fold from the top word down. Bits >= n live in word region
+	// starting at bit n.
+	for bit := 2*n - 64; bit >= n; bit -= 64 {
+		w := extractWord(v, bit)
+		if w == 0 {
+			continue
+		}
+		clearWord(v, bit)
+		for _, e := range f.exps[1:] {
+			xorWord(v, w, bit-n+e)
+		}
+	}
+	// Final partial fold for bits [n, n+63] that may have been
+	// re-populated by the word fold above (when exponent offsets push
+	// bits back over the boundary) — handle bit by bit.
+	for {
+		d := topBit(v)
+		if d < n {
+			break
+		}
+		clearBit(v, d)
+		for _, e := range f.exps[1:] {
+			flipBit(v, d-n+e)
+		}
+	}
+	out := make([]uint64, f.words)
+	copy(out, v[:min(len(v), f.words)])
+	if r := uint(n) & 63; r != 0 {
+		out[f.words-1] &= (1 << r) - 1
+	}
+	return out
+}
+
+// One returns the multiplicative identity.
+func (f *Field) One() []uint64 {
+	e := make([]uint64, f.words)
+	e[0] = 1
+	return e
+}
+
+// X returns the element x.
+func (f *Field) X() []uint64 {
+	e := make([]uint64, f.words)
+	if f.N == 1 {
+		// x == f's root; degree-1 fields are never used but keep sane.
+		e[0] = 1
+		return e
+	}
+	e[0] = 2
+	return e
+}
+
+// ---------------------------------------------------------------------
+// Carry-less polynomial arithmetic on word slices
+// ---------------------------------------------------------------------
+
+// clmul computes the full carry-less product of a and b.
+func clmul(a, b []uint64) []uint64 {
+	out := make([]uint64, len(a)+len(b))
+	for i, wa := range a {
+		if wa == 0 {
+			continue
+		}
+		for wa != 0 {
+			bit := bits.TrailingZeros64(wa)
+			wa &= wa - 1
+			xorShift(out, b, 64*i+bit)
+		}
+	}
+	return out
+}
+
+// xorShift xors src<<shift into dst (dst must be long enough).
+func xorShift(dst, src []uint64, shift int) {
+	wordOff := shift / 64
+	bitOff := uint(shift) % 64
+	if bitOff == 0 {
+		for i, w := range src {
+			dst[wordOff+i] ^= w
+		}
+		return
+	}
+	var carry uint64
+	for i, w := range src {
+		dst[wordOff+i] ^= (w << bitOff) | carry
+		carry = w >> (64 - bitOff)
+	}
+	if carry != 0 {
+		dst[wordOff+len(src)] ^= carry
+	}
+}
+
+// xorWord xors the single word w shifted to bit position pos into v.
+func xorWord(v []uint64, w uint64, pos int) {
+	wordOff := pos / 64
+	bitOff := uint(pos) % 64
+	v[wordOff] ^= w << bitOff
+	if bitOff != 0 && wordOff+1 < len(v) {
+		v[wordOff+1] ^= w >> (64 - bitOff)
+	}
+}
+
+// extractWord reads the 64 bits starting at bit position pos.
+func extractWord(v []uint64, pos int) uint64 {
+	wordOff := pos / 64
+	bitOff := uint(pos) % 64
+	w := v[wordOff] >> bitOff
+	if bitOff != 0 && wordOff+1 < len(v) {
+		w |= v[wordOff+1] << (64 - bitOff)
+	}
+	return w
+}
+
+// clearWord zeroes the 64 bits starting at bit position pos.
+func clearWord(v []uint64, pos int) {
+	wordOff := pos / 64
+	bitOff := uint(pos) % 64
+	if bitOff == 0 {
+		v[wordOff] = 0
+		return
+	}
+	// Clear the high (64-bitOff) bits of this word and the low bitOff
+	// bits of the next.
+	v[wordOff] &= (1 << bitOff) - 1
+	if wordOff+1 < len(v) {
+		v[wordOff+1] &^= (1 << bitOff) - 1
+	}
+}
+
+// spreadTab spreads byte bits into even positions of a 16-bit value.
+var spreadTab [256]uint16
+
+func init() {
+	for i := 0; i < 256; i++ {
+		var v uint16
+		for b := 0; b < 8; b++ {
+			if i>>b&1 == 1 {
+				v |= 1 << (2 * b)
+			}
+		}
+		spreadTab[i] = v
+	}
+}
+
+// spread maps a polynomial to its square: bit i goes to bit 2i.
+func spread(a []uint64) []uint64 {
+	out := make([]uint64, 2*len(a))
+	for i, w := range a {
+		var lo, hi uint64
+		for b := 0; b < 4; b++ {
+			lo |= uint64(spreadTab[byte(w>>(8*b))]) << (16 * b)
+			hi |= uint64(spreadTab[byte(w>>(8*(b+4)))]) << (16 * b)
+		}
+		out[2*i] = lo
+		out[2*i+1] = hi
+	}
+	return out
+}
+
+// topBit returns the highest set bit position, or -1 for zero.
+func topBit(v []uint64) int {
+	for i := len(v) - 1; i >= 0; i-- {
+		if v[i] != 0 {
+			return 64*i + 63 - bits.LeadingZeros64(v[i])
+		}
+	}
+	return -1
+}
+
+func flipBit(v []uint64, i int)  { v[i/64] ^= 1 << (uint(i) % 64) }
+func clearBit(v []uint64, i int) { v[i/64] &^= 1 << (uint(i) % 64) }
+
+// ---------------------------------------------------------------------
+// Irreducibility (Rabin's test)
+// ---------------------------------------------------------------------
+
+// Irreducible reports whether the sparse polynomial with the given
+// descending exponents is irreducible over GF(2), via Rabin's test:
+// f of degree n is irreducible iff x^(2^n) == x (mod f) and, for every
+// prime p dividing n, gcd(x^(2^(n/p)) - x, f) == 1.
+func Irreducible(exps []int) bool {
+	n := exps[0]
+	if n == 1 {
+		return true
+	}
+	f := &Field{N: n, exps: exps, words: (n + 63) / 64}
+
+	checkAt := map[int]bool{}
+	for _, p := range primeFactors(n) {
+		checkAt[n/p] = true
+	}
+
+	cur := f.X() // x^(2^0)
+	for i := 1; i <= n; i++ {
+		cur = f.Square(cur) // x^(2^i)
+		if checkAt[i] {
+			h := make([]uint64, len(cur))
+			copy(h, cur)
+			flipBit(h, 1) // h = x^(2^i) - x
+			if !coprime(h, exps) {
+				return false
+			}
+		}
+	}
+	// x^(2^n) must equal x.
+	want := f.X()
+	for i := range cur {
+		if cur[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// coprime reports gcd(h, f) == 1 where f is given by sparse exponents.
+func coprime(h []uint64, exps []int) bool {
+	// Materialize f densely.
+	n := exps[0]
+	fw := make([]uint64, n/64+1)
+	for _, e := range exps {
+		flipBit(fw, e)
+	}
+	g := polyGCD(fw, h)
+	return topBit(g) == 0 // gcd == 1
+}
+
+// polyGCD computes the GCD of two GF(2) polynomials (destructive on
+// copies).
+func polyGCD(a, b []uint64) []uint64 {
+	x := make([]uint64, len(a))
+	copy(x, a)
+	y := make([]uint64, len(b))
+	copy(y, b)
+	for {
+		dy := topBit(y)
+		if dy < 0 {
+			return x
+		}
+		dx := topBit(x)
+		if dx < dy {
+			x, y = y, x
+			continue
+		}
+		// x ^= y << (dx - dy); repeat until deg(x) < deg(y).
+		for dx >= dy && dx >= 0 {
+			xorShiftInto(x, y, dx-dy)
+			dx = topBit(x)
+		}
+		x, y = y, x
+	}
+}
+
+// xorShiftInto xors src<<shift into dst, ignoring overflow beyond dst
+// (callers guarantee deg fits).
+func xorShiftInto(dst, src []uint64, shift int) {
+	wordOff := shift / 64
+	bitOff := uint(shift) % 64
+	for i, w := range src {
+		if w == 0 {
+			continue
+		}
+		if wordOff+i < len(dst) {
+			dst[wordOff+i] ^= w << bitOff
+		}
+		if bitOff != 0 && wordOff+i+1 < len(dst) {
+			dst[wordOff+i+1] ^= w >> (64 - bitOff)
+		}
+	}
+}
+
+// primeFactors returns the distinct prime factors of n.
+func primeFactors(n int) []int {
+	var out []int
+	for p := 2; p*p <= n; p++ {
+		if n%p == 0 {
+			out = append(out, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	if n > 1 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// findIrreducible searches for a sparse irreducible polynomial of
+// degree n: first trinomials x^n+x^k+1 (they do not exist when 8 | n,
+// but the search is cheap and keeps the function general), then
+// pentanomials with small middle exponents.
+func findIrreducible(n int) ([]int, error) {
+	if n%8 != 0 {
+		for k := 1; k < n; k++ {
+			exps := []int{n, k, 0}
+			if Irreducible(exps) {
+				return exps, nil
+			}
+		}
+	}
+	limit := n - 1
+	if limit > 96 {
+		limit = 96
+	}
+	for a := 3; a <= limit; a++ {
+		for b := 2; b < a; b++ {
+			for c := 1; c < b; c++ {
+				exps := []int{n, a, b, c, 0}
+				if Irreducible(exps) {
+					return exps, nil
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("gf2: no sparse irreducible polynomial found for degree %d", n)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

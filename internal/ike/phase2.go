@@ -1,0 +1,347 @@
+package ike
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"qkd/internal/ipsec"
+	"qkd/internal/keypool"
+)
+
+// phase2Proposal is the initiator's quick-mode offer.
+type phase2Proposal struct {
+	PolicyName    string // initiator-outbound policy
+	ReversePolicy string // responder-outbound policy
+	Suite         ipsec.CipherSuite
+	LifeSeconds   uint32
+	LifeBytes     uint64
+	Qblocks       uint32 // conventional suites: QKD blocks in KEYMAT
+	OTPBits       uint64 // OTP suite: pad bits per direction
+	SPI           uint32 // initiator's inbound SPI
+	Nonce         [16]byte
+}
+
+func (p *phase2Proposal) encode() []byte {
+	buf := make([]byte, 0, 64+len(p.PolicyName)+len(p.ReversePolicy))
+	buf = appendString(buf, p.PolicyName)
+	buf = appendString(buf, p.ReversePolicy)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.Suite))
+	buf = binary.BigEndian.AppendUint32(buf, p.LifeSeconds)
+	buf = binary.BigEndian.AppendUint64(buf, p.LifeBytes)
+	buf = binary.BigEndian.AppendUint32(buf, p.Qblocks)
+	buf = binary.BigEndian.AppendUint64(buf, p.OTPBits)
+	buf = binary.BigEndian.AppendUint32(buf, p.SPI)
+	buf = append(buf, p.Nonce[:]...)
+	return buf
+}
+
+func decodeProposal(b []byte) (*phase2Proposal, error) {
+	p := &phase2Proposal{}
+	var err error
+	if p.PolicyName, b, err = takeString(b); err != nil {
+		return nil, err
+	}
+	if p.ReversePolicy, b, err = takeString(b); err != nil {
+		return nil, err
+	}
+	if len(b) != 4+4+8+4+8+4+16 {
+		return nil, fmt.Errorf("ike: bad proposal length %d", len(b))
+	}
+	p.Suite = ipsec.CipherSuite(binary.BigEndian.Uint32(b))
+	p.LifeSeconds = binary.BigEndian.Uint32(b[4:])
+	p.LifeBytes = binary.BigEndian.Uint64(b[8:])
+	p.Qblocks = binary.BigEndian.Uint32(b[16:])
+	p.OTPBits = binary.BigEndian.Uint64(b[20:])
+	p.SPI = binary.BigEndian.Uint32(b[28:])
+	copy(p.Nonce[:], b[32:48])
+	return p, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("ike: truncated string")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if len(b) < 2+n {
+		return "", nil, fmt.Errorf("ike: truncated string body")
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
+// allocSPI returns a fresh SPI.
+func (d *Daemon) allocSPI() uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextSPI++
+	return d.nextSPI
+}
+
+func (d *Daemon) allocMsgID() uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextMsg++
+	return d.nextMsg
+}
+
+// Negotiate runs quick mode for the given outbound policy (and its
+// reverse), installing SAs in both gateways' databases. Only the
+// Initiator daemon may call it.
+//
+// reversePolicy names the peer's outbound policy for the same tunnel
+// (traffic flowing back); the responder installs its outbound SA under
+// that name.
+func (d *Daemon) Negotiate(pol *ipsec.Policy, reversePolicy string) error {
+	if d.role != Initiator {
+		return fmt.Errorf("ike: only the initiator daemon negotiates")
+	}
+	d.negMu.Lock()
+	defer d.negMu.Unlock()
+	d.mu.Lock()
+	ready := d.skeyid != nil
+	d.mu.Unlock()
+	if !ready {
+		return ErrNotReady
+	}
+
+	prop := &phase2Proposal{
+		PolicyName:    pol.Name,
+		ReversePolicy: reversePolicy,
+		Suite:         pol.Suite,
+		LifeSeconds:   uint32(pol.Life.Duration / time.Second),
+		LifeBytes:     pol.Life.Bytes,
+		SPI:           d.allocSPI(),
+	}
+	d.rand.Bytes(prop.Nonce[:])
+	if pol.Suite == ipsec.SuiteOTP {
+		bits := pol.OTPBits
+		if bits == 0 {
+			bits = 8 * 1024 * 8 // 8 KiB of pad by default
+		}
+		prop.OTPBits = uint64(bits)
+	} else {
+		prop.Qblocks = uint32(d.cfg.Qblocks)
+	}
+
+	msgID := d.allocMsgID()
+	d.logf("INFO: isakmp.c:939:isakmp_ph2begin_i(): initiate new phase 2 negotiation: %s[0]<=>%s[0]",
+		d.gw.Local, pol.PeerGW)
+	d.mu.Lock()
+	d.stats.Phase2Initiated++
+	ch := make(chan []byte, 1)
+	d.pending[msgID] = ch
+	d.mu.Unlock()
+
+	body := make([]byte, 5, 5+64)
+	body[0] = kindPh2Req
+	binary.BigEndian.PutUint32(body[1:5], msgID)
+	body = append(body, prop.encode()...)
+	if err := d.sendAuthed(body); err != nil {
+		return fmt.Errorf("ike: phase 2 send: %w", err)
+	}
+
+	var resp []byte
+	select {
+	case resp = <-ch:
+	case <-time.After(d.cfg.Phase2Timeout):
+		d.mu.Lock()
+		delete(d.pending, msgID)
+		d.stats.Phase2Failed++
+		d.mu.Unlock()
+		return ErrTimeout
+	case <-d.stopped:
+		return ErrStopped
+	}
+	if resp[0] == kindPh2Nack {
+		d.mu.Lock()
+		d.stats.Phase2Failed++
+		d.mu.Unlock()
+		return ErrRejected
+	}
+	// resp: kind(1) msgID(4) spiR(4) nonceR(16)
+	if len(resp) != 5+4+16 {
+		return fmt.Errorf("ike: bad phase 2 response length %d", len(resp))
+	}
+	spiR := binary.BigEndian.Uint32(resp[5:9])
+	var nonceR [16]byte
+	copy(nonceR[:], resp[9:25])
+
+	return d.installSAs(prop, spiR, nonceR, true)
+}
+
+// handlePhase2 serves one inbound quick-mode request.
+func (d *Daemon) handlePhase2(msgID uint32, payload []byte) {
+	prop, err := decodeProposal(payload)
+	if err != nil {
+		d.logf("ERROR: isakmp.c:xxxx: malformed phase 2 proposal: %v", err)
+		return
+	}
+	d.mu.Lock()
+	d.stats.Phase2Responded++
+	d.mu.Unlock()
+
+	// Verify the named policies exist before consuming key material.
+	rev := d.findPolicy(prop.ReversePolicy)
+	if rev == nil {
+		d.nack(msgID)
+		return
+	}
+	d.logf("INFO: isakmp.c:1046:isakmp_ph2begin_r(): respond new phase 2 negotiation: %s[0]<=>%s[0]",
+		d.gw.Local, rev.PeerGW)
+	d.logf("INFO: proposal.c:1023:set_proposal_from_policy(): RESPONDER setting QPFS encmodesv 1")
+
+	spiR := d.allocSPI()
+	var nonceR [16]byte
+	d.rand.Bytes(nonceR[:])
+
+	// The responder consumes its key material before replying; the
+	// initiator consumes on receipt. Consumption order per negotiation
+	// is fixed (initiator->responder direction first), keeping the
+	// mirrored reservoirs in lockstep.
+	resp := make([]byte, 5+4+16)
+	resp[0] = kindPh2Resp
+	binary.BigEndian.PutUint32(resp[1:5], msgID)
+	binary.BigEndian.PutUint32(resp[5:9], spiR)
+	copy(resp[9:25], nonceR[:])
+
+	if err := d.installSAs(prop, spiR, nonceR, false); err != nil {
+		d.logf("ERROR: bbn-qkd-qpd.c:1101:qke_create_reply(): %v", err)
+		d.nack(msgID)
+		return
+	}
+	if prop.Suite == ipsec.SuiteOTP {
+		d.logf("INFO: bbn-qkd-qpd.c:1047:qke_create_reply(): reply %d pad bits one-time-pad mode",
+			prop.OTPBits)
+	} else {
+		d.logf("INFO: bbn-qkd-qpd.c:1047:qke_create_reply(): reply %d Qblocks %d bits %f entropy (offer is %d Qblocks)",
+			prop.Qblocks, QblockBits, float64(prop.Qblocks*QblockBits), prop.Qblocks)
+	}
+	if err := d.sendAuthed(resp); err != nil {
+		d.logf("ERROR: isakmp.c:xxxx: phase 2 reply failed: %v", err)
+	}
+}
+
+func (d *Daemon) nack(msgID uint32) {
+	d.mu.Lock()
+	d.stats.Phase2Failed++
+	d.mu.Unlock()
+	body := make([]byte, 5)
+	body[0] = kindPh2Nack
+	binary.BigEndian.PutUint32(body[1:5], msgID)
+	d.sendAuthed(body)
+}
+
+func (d *Daemon) findPolicy(name string) *ipsec.Policy {
+	for _, p := range d.gw.SPD.Policies() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// installSAs derives KEYMAT (or withdraws pads) and installs both
+// directions' SAs. The initiator's outbound direction is always keyed
+// first so both reservoirs are consumed in the same order.
+func (d *Daemon) installSAs(prop *phase2Proposal, spiR uint32, nonceR [16]byte, isInitiator bool) error {
+	life := ipsec.Lifetime{
+		Duration: time.Duration(prop.LifeSeconds) * time.Second,
+		Bytes:    prop.LifeBytes,
+	}
+	seed := append(append([]byte(nil), prop.Nonce[:]...), nonceR[:]...)
+
+	var saIR, saRI *ipsec.SA // initiator->responder keyed by spiR; reverse by prop.SPI
+	if prop.Suite == ipsec.SuiteOTP {
+		// Withdraw both directions' pads in ONE atomic consume: a
+		// partial withdrawal on a failed negotiation would silently
+		// desynchronize the two ends' mirrored reservoirs, poisoning
+		// every subsequent SA.
+		pads, err := d.pool.Consume(2*int(prop.OTPBits), d.cfg.Phase2Timeout)
+		if err != nil {
+			return fmt.Errorf("withdrawing OTP pads: %w", err)
+		}
+		padIR := pads.Slice(0, int(prop.OTPBits))
+		padRI := pads.Slice(int(prop.OTPBits), pads.Len())
+		d.mu.Lock()
+		d.stats.QbitsConsumed += 2 * prop.OTPBits
+		d.mu.Unlock()
+		if saIR, err = ipsec.NewOTPSA(spiR, padIR.Bytes(), life); err != nil {
+			return err
+		}
+		if saRI, err = ipsec.NewOTPSA(prop.SPI, padRI.Bytes(), life); err != nil {
+			return err
+		}
+	} else {
+		qbits, err := d.pool.Consume(int(prop.Qblocks)*QblockBits, d.cfg.Phase2Timeout)
+		if err != nil {
+			return fmt.Errorf("withdrawing %d Qblocks: %w", prop.Qblocks, err)
+		}
+		d.mu.Lock()
+		skeyid := d.skeyid
+		d.stats.QbitsConsumed += uint64(prop.Qblocks) * QblockBits
+		d.mu.Unlock()
+		// "we have included distilled QKD bits into the IKE Phase 2
+		// hash, so that keys protecting IPsec SAs are derived from QKD."
+		qseed := append(append([]byte(nil), qbits.Bytes()...), seed...)
+		keyLen := prop.Suite.KeyBits() / 8
+		kIR := expandKeymat(skeyid, append(qseed, spiBytes(spiR)...), keyLen)
+		kRI := expandKeymat(skeyid, append(qseed, spiBytes(prop.SPI)...), keyLen)
+		d.logf("INFO: oakley.c:473:oakley_compute_keymat_x(): KEYMAT using %d bytes QBITS",
+			int(prop.Qblocks)*QblockBits/8)
+		d.logf("INFO: oakley.c:473:oakley_compute_keymat_x(): KEYMAT using %d bytes QBITS",
+			int(prop.Qblocks)*QblockBits/8)
+		if saIR, err = ipsec.NewSA(spiR, prop.Suite, kIR, life); err != nil {
+			return err
+		}
+		if saRI, err = ipsec.NewSA(prop.SPI, prop.Suite, kRI, life); err != nil {
+			return err
+		}
+	}
+
+	if isInitiator {
+		d.gw.SAD.InstallOutbound(prop.PolicyName, saIR)
+		d.gw.SAD.InstallInbound(saRI)
+	} else {
+		d.gw.SAD.InstallInbound(saIR)
+		d.gw.SAD.InstallOutbound(prop.ReversePolicy, saRI)
+	}
+	d.mu.Lock()
+	d.stats.SAsEstablished += 2
+	d.mu.Unlock()
+	peer := "peer"
+	for _, name := range []string{prop.PolicyName, prop.ReversePolicy} {
+		if p := d.findPolicy(name); p != nil && p.PeerGW != d.gw.Local {
+			peer = p.PeerGW.String()
+			break
+		}
+	}
+	d.logf("INFO: pfkey.c:1107:pk_recvupdate(): IPsec-SA established: ESP/Tunnel %s->%s spi=%d(%#x)",
+		d.gw.Local, peer, spiR, spiR)
+	d.logf("INFO: pfkey.c:1319:pk_recvadd(): IPsec-SA established: ESP/Tunnel %s->%s spi=%d(%#x)",
+		peer, d.gw.Local, prop.SPI, prop.SPI)
+	return nil
+}
+
+func spiBytes(spi uint32) []byte {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint32(b, spi)
+	return b
+}
+
+// WaitAvailable blocks until the reservoir holds at least bits, a
+// convenience for tests and experiments staging exhaustion.
+func WaitAvailable(pool *keypool.Reservoir, bits int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for pool.Available() < bits {
+		if time.Now().After(deadline) {
+			return ErrTimeout
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}

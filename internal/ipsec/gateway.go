@@ -1,0 +1,206 @@
+package ipsec
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SAD is the Security Association Database: inbound SAs indexed by SPI,
+// outbound SAs indexed by the policy they serve.
+type SAD struct {
+	mu       sync.Mutex
+	bySPI    map[uint32]*SA
+	outbound map[string]*SA
+}
+
+// NewSAD returns an empty database.
+func NewSAD() *SAD {
+	return &SAD{bySPI: make(map[uint32]*SA), outbound: make(map[string]*SA)}
+}
+
+// InstallInbound registers an SA for decryption by SPI.
+func (d *SAD) InstallInbound(sa *SA) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.bySPI[sa.SPI] = sa
+}
+
+// InstallOutbound registers an SA to protect a policy's traffic,
+// replacing any previous SA (key rollover).
+func (d *SAD) InstallOutbound(policyName string, sa *SA) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.outbound[policyName] = sa
+}
+
+// Outbound returns the SA serving a policy, or nil.
+func (d *SAD) Outbound(policyName string) *SA {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.outbound[policyName]
+}
+
+// BySPI returns the inbound SA for spi, or nil.
+func (d *SAD) BySPI(spi uint32) *SA {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bySPI[spi]
+}
+
+// RemoveOutbound clears a policy's outbound SA if it is the given one.
+func (d *SAD) RemoveOutbound(policyName string, sa *SA) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.outbound[policyName] == sa {
+		delete(d.outbound, policyName)
+	}
+}
+
+// RemoveInbound deletes an inbound SA by SPI.
+func (d *SAD) RemoveInbound(spi uint32) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.bySPI, spi)
+}
+
+// Count returns (inbound, outbound) SA counts.
+func (d *SAD) Count() (in, out int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.bySPI), len(d.outbound)
+}
+
+// Stats counts gateway dataplane events.
+type Stats struct {
+	Sealed        uint64
+	Opened        uint64
+	Bypassed      uint64
+	Discarded     uint64
+	NoSA          uint64
+	Expired       uint64
+	ReplayDrops   uint64
+	IntegFailures uint64
+}
+
+// Gateway is the VPN dataplane of Fig. 10/11: an IP packet filter with
+// pattern matching against the SPD and crypto against the SAD.
+type Gateway struct {
+	// Local is this gateway's tunnel address.
+	Local Addr
+	// SPD and SAD are exported for the IKE daemon, which populates the
+	// SAD as negotiations complete.
+	SPD *SPD
+	SAD *SAD
+
+	// OnMissingSA fires when a Protect policy has traffic but no
+	// (unexpired) SA — the trigger for IKE negotiation.
+	OnMissingSA func(*Policy)
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewGateway builds a gateway at the given tunnel address.
+func NewGateway(local Addr, spd *SPD) *Gateway {
+	return &Gateway{Local: local, SPD: spd, SAD: NewSAD()}
+}
+
+// Stats returns a snapshot of the counters.
+func (g *Gateway) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+func (g *Gateway) count(f func(*Stats)) {
+	g.mu.Lock()
+	f(&g.stats)
+	g.mu.Unlock()
+}
+
+// ProcessOutbound applies policy to a packet leaving the enclave:
+// bypass, discard, or encapsulate under the policy's SA in tunnel mode
+// (the entire inner packet becomes the ESP payload).
+func (g *Gateway) ProcessOutbound(p *Packet) (*Packet, error) {
+	pol := g.SPD.Match(p)
+	if pol == nil {
+		return nil, fmt.Errorf("%w: %s -> %s proto %d", ErrNoPolicy, p.Src, p.Dst, p.Proto)
+	}
+	switch pol.Action {
+	case Bypass:
+		g.count(func(s *Stats) { s.Bypassed++ })
+		return p, nil
+	case Discard:
+		g.count(func(s *Stats) { s.Discarded++ })
+		return nil, ErrDiscard
+	}
+	sa := g.SAD.Outbound(pol.Name)
+	if sa != nil && sa.Expired() {
+		g.SAD.RemoveOutbound(pol.Name, sa)
+		g.count(func(s *Stats) { s.Expired++ })
+		sa = nil
+	}
+	if sa == nil {
+		g.count(func(s *Stats) { s.NoSA++ })
+		if g.OnMissingSA != nil {
+			g.OnMissingSA(pol)
+		}
+		return nil, fmt.Errorf("%w: policy %q", ErrNoSA, pol.Name)
+	}
+	blob, err := sa.Seal(p.Marshal())
+	if err != nil {
+		if err == ErrExpired || err == ErrPadExhaust {
+			g.SAD.RemoveOutbound(pol.Name, sa)
+			g.count(func(s *Stats) { s.Expired++ })
+			if g.OnMissingSA != nil {
+				g.OnMissingSA(pol)
+			}
+		}
+		return nil, err
+	}
+	g.count(func(s *Stats) { s.Sealed++ })
+	return &Packet{Src: g.Local, Dst: pol.PeerGW, Proto: ProtoESP, ID: p.ID, Payload: blob}, nil
+}
+
+// ProcessInbound handles a packet arriving from the black network:
+// ESP packets are decapsulated via the SAD; clear packets are checked
+// against policy (a clear packet whose flow demands protection is
+// dropped — accepting it would let Eve inject plaintext into the
+// enclave).
+func (g *Gateway) ProcessInbound(p *Packet) (*Packet, error) {
+	if p.Proto == ProtoESP {
+		if len(p.Payload) < 4 {
+			return nil, fmt.Errorf("ipsec: short ESP payload")
+		}
+		spi := uint32(p.Payload[0])<<24 | uint32(p.Payload[1])<<16 |
+			uint32(p.Payload[2])<<8 | uint32(p.Payload[3])
+		sa := g.SAD.BySPI(spi)
+		if sa == nil {
+			return nil, fmt.Errorf("%w: %#x", ErrUnknownSPI, spi)
+		}
+		inner, err := sa.Open(p.Payload)
+		if err != nil {
+			switch err {
+			case ErrReplay:
+				g.count(func(s *Stats) { s.ReplayDrops++ })
+			case ErrIntegrity:
+				g.count(func(s *Stats) { s.IntegFailures++ })
+			}
+			return nil, err
+		}
+		pkt, err := UnmarshalPacket(inner)
+		if err != nil {
+			return nil, fmt.Errorf("ipsec: decapsulated garbage: %w", err)
+		}
+		g.count(func(s *Stats) { s.Opened++ })
+		return pkt, nil
+	}
+	// Clear traffic: only deliverable if policy says bypass.
+	pol := g.SPD.Match(p)
+	if pol == nil || pol.Action != Bypass {
+		g.count(func(s *Stats) { s.Discarded++ })
+		return nil, ErrDiscard
+	}
+	g.count(func(s *Stats) { s.Bypassed++ })
+	return p, nil
+}

@@ -1,0 +1,486 @@
+package ipsec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"qkd/internal/rng"
+)
+
+func randKey(n int, seed uint64) []byte {
+	k := make([]byte, n)
+	rng.NewSplitMix64(seed).Bytes(k)
+	return k
+}
+
+func TestAddrPrefixParsing(t *testing.T) {
+	a, err := ParseAddr("192.1.99.35")
+	if err != nil || a.String() != "192.1.99.35" {
+		t.Fatalf("ParseAddr: %v %v", a, err)
+	}
+	if _, err := ParseAddr("300.1.1.1"); err == nil {
+		t.Error("accepted out-of-range octet")
+	}
+	p, err := ParsePrefix("10.0.0.0/8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(MustAddr("10.200.3.4")) {
+		t.Error("prefix should contain 10.200.3.4")
+	}
+	if p.Contains(MustAddr("11.0.0.1")) {
+		t.Error("prefix should not contain 11.0.0.1")
+	}
+	all := MustPrefix("0.0.0.0/0")
+	if !all.Contains(MustAddr("255.255.255.255")) {
+		t.Error("/0 must contain everything")
+	}
+	host := MustPrefix("10.1.2.3/32")
+	if !host.Contains(MustAddr("10.1.2.3")) || host.Contains(MustAddr("10.1.2.4")) {
+		t.Error("/32 must match exactly one host")
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := &Packet{
+		Src: MustAddr("10.0.1.2"), Dst: MustAddr("10.0.2.3"),
+		Proto: ProtoTCP, ID: 777, Payload: []byte("data"),
+	}
+	q, err := UnmarshalPacket(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Src != p.Src || q.Dst != p.Dst || q.Proto != p.Proto || q.ID != p.ID ||
+		!bytes.Equal(q.Payload, p.Payload) {
+		t.Fatalf("round trip mismatch: %+v", q)
+	}
+	if _, err := UnmarshalPacket([]byte{1, 2, 3}); err == nil {
+		t.Error("short packet accepted")
+	}
+	bad := p.Marshal()
+	bad[2] = 0xFF // corrupt length
+	if _, err := UnmarshalPacket(bad); err == nil {
+		t.Error("bad length accepted")
+	}
+}
+
+func TestSPDFirstMatchWins(t *testing.T) {
+	specific := &Policy{Name: "specific", Action: Discard,
+		Sel: Selector{Src: MustPrefix("10.0.1.0/24"), Dst: MustPrefix("10.0.2.5/32")}}
+	general := &Policy{Name: "general", Action: Protect,
+		Sel: Selector{Src: MustPrefix("10.0.1.0/24"), Dst: MustPrefix("10.0.2.0/24")}}
+	spd := NewSPD(specific, general)
+	p := &Packet{Src: MustAddr("10.0.1.9"), Dst: MustAddr("10.0.2.5")}
+	if got := spd.Match(p); got != specific {
+		t.Errorf("matched %v, want specific", got)
+	}
+	p.Dst = MustAddr("10.0.2.6")
+	if got := spd.Match(p); got != general {
+		t.Errorf("matched %v, want general", got)
+	}
+	p.Src = MustAddr("192.168.0.1")
+	if got := spd.Match(p); got != nil {
+		t.Errorf("matched %v, want nil", got)
+	}
+}
+
+func TestSelectorProtoFilter(t *testing.T) {
+	sel := Selector{Src: MustPrefix("0.0.0.0/0"), Dst: MustPrefix("0.0.0.0/0"), Proto: ProtoUDP}
+	if sel.Matches(&Packet{Proto: ProtoTCP}) {
+		t.Error("UDP selector matched TCP")
+	}
+	if !sel.Matches(&Packet{Proto: ProtoUDP}) {
+		t.Error("UDP selector missed UDP")
+	}
+}
+
+func sealOpenSuite(t *testing.T, suite CipherSuite) {
+	t.Helper()
+	key := randKey(suite.KeyBits()/8, 1)
+	tx, err := NewSA(100, suite, key, Lifetime{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewSA(100, suite, key, Lifetime{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, payload := range [][]byte{{}, []byte("x"), []byte("hello ipsec world"), make([]byte, 1500)} {
+		blob, err := tx.Seal(payload)
+		if err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+		got, err := rx.Open(blob)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload mismatch: %d vs %d bytes", len(got), len(payload))
+		}
+	}
+}
+
+func TestSealOpenAES(t *testing.T)  { sealOpenSuite(t, SuiteAES128CTR) }
+func TestSealOpen3DES(t *testing.T) { sealOpenSuite(t, Suite3DESCBC) }
+func TestSealOpenNull(t *testing.T) { sealOpenSuite(t, SuiteNull) }
+
+func TestSealOpenOTP(t *testing.T) {
+	pad := randKey(4096, 2)
+	tx, err := NewOTPSA(200, pad, Lifetime{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewOTPSA(200, pad, Lifetime{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		payload := []byte("top secret payload")
+		blob, err := tx.Seal(payload)
+		if err != nil {
+			t.Fatalf("Seal %d: %v", i, err)
+		}
+		got, err := rx.Open(blob)
+		if err != nil {
+			t.Fatalf("Open %d: %v", i, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("payload mismatch")
+		}
+	}
+}
+
+func TestOTPCiphertextNotPlaintext(t *testing.T) {
+	pad := randKey(4096, 3)
+	tx, _ := NewOTPSA(201, pad, Lifetime{})
+	payload := bytes.Repeat([]byte{0xAA}, 64)
+	blob, err := tx.Seal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, payload[:16]) {
+		t.Error("OTP ciphertext contains plaintext run")
+	}
+}
+
+func TestOTPPadExhaustion(t *testing.T) {
+	// 8 bytes WC key + 192 bytes of pad: each 16-byte payload costs
+	// 16+8=24 pad bytes, so exactly 8 packets fit.
+	pad := randKey(200, 4)
+	tx, _ := NewOTPSA(202, pad, Lifetime{})
+	sent := 0
+	for i := 0; i < 100; i++ {
+		_, err := tx.Seal(make([]byte, 16))
+		if err != nil {
+			if !errors.Is(err, ErrPadExhaust) && !errors.Is(err, ErrExpired) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		sent++
+	}
+	if sent != 8 {
+		t.Errorf("sent %d packets, want 8", sent)
+	}
+	if tx.PadRemaining() >= 24 {
+		t.Errorf("PadRemaining = %d after exhaustion", tx.PadRemaining())
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	for _, suite := range []CipherSuite{SuiteAES128CTR, Suite3DESCBC, SuiteNull} {
+		key := randKey(suite.KeyBits()/8, 5)
+		tx, _ := NewSA(300, suite, key, Lifetime{})
+		rx, _ := NewSA(300, suite, key, Lifetime{})
+		blob, _ := tx.Seal([]byte("authentic"))
+		blob[10] ^= 1
+		if _, err := rx.Open(blob); !errors.Is(err, ErrIntegrity) {
+			t.Errorf("%v: tamper err = %v, want ErrIntegrity", suite, err)
+		}
+	}
+	// OTP tamper.
+	pad := randKey(1024, 6)
+	tx, _ := NewOTPSA(301, pad, Lifetime{})
+	rx, _ := NewOTPSA(301, pad, Lifetime{})
+	blob, _ := tx.Seal([]byte("authentic"))
+	blob[18] ^= 1
+	if _, err := rx.Open(blob); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("OTP tamper err = %v, want ErrIntegrity", err)
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	key := randKey(SuiteAES128CTR.KeyBits()/8, 7)
+	tx, _ := NewSA(400, SuiteAES128CTR, key, Lifetime{})
+	rx, _ := NewSA(400, SuiteAES128CTR, key, Lifetime{})
+	blob, _ := tx.Seal([]byte("once"))
+	if _, err := rx.Open(blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Open(blob); !errors.Is(err, ErrReplay) {
+		t.Errorf("replay err = %v, want ErrReplay", err)
+	}
+}
+
+func TestReplayWindowAllowsModestReorder(t *testing.T) {
+	key := randKey(SuiteAES128CTR.KeyBits()/8, 8)
+	tx, _ := NewSA(401, SuiteAES128CTR, key, Lifetime{})
+	rx, _ := NewSA(401, SuiteAES128CTR, key, Lifetime{})
+	var blobs [][]byte
+	for i := 0; i < 10; i++ {
+		b, _ := tx.Seal([]byte{byte(i)})
+		blobs = append(blobs, b)
+	}
+	// Deliver out of order: 0,3,1,2,9,4.
+	for _, i := range []int{0, 3, 1, 2, 9, 4} {
+		if _, err := rx.Open(blobs[i]); err != nil {
+			t.Fatalf("reordered packet %d rejected: %v", i, err)
+		}
+	}
+	// Re-delivery of 3 must now fail.
+	if _, err := rx.Open(blobs[3]); !errors.Is(err, ErrReplay) {
+		t.Errorf("replayed packet 3: %v", err)
+	}
+}
+
+func TestReplayWindowDropsAncient(t *testing.T) {
+	key := randKey(SuiteAES128CTR.KeyBits()/8, 9)
+	tx, _ := NewSA(402, SuiteAES128CTR, key, Lifetime{})
+	rx, _ := NewSA(402, SuiteAES128CTR, key, Lifetime{})
+	first, _ := tx.Seal([]byte("old"))
+	for i := 0; i < 100; i++ {
+		b, _ := tx.Seal([]byte("new"))
+		if _, err := rx.Open(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rx.Open(first); !errors.Is(err, ErrReplay) {
+		t.Errorf("ancient packet: %v, want ErrReplay", err)
+	}
+}
+
+func TestLifetimeBytes(t *testing.T) {
+	key := randKey(SuiteAES128CTR.KeyBits()/8, 10)
+	sa, _ := NewSA(500, SuiteAES128CTR, key, Lifetime{Bytes: 100})
+	if _, err := sa.Seal(make([]byte, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sa.Seal(make([]byte, 60)); err != nil {
+		t.Fatal(err) // crosses the limit during this call; next fails
+	}
+	if !sa.Expired() {
+		t.Error("SA not expired after byte lifetime")
+	}
+	if _, err := sa.Seal([]byte("x")); !errors.Is(err, ErrExpired) {
+		t.Errorf("Seal on expired SA: %v", err)
+	}
+}
+
+func TestLifetimeDuration(t *testing.T) {
+	key := randKey(SuiteAES128CTR.KeyBits()/8, 11)
+	sa, _ := NewSA(501, SuiteAES128CTR, key, Lifetime{Duration: time.Minute})
+	now := time.Unix(1000, 0)
+	sa.SetClock(func() time.Time { return now })
+	if sa.Expired() {
+		t.Fatal("expired immediately")
+	}
+	now = now.Add(61 * time.Second)
+	if !sa.Expired() {
+		t.Error("not expired after lifetime elapsed")
+	}
+}
+
+func TestNewSAValidation(t *testing.T) {
+	if _, err := NewSA(1, SuiteAES128CTR, make([]byte, 5), Lifetime{}); err == nil {
+		t.Error("short key accepted")
+	}
+	if _, err := NewSA(1, SuiteOTP, make([]byte, 8), Lifetime{}); err == nil {
+		t.Error("NewSA accepted OTP suite")
+	}
+	if _, err := NewOTPSA(1, make([]byte, 10), Lifetime{}); err == nil {
+		t.Error("tiny pad accepted")
+	}
+}
+
+// buildGatewayPair returns two gateways with mirror policies protecting
+// enclave A (10.1.0.0/16) <-> enclave B (10.2.0.0/16) traffic, with SAs
+// installed both ways.
+func buildGatewayPair(t *testing.T, suite CipherSuite) (*Gateway, *Gateway) {
+	t.Helper()
+	gwA := NewGateway(MustAddr("192.1.99.34"), NewSPD(
+		&Policy{Name: "a-to-b", Action: Protect, Suite: suite,
+			PeerGW: MustAddr("192.1.99.35"),
+			Sel:    Selector{Src: MustPrefix("10.1.0.0/16"), Dst: MustPrefix("10.2.0.0/16")}},
+		&Policy{Name: "b-to-a", Action: Protect, Suite: suite,
+			PeerGW: MustAddr("192.1.99.35"),
+			Sel:    Selector{Src: MustPrefix("10.2.0.0/16"), Dst: MustPrefix("10.1.0.0/16")}},
+	))
+	gwB := NewGateway(MustAddr("192.1.99.35"), NewSPD(
+		&Policy{Name: "b-to-a", Action: Protect, Suite: suite,
+			PeerGW: MustAddr("192.1.99.34"),
+			Sel:    Selector{Src: MustPrefix("10.2.0.0/16"), Dst: MustPrefix("10.1.0.0/16")}},
+		&Policy{Name: "a-to-b", Action: Protect, Suite: suite,
+			PeerGW: MustAddr("192.1.99.34"),
+			Sel:    Selector{Src: MustPrefix("10.1.0.0/16"), Dst: MustPrefix("10.2.0.0/16")}},
+	))
+	// Install SAs: one pair per direction.
+	keyAB := randKey(suite.KeyBits()/8, 20)
+	keyBA := randKey(suite.KeyBits()/8, 21)
+	saOutAB, _ := NewSA(1000, suite, keyAB, Lifetime{})
+	saInAB, _ := NewSA(1000, suite, keyAB, Lifetime{})
+	saOutBA, _ := NewSA(2000, suite, keyBA, Lifetime{})
+	saInBA, _ := NewSA(2000, suite, keyBA, Lifetime{})
+	gwA.SAD.InstallOutbound("a-to-b", saOutAB)
+	gwB.SAD.InstallInbound(saInAB)
+	gwB.SAD.InstallOutbound("b-to-a", saOutBA)
+	gwA.SAD.InstallInbound(saInBA)
+	return gwA, gwB
+}
+
+func TestGatewayTunnelRoundTrip(t *testing.T) {
+	gwA, gwB := buildGatewayPair(t, SuiteAES128CTR)
+	inner := &Packet{
+		Src: MustAddr("10.1.0.5"), Dst: MustAddr("10.2.0.9"),
+		Proto: ProtoPing, ID: 42, Payload: []byte("ping"),
+	}
+	outer, err := gwA.ProcessOutbound(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outer.Proto != ProtoESP {
+		t.Fatalf("outer proto %d", outer.Proto)
+	}
+	if outer.Src != gwA.Local || outer.Dst != gwB.Local {
+		t.Fatalf("tunnel endpoints %s -> %s", outer.Src, outer.Dst)
+	}
+	if bytes.Contains(outer.Payload, []byte("ping")) {
+		t.Error("plaintext visible in tunnel packet")
+	}
+	got, err := gwB.ProcessInbound(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != inner.Src || got.Dst != inner.Dst || got.ID != 42 ||
+		!bytes.Equal(got.Payload, inner.Payload) {
+		t.Fatalf("decapsulated packet mismatch: %+v", got)
+	}
+}
+
+func TestGatewayNoSATriggersCallback(t *testing.T) {
+	gwA, _ := buildGatewayPair(t, SuiteAES128CTR)
+	gwA.SAD.RemoveOutbound("a-to-b", gwA.SAD.Outbound("a-to-b"))
+	var triggered *Policy
+	gwA.OnMissingSA = func(p *Policy) { triggered = p }
+	_, err := gwA.ProcessOutbound(&Packet{
+		Src: MustAddr("10.1.0.5"), Dst: MustAddr("10.2.0.9"), Proto: ProtoPing,
+	})
+	if !errors.Is(err, ErrNoSA) {
+		t.Fatalf("err = %v, want ErrNoSA", err)
+	}
+	if triggered == nil || triggered.Name != "a-to-b" {
+		t.Error("OnMissingSA not fired for the right policy")
+	}
+}
+
+func TestGatewayDropsClearPacketForProtectedFlow(t *testing.T) {
+	_, gwB := buildGatewayPair(t, SuiteAES128CTR)
+	// Eve injects a plaintext packet claiming to be enclave traffic.
+	forged := &Packet{
+		Src: MustAddr("10.1.0.5"), Dst: MustAddr("10.2.0.9"),
+		Proto: ProtoPing, Payload: []byte("evil"),
+	}
+	if _, err := gwB.ProcessInbound(forged); !errors.Is(err, ErrDiscard) {
+		t.Errorf("clear packet for protected flow: %v, want ErrDiscard", err)
+	}
+}
+
+func TestGatewayBypassPolicy(t *testing.T) {
+	gw := NewGateway(MustAddr("192.1.99.34"), NewSPD(
+		&Policy{Name: "clear", Action: Bypass,
+			Sel: Selector{Src: MustPrefix("0.0.0.0/0"), Dst: MustPrefix("0.0.0.0/0")}},
+	))
+	p := &Packet{Src: MustAddr("1.2.3.4"), Dst: MustAddr("5.6.7.8"), Proto: ProtoTCP}
+	out, err := gw.ProcessOutbound(p)
+	if err != nil || out != p {
+		t.Fatalf("bypass failed: %v %v", out, err)
+	}
+	in, err := gw.ProcessInbound(p)
+	if err != nil || in != p {
+		t.Fatalf("inbound bypass failed: %v %v", in, err)
+	}
+}
+
+func TestGatewayExpiredSARollsOver(t *testing.T) {
+	gwA, _ := buildGatewayPair(t, SuiteAES128CTR)
+	old := gwA.SAD.Outbound("a-to-b")
+	// Replace with a byte-limited SA and exhaust it.
+	key := randKey(SuiteAES128CTR.KeyBits()/8, 30)
+	limited, _ := NewSA(3000, SuiteAES128CTR, key, Lifetime{Bytes: 10})
+	gwA.SAD.InstallOutbound("a-to-b", limited)
+	var rollover int
+	gwA.OnMissingSA = func(*Policy) { rollover++ }
+	pkt := &Packet{Src: MustAddr("10.1.0.5"), Dst: MustAddr("10.2.0.9"), Proto: ProtoPing,
+		Payload: make([]byte, 64)}
+	if _, err := gwA.ProcessOutbound(pkt); err != nil {
+		t.Fatal(err) // first packet crosses the limit
+	}
+	if _, err := gwA.ProcessOutbound(pkt); !errors.Is(err, ErrNoSA) {
+		t.Fatalf("expected ErrNoSA after expiry, got %v", err)
+	}
+	if rollover != 1 {
+		t.Errorf("rollover callbacks = %d", rollover)
+	}
+	_ = old
+}
+
+// Property: Seal/Open round-trips arbitrary payloads over AES and OTP.
+func TestPropertySealOpen(t *testing.T) {
+	f := func(payload []byte, seed uint64) bool {
+		if len(payload) > 2000 {
+			payload = payload[:2000]
+		}
+		key := randKey(SuiteAES128CTR.KeyBits()/8, seed)
+		tx, err1 := NewSA(1, SuiteAES128CTR, key, Lifetime{})
+		rx, err2 := NewSA(1, SuiteAES128CTR, key, Lifetime{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		blob, err := tx.Seal(payload)
+		if err != nil {
+			return false
+		}
+		got, err := rx.Open(blob)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSealAES1500(b *testing.B) {
+	key := randKey(SuiteAES128CTR.KeyBits()/8, 1)
+	sa, _ := NewSA(1, SuiteAES128CTR, key, Lifetime{})
+	payload := make([]byte, 1500)
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		if _, err := sa.Seal(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSealOTP1500(b *testing.B) {
+	pad := randKey(8+(1500+8)*(b.N+1), 2)
+	sa, _ := NewOTPSA(1, pad, Lifetime{})
+	payload := make([]byte, 1500)
+	b.SetBytes(1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sa.Seal(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

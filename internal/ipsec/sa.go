@@ -1,0 +1,459 @@
+package ipsec
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/des"
+	"crypto/hmac"
+	"crypto/sha1"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"qkd/internal/gf2"
+)
+
+// CipherSuite selects the transform protecting an SA's traffic.
+type CipherSuite int
+
+const (
+	// SuiteAES128CTR protects with AES-128 in counter mode plus
+	// HMAC-SHA1-96 integrity — the paper's "conventional symmetric
+	// ciphers ... with continual and automatic reseeding by fresh QKD
+	// bits" path.
+	SuiteAES128CTR CipherSuite = iota
+	// Suite3DESCBC is the 2003-era default VPN transform (Section 3
+	// names 3DES/SHA1), kept for fidelity and comparison.
+	Suite3DESCBC
+	// SuiteOTP is the paper's one-time-pad extension: Vernam cipher
+	// over QKD pad material with an information-theoretic
+	// (Wegman-Carter) integrity tag.
+	SuiteOTP
+	// SuiteNull applies integrity but no confidentiality (testing).
+	SuiteNull
+)
+
+func (c CipherSuite) String() string {
+	switch c {
+	case SuiteAES128CTR:
+		return "aes128-ctr+hmac-sha1"
+	case Suite3DESCBC:
+		return "3des-cbc+hmac-sha1"
+	case SuiteOTP:
+		return "otp+wegman-carter"
+	case SuiteNull:
+		return "null+hmac-sha1"
+	}
+	return fmt.Sprintf("CipherSuite(%d)", int(c))
+}
+
+// KeyBits returns the secret material an SA of this suite consumes at
+// establishment (encryption plus integrity key), excluding OTP pads.
+func (c CipherSuite) KeyBits() int {
+	switch c {
+	case SuiteAES128CTR:
+		return (16 + 20) * 8
+	case Suite3DESCBC:
+		return (24 + 20) * 8
+	case SuiteOTP:
+		return 64 // Wegman-Carter polynomial key
+	case SuiteNull:
+		return 20 * 8
+	}
+	return 0
+}
+
+// Lifetime bounds an SA's validity, "expressed either in time (seconds)
+// or in data encrypted (kilobytes)" (Section 7). Zero fields mean
+// unbounded.
+type Lifetime struct {
+	Duration time.Duration
+	Bytes    uint64
+}
+
+// Errors from SA processing.
+var (
+	ErrReplay     = errors.New("ipsec: replayed or stale sequence number")
+	ErrIntegrity  = errors.New("ipsec: integrity check failed")
+	ErrExpired    = errors.New("ipsec: security association expired")
+	ErrPadExhaust = errors.New("ipsec: one-time pad exhausted")
+	ErrNoSA       = errors.New("ipsec: no security association for policy")
+	ErrNoPolicy   = errors.New("ipsec: no policy matches packet")
+	ErrDiscard    = errors.New("ipsec: policy discards packet")
+	ErrUnknownSPI = errors.New("ipsec: unknown SPI")
+)
+
+const icvLen = 12 // HMAC-SHA1-96
+const otpTagLen = 8
+
+// field64 backs the OTP suite's Wegman-Carter tags.
+var field64 *gf2.Field
+
+func init() {
+	f, err := gf2.NewField(64)
+	if err != nil {
+		panic("ipsec: cannot construct GF(2^64): " + err.Error())
+	}
+	field64 = f
+}
+
+// SA is one unidirectional Security Association.
+type SA struct {
+	SPI     uint32
+	Suite   CipherSuite
+	Life    Lifetime
+	Created time.Time
+
+	mu          sync.Mutex
+	encKey      []byte
+	authKey     []byte
+	seq         uint32
+	bytesSealed uint64
+
+	// replay window state (receiver side)
+	maxSeq uint32
+	window uint64
+
+	// OTP state
+	pad     []byte
+	padUsed int
+	wcKey   uint64
+
+	// now is injectable for lifetime tests.
+	now func() time.Time
+}
+
+// NewSA constructs a conventional-cipher SA. key must supply
+// suite.KeyBits()/8 bytes (encryption key then integrity key).
+func NewSA(spi uint32, suite CipherSuite, key []byte, life Lifetime) (*SA, error) {
+	if suite == SuiteOTP {
+		return nil, fmt.Errorf("ipsec: use NewOTPSA for the one-time-pad suite")
+	}
+	need := suite.KeyBits() / 8
+	if len(key) != need {
+		return nil, fmt.Errorf("ipsec: suite %v needs %d key bytes, got %d", suite, need, len(key))
+	}
+	var encLen int
+	switch suite {
+	case SuiteAES128CTR:
+		encLen = 16
+	case Suite3DESCBC:
+		encLen = 24
+	case SuiteNull:
+		encLen = 0
+	default:
+		return nil, fmt.Errorf("ipsec: unknown suite %v", suite)
+	}
+	sa := &SA{
+		SPI:     spi,
+		Suite:   suite,
+		Life:    life,
+		Created: time.Now(),
+		encKey:  append([]byte(nil), key[:encLen]...),
+		authKey: append([]byte(nil), key[encLen:]...),
+		now:     time.Now,
+	}
+	return sa, nil
+}
+
+// NewOTPSA constructs a one-time-pad SA over the given pad block. The
+// first 8 pad bytes become the Wegman-Carter polynomial key; the rest
+// encrypt and tag traffic until exhausted.
+func NewOTPSA(spi uint32, pad []byte, life Lifetime) (*SA, error) {
+	if len(pad) < 64 {
+		return nil, fmt.Errorf("ipsec: OTP pad of %d bytes is uselessly small", len(pad))
+	}
+	sa := &SA{
+		SPI:     spi,
+		Suite:   SuiteOTP,
+		Life:    life,
+		Created: time.Now(),
+		wcKey:   binary.LittleEndian.Uint64(pad[:8]),
+		pad:     append([]byte(nil), pad[8:]...),
+		now:     time.Now,
+	}
+	return sa, nil
+}
+
+// SetClock injects a time source (tests).
+func (sa *SA) SetClock(now func() time.Time) {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	sa.now = now
+	sa.Created = now()
+}
+
+// Expired reports whether either lifetime bound has passed. Expired SAs
+// refuse to seal; IKE notices and negotiates a replacement ("key
+// rollover").
+func (sa *SA) Expired() bool {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	return sa.expiredLocked()
+}
+
+func (sa *SA) expiredLocked() bool {
+	if sa.Life.Duration > 0 && sa.now().Sub(sa.Created) >= sa.Life.Duration {
+		return true
+	}
+	if sa.Life.Bytes > 0 && sa.bytesSealed >= sa.Life.Bytes {
+		return true
+	}
+	if sa.Suite == SuiteOTP && sa.padUsed >= len(sa.pad) {
+		return true
+	}
+	return false
+}
+
+// PadRemaining returns unconsumed OTP pad bytes (0 for other suites).
+func (sa *SA) PadRemaining() int {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	return len(sa.pad) - sa.padUsed
+}
+
+// Seal encapsulates payload:
+//
+//	conventional: SPI | seq | IV | ciphertext | HMAC-SHA1-96
+//	OTP:          SPI | seq | padOffset(8) | ciphertext | WC tag(8)
+func (sa *SA) Seal(payload []byte) ([]byte, error) {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	if sa.expiredLocked() {
+		return nil, ErrExpired
+	}
+	sa.seq++
+	seq := sa.seq
+
+	if sa.Suite == SuiteOTP {
+		need := len(payload) + otpTagLen
+		if sa.padUsed+need > len(sa.pad) {
+			return nil, ErrPadExhaust
+		}
+		offset := sa.padUsed
+		out := make([]byte, 16+len(payload)+otpTagLen)
+		binary.BigEndian.PutUint32(out[0:], sa.SPI)
+		binary.BigEndian.PutUint32(out[4:], seq)
+		binary.BigEndian.PutUint64(out[8:], uint64(offset))
+		for i, b := range payload {
+			out[16+i] = b ^ sa.pad[offset+i]
+		}
+		tagPad := binary.LittleEndian.Uint64(sa.pad[offset+len(payload) : offset+len(payload)+8])
+		tag := wcHash(sa.wcKey, out[:16+len(payload)]) ^ tagPad
+		binary.LittleEndian.PutUint64(out[16+len(payload):], tag)
+		sa.padUsed += need
+		sa.bytesSealed += uint64(len(payload))
+		return out, nil
+	}
+
+	iv := sa.ivLocked(seq)
+	ct, err := sa.crypt(payload, iv, true)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 8+len(iv)+len(ct)+icvLen)
+	binary.BigEndian.PutUint32(out[0:], sa.SPI)
+	binary.BigEndian.PutUint32(out[4:], seq)
+	copy(out[8:], iv)
+	copy(out[8+len(iv):], ct)
+	mac := hmac.New(sha1.New, sa.authKey)
+	mac.Write(out[:8+len(iv)+len(ct)])
+	copy(out[8+len(iv)+len(ct):], mac.Sum(nil)[:icvLen])
+	sa.bytesSealed += uint64(len(payload))
+	return out, nil
+}
+
+// Open verifies, replay-checks and decrypts a sealed blob.
+func (sa *SA) Open(blob []byte) ([]byte, error) {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	if len(blob) < 8 {
+		return nil, fmt.Errorf("ipsec: ESP blob too short")
+	}
+	spi := binary.BigEndian.Uint32(blob[0:])
+	if spi != sa.SPI {
+		return nil, fmt.Errorf("%w: %#x", ErrUnknownSPI, spi)
+	}
+	seq := binary.BigEndian.Uint32(blob[4:])
+
+	var payload []byte
+	if sa.Suite == SuiteOTP {
+		if len(blob) < 16+otpTagLen {
+			return nil, fmt.Errorf("ipsec: OTP blob too short")
+		}
+		offset := binary.BigEndian.Uint64(blob[8:16])
+		ct := blob[16 : len(blob)-otpTagLen]
+		if offset+uint64(len(ct))+otpTagLen > uint64(len(sa.pad)) {
+			return nil, ErrPadExhaust
+		}
+		tagPad := binary.LittleEndian.Uint64(sa.pad[offset+uint64(len(ct)) : offset+uint64(len(ct))+8])
+		want := wcHash(sa.wcKey, blob[:len(blob)-otpTagLen]) ^ tagPad
+		got := binary.LittleEndian.Uint64(blob[len(blob)-otpTagLen:])
+		if want != got {
+			return nil, ErrIntegrity
+		}
+		payload = make([]byte, len(ct))
+		for i, b := range ct {
+			payload[i] = b ^ sa.pad[offset+uint64(i)]
+		}
+	} else {
+		ivLen := sa.ivLen()
+		if len(blob) < 8+ivLen+icvLen {
+			return nil, fmt.Errorf("ipsec: ESP blob too short")
+		}
+		body := blob[:len(blob)-icvLen]
+		mac := hmac.New(sha1.New, sa.authKey)
+		mac.Write(body)
+		if !hmac.Equal(mac.Sum(nil)[:icvLen], blob[len(blob)-icvLen:]) {
+			return nil, ErrIntegrity
+		}
+		iv := blob[8 : 8+ivLen]
+		var err error
+		payload, err = sa.crypt(body[8+ivLen:], iv, false)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Anti-replay: accept only inside a 64-wide sliding window, each
+	// sequence number at most once. Checked after integrity so forged
+	// sequence numbers cannot poison the window.
+	if err := sa.replayCheckLocked(seq); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// replayCheckLocked implements the RFC 2401 sliding window.
+func (sa *SA) replayCheckLocked(seq uint32) error {
+	const windowSize = 64
+	switch {
+	case seq == 0:
+		return ErrReplay
+	case seq > sa.maxSeq:
+		shift := seq - sa.maxSeq
+		if shift >= windowSize {
+			sa.window = 0
+		} else {
+			sa.window <<= shift
+		}
+		sa.window |= 1
+		sa.maxSeq = seq
+	default:
+		diff := sa.maxSeq - seq
+		if diff >= windowSize {
+			return ErrReplay
+		}
+		bit := uint64(1) << diff
+		if sa.window&bit != 0 {
+			return ErrReplay
+		}
+		sa.window |= bit
+	}
+	return nil
+}
+
+func (sa *SA) ivLen() int {
+	switch sa.Suite {
+	case SuiteAES128CTR:
+		return 16
+	case Suite3DESCBC:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// ivLocked derives a fresh IV from the sequence number and SPI —
+// deterministic, never reused within an SA.
+func (sa *SA) ivLocked(seq uint32) []byte {
+	n := sa.ivLen()
+	if n == 0 {
+		return nil
+	}
+	iv := make([]byte, n)
+	binary.BigEndian.PutUint32(iv, sa.SPI)
+	binary.BigEndian.PutUint32(iv[4:], seq)
+	return iv
+}
+
+// crypt runs the conventional cipher in the indicated direction.
+func (sa *SA) crypt(data, iv []byte, encrypt bool) ([]byte, error) {
+	switch sa.Suite {
+	case SuiteNull:
+		return append([]byte(nil), data...), nil
+	case SuiteAES128CTR:
+		block, err := aes.NewCipher(sa.encKey)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, len(data))
+		cipher.NewCTR(block, iv).XORKeyStream(out, data)
+		return out, nil
+	case Suite3DESCBC:
+		block, err := des.NewTripleDESCipher(sa.encKey)
+		if err != nil {
+			return nil, err
+		}
+		if encrypt {
+			padded := pkcs7Pad(data, block.BlockSize())
+			out := make([]byte, len(padded))
+			cipher.NewCBCEncrypter(block, iv).CryptBlocks(out, padded)
+			return out, nil
+		}
+		if len(data)%block.BlockSize() != 0 || len(data) == 0 {
+			return nil, fmt.Errorf("ipsec: bad 3DES ciphertext length %d", len(data))
+		}
+		out := make([]byte, len(data))
+		cipher.NewCBCDecrypter(block, iv).CryptBlocks(out, data)
+		return pkcs7Unpad(out, block.BlockSize())
+	}
+	return nil, fmt.Errorf("ipsec: suite %v cannot crypt", sa.Suite)
+}
+
+func pkcs7Pad(data []byte, block int) []byte {
+	n := block - len(data)%block
+	out := make([]byte, len(data)+n)
+	copy(out, data)
+	for i := len(data); i < len(out); i++ {
+		out[i] = byte(n)
+	}
+	return out
+}
+
+func pkcs7Unpad(data []byte, block int) ([]byte, error) {
+	if len(data) == 0 || len(data)%block != 0 {
+		return nil, fmt.Errorf("ipsec: bad padded length")
+	}
+	n := int(data[len(data)-1])
+	if n == 0 || n > block || n > len(data) {
+		return nil, fmt.Errorf("ipsec: bad padding")
+	}
+	for _, b := range data[len(data)-n:] {
+		if int(b) != n {
+			return nil, fmt.Errorf("ipsec: bad padding")
+		}
+	}
+	return data[:len(data)-n], nil
+}
+
+// wcHash is the GF(2^64) polynomial hash used for OTP integrity tags.
+func wcHash(key uint64, msg []byte) uint64 {
+	k := []uint64{key}
+	acc := []uint64{0}
+	var block [8]byte
+	for off := 0; off < len(msg); off += 8 {
+		n := copy(block[:], msg[off:])
+		for i := n; i < 8; i++ {
+			block[i] = 0
+		}
+		acc = field64.Mul(acc, k)
+		acc[0] ^= binary.LittleEndian.Uint64(block[:])
+	}
+	acc = field64.Mul(acc, k)
+	acc[0] ^= uint64(len(msg))
+	acc = field64.Mul(acc, k)
+	return acc[0]
+}

@@ -1,0 +1,161 @@
+// Package keypool provides the distilled-key reservoir that couples the
+// QKD protocol engine to its consumers. The engine deposits finished
+// (sifted, corrected, amplified, authenticated) bits; IKE withdraws
+// "Qblocks" to fold into session keys, one-time-pad Security
+// Associations stream pad material out, and the authentication layer
+// replenishes its Wegman-Carter pads.
+//
+// The reservoir is the battleground of Section 2's "sufficiently rapid
+// key delivery": it is a race between the deposit rate (the QKD link's
+// distilled throughput, ~1 kbit/s in 2003) and the consumption rate of
+// the cryptographic workload. Consumers choose between failing fast
+// (TryConsume) and blocking with a deadline (Consume), which is how the
+// IKE timeout experiments exercise exhaustion.
+package keypool
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"qkd/internal/bitarray"
+)
+
+// Common errors.
+var (
+	// ErrExhausted is returned by TryConsume when the reservoir holds
+	// fewer bits than requested.
+	ErrExhausted = errors.New("keypool: insufficient key material")
+	// ErrTimeout is returned by Consume when the deadline passes first.
+	ErrTimeout = errors.New("keypool: timed out waiting for key material")
+	// ErrClosed is returned once the reservoir is shut down.
+	ErrClosed = errors.New("keypool: closed")
+)
+
+// Reservoir is a thread-safe FIFO of secret bits.
+type Reservoir struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    *bitarray.BitArray // bits [head, Len) are live
+	head   int
+	closed bool
+
+	deposited uint64
+	consumed  uint64
+}
+
+// New returns an empty reservoir.
+func New() *Reservoir {
+	r := &Reservoir{buf: bitarray.New(0)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Deposit appends bits to the reservoir and wakes blocked consumers.
+func (r *Reservoir) Deposit(bits *bitarray.BitArray) {
+	if bits.Len() == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.compactLocked()
+	r.buf.AppendAll(bits)
+	r.deposited += uint64(bits.Len())
+	r.cond.Broadcast()
+}
+
+// DepositBytes appends 8*len(p) bits.
+func (r *Reservoir) DepositBytes(p []byte) { r.Deposit(bitarray.FromBytes(p)) }
+
+// Available returns the number of bits currently held.
+func (r *Reservoir) Available() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.buf.Len() - r.head
+}
+
+// Stats returns lifetime deposit/consumption totals in bits.
+func (r *Reservoir) Stats() (deposited, consumed uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.deposited, r.consumed
+}
+
+// TryConsume removes exactly n bits, or returns ErrExhausted without
+// removing anything. Key material is never partially consumed: a
+// consumer that can't be fully served must not burn the pool.
+func (r *Reservoir) TryConsume(n int) (*bitarray.BitArray, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.takeLocked(n)
+}
+
+// Consume removes exactly n bits, blocking until they are available or
+// the timeout elapses (timeout <= 0 blocks indefinitely).
+func (r *Reservoir) Consume(n int, timeout time.Duration) (*bitarray.BitArray, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		// A watchdog broadcast releases waiters at the deadline; cheap
+		// relative to key operations, and keeps Wait logic simple.
+		t := time.AfterFunc(timeout, func() { r.cond.Broadcast() })
+		defer t.Stop()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		bits, err := r.takeLocked(n)
+		if err == nil {
+			return bits, nil
+		}
+		if errors.Is(err, ErrClosed) {
+			return nil, err
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return nil, ErrTimeout
+		}
+		r.cond.Wait()
+	}
+}
+
+// Close shuts the reservoir; all blocked and future consumers fail with
+// ErrClosed. Remaining bits are discarded (they are secrets; callers
+// that want them must drain first).
+func (r *Reservoir) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	r.buf = bitarray.New(0)
+	r.head = 0
+	r.cond.Broadcast()
+}
+
+// takeLocked removes n bits if possible. Caller holds mu.
+func (r *Reservoir) takeLocked(n int) (*bitarray.BitArray, error) {
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if n < 0 {
+		return nil, errors.New("keypool: negative request")
+	}
+	if r.buf.Len()-r.head < n {
+		return nil, ErrExhausted
+	}
+	out := r.buf.Slice(r.head, r.head+n)
+	r.head += n
+	r.consumed += uint64(n)
+	r.compactLocked()
+	return out, nil
+}
+
+// compactLocked drops consumed head bits once they dominate the buffer,
+// keeping memory proportional to live bits.
+func (r *Reservoir) compactLocked() {
+	if r.head > 4096 && r.head*2 > r.buf.Len() {
+		r.buf = r.buf.Slice(r.head, r.buf.Len())
+		r.head = 0
+	}
+}

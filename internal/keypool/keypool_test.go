@@ -1,0 +1,206 @@
+package keypool
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"qkd/internal/bitarray"
+	"qkd/internal/rng"
+)
+
+func TestDepositConsumeFIFO(t *testing.T) {
+	r := New()
+	bits := rng.NewSplitMix64(1).Bits(256)
+	r.Deposit(bits)
+	if r.Available() != 256 {
+		t.Fatalf("Available = %d", r.Available())
+	}
+	a, err := r.TryConsume(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.TryConsume(156)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := a.Clone()
+	joined.AppendAll(b)
+	if !joined.Equal(bits) {
+		t.Error("consumed bits not FIFO-ordered")
+	}
+	if r.Available() != 0 {
+		t.Errorf("Available = %d after draining", r.Available())
+	}
+}
+
+func TestTryConsumeAllOrNothing(t *testing.T) {
+	r := New()
+	r.Deposit(bitarray.New(50))
+	if _, err := r.TryConsume(51); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	// The 50 bits must still be there.
+	if r.Available() != 50 {
+		t.Errorf("partial consumption occurred: %d left", r.Available())
+	}
+}
+
+func TestConsumeBlocksUntilDeposit(t *testing.T) {
+	r := New()
+	done := make(chan *bitarray.BitArray, 1)
+	go func() {
+		bits, err := r.Consume(64, time.Second)
+		if err != nil {
+			t.Errorf("Consume: %v", err)
+		}
+		done <- bits
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("Consume returned before deposit")
+	default:
+	}
+	r.Deposit(rng.NewSplitMix64(2).Bits(64))
+	select {
+	case bits := <-done:
+		if bits.Len() != 64 {
+			t.Errorf("got %d bits", bits.Len())
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Consume never returned")
+	}
+}
+
+func TestConsumeTimeout(t *testing.T) {
+	r := New()
+	start := time.Now()
+	_, err := r.Consume(10, 50*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Error("returned before the deadline")
+	}
+}
+
+func TestClose(t *testing.T) {
+	r := New()
+	r.Deposit(bitarray.New(100))
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := r.Consume(1000, 0)
+		blocked <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	if err := <-blocked; !errors.Is(err, ErrClosed) {
+		t.Errorf("blocked consumer got %v", err)
+	}
+	if _, err := r.TryConsume(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("TryConsume after close: %v", err)
+	}
+	// Deposits after close are dropped.
+	r.Deposit(bitarray.New(10))
+	if r.Available() != 0 {
+		t.Error("deposit accepted after close")
+	}
+}
+
+func TestStats(t *testing.T) {
+	r := New()
+	r.Deposit(bitarray.New(300))
+	r.TryConsume(100)
+	dep, con := r.Stats()
+	if dep != 300 || con != 100 {
+		t.Errorf("Stats = %d, %d", dep, con)
+	}
+}
+
+func TestManySmallConsumers(t *testing.T) {
+	// Concurrent consumers each get disjoint material totaling the
+	// deposit exactly.
+	r := New()
+	const workers = 8
+	const per = 64
+	var wg sync.WaitGroup
+	results := make([]*bitarray.BitArray, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bits, err := r.Consume(per, 2*time.Second)
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+				return
+			}
+			results[i] = bits
+		}(i)
+	}
+	src := rng.NewSplitMix64(3).Bits(workers * per)
+	r.Deposit(src)
+	wg.Wait()
+	// Every worker got per bits; total matches.
+	total := 0
+	for i, b := range results {
+		if b == nil {
+			t.Fatalf("worker %d got nothing", i)
+		}
+		total += b.Len()
+	}
+	if total != workers*per {
+		t.Errorf("total consumed %d", total)
+	}
+	if r.Available() != 0 {
+		t.Errorf("leftover %d", r.Available())
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	// Heavy churn must not grow memory: exercise the compaction path
+	// and verify FIFO integrity across it.
+	r := New()
+	gen := rng.NewSplitMix64(4)
+	var expect *bitarray.BitArray = bitarray.New(0)
+	got := bitarray.New(0)
+	for i := 0; i < 50; i++ {
+		chunk := gen.Bits(1000)
+		expect.AppendAll(chunk)
+		r.Deposit(chunk)
+		out, err := r.TryConsume(900)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.AppendAll(out)
+	}
+	rest, err := r.TryConsume(r.Available())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.AppendAll(rest)
+	if !got.Equal(expect) {
+		t.Error("compaction corrupted FIFO order")
+	}
+}
+
+func TestZeroConsume(t *testing.T) {
+	r := New()
+	bits, err := r.TryConsume(0)
+	if err != nil || bits.Len() != 0 {
+		t.Errorf("TryConsume(0) = %v, %v", bits, err)
+	}
+}
+
+func BenchmarkDepositConsume(b *testing.B) {
+	r := New()
+	chunk := rng.NewSplitMix64(1).Bits(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Deposit(chunk)
+		if _, err := r.TryConsume(4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

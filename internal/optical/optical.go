@@ -1,0 +1,242 @@
+// Package optical implements the untrusted photonic-switch network of
+// Section 8: "unamplified photonic switches ... set up all-optical
+// paths through the network mesh of fibers, switches, and endpoints.
+// Thus a photon from its source QKD endpoint proceeds, without
+// measurement, from switch to switch across the optical QKD network
+// until it reaches the destination endpoint at which point it is
+// detected."
+//
+// Untrusted switches never see key material — the trust win over relay
+// meshes — but "each switch adds at least a fractional dB insertion
+// loss along the photonic path", so reach shrinks with hop count: the
+// trade experiment E10 quantifies by running the full QKD stack over
+// composite paths.
+package optical
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"qkd/internal/core"
+	"qkd/internal/photonics"
+)
+
+// Errors.
+var (
+	ErrNoPath       = errors.New("optical: no path between endpoints")
+	ErrUnknownNode  = errors.New("optical: unknown node")
+	ErrNotEndpoint  = errors.New("optical: QKD must start and end at endpoints")
+	ErrPathConflict = errors.New("optical: segment already claimed by another path")
+)
+
+// nodeKind distinguishes endpoints (QKD transmitters/receivers) from
+// switches.
+type nodeKind int
+
+const (
+	kindEndpoint nodeKind = iota
+	kindSwitch
+)
+
+type node struct {
+	name string
+	kind nodeKind
+	loss float64 // insertion loss dB (switches)
+}
+
+type segment struct {
+	a, b    string
+	km      float64
+	claimed bool // held by an established light path
+}
+
+// Mesh is the switch fabric.
+type Mesh struct {
+	mu    sync.Mutex
+	nodes map[string]*node
+	segs  map[string]*segment
+}
+
+// NewMesh returns an empty fabric.
+func NewMesh() *Mesh {
+	return &Mesh{nodes: make(map[string]*node), segs: make(map[string]*segment)}
+}
+
+// AddEndpoint registers a QKD endpoint (source or detector suite).
+func (m *Mesh) AddEndpoint(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[name] = &node{name: name, kind: kindEndpoint}
+}
+
+// AddSwitch registers a MEMS-style switch with the given insertion
+// loss per traversal.
+func (m *Mesh) AddSwitch(name string, lossDB float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[name] = &node{name: name, kind: kindSwitch, loss: lossDB}
+}
+
+func segKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// Connect lays km of dark fiber between two nodes.
+func (m *Mesh) Connect(a, b string, km float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.nodes[a] == nil || m.nodes[b] == nil {
+		return fmt.Errorf("%w: %s or %s", ErrUnknownNode, a, b)
+	}
+	m.segs[segKey(a, b)] = &segment{a: a, b: b, km: km}
+	return nil
+}
+
+// Path is an established all-optical light path.
+type Path struct {
+	Nodes    []string
+	FiberKm  float64
+	SwitchDB float64 // total insertion loss from switches
+	mesh     *Mesh
+}
+
+// Hops returns the number of switches traversed.
+func (p *Path) Hops() int { return len(p.Nodes) - 2 }
+
+// Release frees the path's fiber segments for other connections.
+func (p *Path) Release() {
+	p.mesh.mu.Lock()
+	defer p.mesh.mu.Unlock()
+	for i := 0; i+1 < len(p.Nodes); i++ {
+		if s := p.mesh.segs[segKey(p.Nodes[i], p.Nodes[i+1])]; s != nil {
+			s.claimed = false
+		}
+	}
+}
+
+// Establish sets up a light path between two endpoints, choosing the
+// unclaimed route with the fewest segments (the distributed path-setup
+// protocol of Section 8, centralized here). Interior nodes must be
+// switches — photons are never measured mid-path. The path's segments
+// are claimed exclusively: an all-optical circuit cannot be shared.
+func (m *Mesh) Establish(src, dst string) (*Path, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, d := m.nodes[src], m.nodes[dst]
+	if s == nil || d == nil {
+		return nil, fmt.Errorf("%w: %s or %s", ErrUnknownNode, src, dst)
+	}
+	if s.kind != kindEndpoint || d.kind != kindEndpoint {
+		return nil, ErrNotEndpoint
+	}
+	adj := make(map[string][]string)
+	for _, seg := range m.segs {
+		if seg.claimed {
+			continue
+		}
+		adj[seg.a] = append(adj[seg.a], seg.b)
+		adj[seg.b] = append(adj[seg.b], seg.a)
+	}
+	for _, peers := range adj {
+		sort.Strings(peers)
+	}
+	// BFS that only transits switches.
+	prev := map[string]string{src: src}
+	queue := []string{src}
+	found := false
+	for len(queue) > 0 && !found {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if _, seen := prev[v]; seen {
+				continue
+			}
+			if v != dst && m.nodes[v].kind != kindSwitch {
+				continue // cannot transit another endpoint
+			}
+			prev[v] = u
+			if v == dst {
+				found = true
+				break
+			}
+			queue = append(queue, v)
+		}
+	}
+	if !found {
+		return nil, ErrNoPath
+	}
+	var nodes []string
+	for v := dst; ; v = prev[v] {
+		nodes = append([]string{v}, nodes...)
+		if v == src {
+			break
+		}
+	}
+	p := &Path{Nodes: nodes, mesh: m}
+	for i := 0; i+1 < len(nodes); i++ {
+		seg := m.segs[segKey(nodes[i], nodes[i+1])]
+		seg.claimed = true
+		p.FiberKm += seg.km
+	}
+	for _, name := range nodes[1 : len(nodes)-1] {
+		p.SwitchDB += m.nodes[name].loss
+	}
+	return p, nil
+}
+
+// LinkParams derives the photonic parameters of the composite path:
+// the base link's source and detectors, with the path's total fiber
+// and the switches' insertion losses added to the system loss.
+func (p *Path) LinkParams(base photonics.Params) photonics.Params {
+	out := base
+	out.FiberKm = p.FiberKm
+	out.SystemLossDB = base.SystemLossDB + p.SwitchDB
+	return out
+}
+
+// QKDResult summarizes an end-to-end QKD run over a path.
+type QKDResult struct {
+	Path          *Path
+	SiftedBits    uint64
+	DistilledBits uint64
+	QBER          float64
+	// SecretPerPulse is distilled bits per transmitted pulse.
+	SecretPerPulse float64
+}
+
+// RunQKD runs the full protocol stack end to end over the path — the
+// decisive property of untrusted networks is that this needs no trust
+// in the switches, only more photons.
+func (p *Path) RunQKD(base photonics.Params, cfg core.Config, frames, frameSlots int, seed uint64) (*QKDResult, error) {
+	session := core.NewSession(p.LinkParams(base), cfg, frameSlots, seed)
+	if err := session.RunFrames(frames); err != nil {
+		return nil, err
+	}
+	am := session.Alice.Metrics()
+	res := &QKDResult{
+		Path:          p,
+		SiftedBits:    am.SiftedBits,
+		DistilledBits: am.DistilledBits,
+		QBER:          am.LastQBER,
+	}
+	if am.PulsesSent > 0 {
+		res.SecretPerPulse = float64(am.DistilledBits) / float64(am.PulsesSent)
+	}
+	return res, nil
+}
+
+// ExpectedClickProb returns the analytic per-pulse click probability
+// over the path, for quick reach estimates without Monte Carlo.
+func (p *Path) ExpectedClickProb(base photonics.Params) float64 {
+	return p.LinkParams(base).ExpectedClickProb()
+}
+
+// ExpectedQBER returns the analytic QBER over the path.
+func (p *Path) ExpectedQBER(base photonics.Params) float64 {
+	return p.LinkParams(base).ExpectedQBER()
+}

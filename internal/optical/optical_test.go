@@ -1,0 +1,202 @@
+package optical
+
+import (
+	"errors"
+	"testing"
+
+	"qkd/internal/core"
+	"qkd/internal/photonics"
+)
+
+// fabric: alice - s1 - s2 - bob, with a bypass alice - s3 - bob.
+func fabric(t *testing.T) *Mesh {
+	t.Helper()
+	m := NewMesh()
+	m.AddEndpoint("alice")
+	m.AddEndpoint("bob")
+	m.AddSwitch("s1", 1.0)
+	m.AddSwitch("s2", 1.0)
+	m.AddSwitch("s3", 2.0)
+	for _, c := range []struct {
+		a, b string
+		km   float64
+	}{
+		{"alice", "s1", 5}, {"s1", "s2", 5}, {"s2", "bob", 5},
+		{"alice", "s3", 8}, {"s3", "bob", 8},
+	} {
+		if err := m.Connect(c.a, c.b, c.km); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestEstablishShortestPath(t *testing.T) {
+	m := fabric(t)
+	p, err := m.Establish("alice", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fewest segments: alice-s3-bob (2 segments) beats the 3-segment
+	// route.
+	if p.Hops() != 1 || p.Nodes[1] != "s3" {
+		t.Fatalf("path %v, want via s3", p.Nodes)
+	}
+	if p.FiberKm != 16 {
+		t.Errorf("FiberKm = %v", p.FiberKm)
+	}
+	if p.SwitchDB != 2.0 {
+		t.Errorf("SwitchDB = %v", p.SwitchDB)
+	}
+}
+
+func TestSegmentsExclusive(t *testing.T) {
+	m := fabric(t)
+	p1, err := m.Establish("alice", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second circuit must take the other route.
+	p2, err := m.Establish("alice", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Hops() != 2 {
+		t.Fatalf("second path %v should use s1-s2", p2.Nodes)
+	}
+	// Third has nothing left.
+	if _, err := m.Establish("alice", "bob"); !errors.Is(err, ErrNoPath) {
+		t.Fatalf("third circuit: %v, want ErrNoPath", err)
+	}
+	// Releasing frees capacity.
+	p1.Release()
+	if _, err := m.Establish("alice", "bob"); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	_ = p2
+}
+
+func TestCannotTransitEndpoint(t *testing.T) {
+	m := NewMesh()
+	m.AddEndpoint("a")
+	m.AddEndpoint("b")
+	m.AddEndpoint("c")
+	m.Connect("a", "b", 1)
+	m.Connect("b", "c", 1)
+	// a..c only via endpoint b: not allowed (photons would be measured).
+	if _, err := m.Establish("a", "c"); !errors.Is(err, ErrNoPath) {
+		t.Fatalf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestEndpointValidation(t *testing.T) {
+	m := fabric(t)
+	if _, err := m.Establish("s1", "bob"); !errors.Is(err, ErrNotEndpoint) {
+		t.Errorf("switch as source: %v", err)
+	}
+	if _, err := m.Establish("ghost", "bob"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown source: %v", err)
+	}
+}
+
+func TestSwitchLossDegradesLink(t *testing.T) {
+	m := fabric(t)
+	base := photonics.DefaultParams()
+	base.FiberKm = 0                     // path supplies fiber
+	p1, _ := m.Establish("alice", "bob") // via s3: 16 km + 2 dB
+	p2, _ := m.Establish("alice", "bob") // via s1,s2: 15 km + 2 dB... adjust
+
+	c1 := p1.ExpectedClickProb(base)
+	direct := base
+	direct.FiberKm = p1.FiberKm
+	if c1 >= direct.ExpectedClickProb() {
+		t.Error("switched path did not lose more than bare fiber")
+	}
+	_ = p2
+}
+
+func TestQKDOverCompositePath(t *testing.T) {
+	m := fabric(t)
+	p, err := m.Establish("alice", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := photonics.DefaultParams()
+	base.FiberKm = 0
+	base.SystemLossDB = 0
+	base.DetectorEff = 1   // keep the test fast
+	base.Visibility = 0.96 // ~2 % optical QBER so batches clear the entropy bar
+	res, err := p.RunQKD(base, core.Config{BatchBits: 2048}, 60, 10000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SiftedBits == 0 {
+		t.Fatal("no sifted bits over composite path")
+	}
+	if res.DistilledBits == 0 {
+		t.Fatal("no distilled key over composite path")
+	}
+}
+
+func TestReachShrinksWithHops(t *testing.T) {
+	// Chain of switches: each traversal costs 1.5 dB; the analytic
+	// click rate must fall geometrically with hop count.
+	m := NewMesh()
+	m.AddEndpoint("a")
+	m.AddEndpoint("b1")
+	m.AddEndpoint("b2")
+	m.AddEndpoint("b3")
+	m.AddSwitch("x1", 1.5)
+	m.AddSwitch("x2", 1.5)
+	m.AddSwitch("x3", 1.5)
+	m.Connect("a", "x1", 0)
+	m.Connect("x1", "b1", 0)
+	m.Connect("x1", "x2", 0)
+	m.Connect("x2", "b2", 0)
+	m.Connect("x2", "x3", 0)
+	m.Connect("x3", "b3", 0)
+
+	base := photonics.DefaultParams()
+	base.FiberKm = 0
+	base.SystemLossDB = 0
+	base.DarkCountProb = 0
+
+	var rates []float64
+	for _, dst := range []string{"b1", "b2", "b3"} {
+		p, err := m.Establish("a", dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates = append(rates, p.ExpectedClickProb(base))
+		p.Release()
+	}
+	for i := 1; i < len(rates); i++ {
+		ratio := rates[i] / rates[i-1]
+		// 1.5 dB = factor 10^-0.15 ~ 0.708.
+		if ratio < 0.65 || ratio > 0.76 {
+			t.Errorf("hop %d->%d rate ratio %v, want ~0.708", i, i+1, ratio)
+		}
+	}
+}
+
+func BenchmarkEstablishRelease(b *testing.B) {
+	m := NewMesh()
+	m.AddEndpoint("a")
+	m.AddEndpoint("z")
+	for i := 0; i < 10; i++ {
+		m.AddSwitch(string(rune('p'+i)), 1)
+	}
+	m.Connect("a", "p", 1)
+	for i := 0; i < 9; i++ {
+		m.Connect(string(rune('p'+i)), string(rune('p'+i+1)), 1)
+	}
+	m.Connect("y", "z", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := m.Establish("a", "z")
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Release()
+	}
+}

@@ -1,0 +1,199 @@
+// Package privacy implements the privacy-amplification stage of the
+// QKD pipeline: compressing the error-corrected bits with a universal
+// hash so that Eve's bounded partial knowledge of the input shrinks to
+// a negligible fraction of a bit about the output.
+//
+// The construction is the paper's, verbatim: "The side that initiates
+// privacy amplification chooses a linear hash function over the Galois
+// Field GF[2^n] where n is the number of bits as input, rounded up to a
+// multiple of 32. He then transmits four things to the other end — the
+// number of bits m of the shortened result, the (sparse) primitive
+// polynomial of the Galois field, a multiplier (n bits long), and an
+// m-bit polynomial to add (i.e. a bit string to exclusive-or) with the
+// product. Each side then performs the corresponding hash and truncates
+// the result to m bits."
+//
+// h(x) = truncate_m(multiplier * x  in GF(2^n))  XOR  addend
+//
+// is the (a*x+b) universal family, so the Leftover Hash Lemma applies:
+// with m chosen at or below the entropy estimate (package entropy),
+// Eve's expected information about h(x) is below 2^-(H-m) bits.
+package privacy
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"qkd/internal/bitarray"
+	"qkd/internal/gf2"
+	"qkd/internal/rng"
+)
+
+// Params fully describes one privacy-amplification application; it is
+// what the initiating side transmits.
+type Params struct {
+	// M is the output length in bits.
+	M int
+	// PolyExps are the field polynomial's exponents, descending.
+	PolyExps []int
+	// Multiplier is the n-bit field element a.
+	Multiplier *bitarray.BitArray
+	// Addend is the m-bit XOR mask b.
+	Addend *bitarray.BitArray
+
+	field *gf2.Field
+}
+
+// RoundUp32 returns n rounded up to a multiple of 32 (minimum 32), the
+// paper's field-degree rule.
+func RoundUp32(n int) int {
+	if n <= 32 {
+		return 32
+	}
+	return (n + 31) / 32 * 32
+}
+
+// NewParams chooses hash parameters for inputs of inputLen bits
+// shortened to m bits, drawing the multiplier and addend from r.
+//
+// In production the randomness must be private to the honest parties
+// until transmitted; the protocol remains secure even though Eve sees
+// the parameters afterwards (universality is over the family choice,
+// made after Eve's interaction with the quantum channel ends).
+func NewParams(inputLen, m int, r *rng.SplitMix64) (*Params, error) {
+	if inputLen <= 0 {
+		return nil, fmt.Errorf("privacy: input length %d must be positive", inputLen)
+	}
+	if m <= 0 || m > inputLen {
+		return nil, fmt.Errorf("privacy: output length %d out of (0, %d]", m, inputLen)
+	}
+	n := RoundUp32(inputLen)
+	f, err := gf2.NewField(n)
+	if err != nil {
+		return nil, err
+	}
+	mult := r.Bits(n)
+	// A zero multiplier collapses the family; redraw (probability 2^-n).
+	for mult.OnesCount() == 0 {
+		mult = r.Bits(n)
+	}
+	return &Params{
+		M:          m,
+		PolyExps:   f.Poly(),
+		Multiplier: mult,
+		Addend:     r.Bits(m),
+		field:      f,
+	}, nil
+}
+
+// N returns the field degree.
+func (p *Params) N() int { return p.PolyExps[0] }
+
+// Apply hashes bits (at most N long) down to M bits. Both sides of the
+// link call Apply with identical Params and identical inputs and obtain
+// identical outputs.
+func (p *Params) Apply(bits *bitarray.BitArray) (*bitarray.BitArray, error) {
+	n := p.N()
+	if bits.Len() > n {
+		return nil, fmt.Errorf("privacy: input %d bits exceeds field degree %d", bits.Len(), n)
+	}
+	if p.field == nil {
+		f, err := gf2.FieldWithPoly(p.PolyExps)
+		if err != nil {
+			return nil, err
+		}
+		p.field = f
+	}
+	// Zero-pad the input up to n bits.
+	x := make([]uint64, p.field.Words())
+	copy(x, bits.Words())
+	prod := p.field.Mul(p.Multiplier.Words(), x)
+	out := bitarray.FromWords(prod, n)
+	out = out.Slice(0, p.M)
+	out.Xor(p.Addend)
+	return out, nil
+}
+
+// Encode serializes the parameters for the public channel:
+// m | #exps | exps... (varints), then multiplier bytes, addend bytes.
+func (p *Params) Encode() []byte {
+	buf := make([]byte, 0, 16+len(p.PolyExps)*4)
+	buf = binary.AppendUvarint(buf, uint64(p.M))
+	buf = binary.AppendUvarint(buf, uint64(len(p.PolyExps)))
+	for _, e := range p.PolyExps {
+		buf = binary.AppendUvarint(buf, uint64(e))
+	}
+	buf = append(buf, p.Multiplier.Bytes()...)
+	buf = append(buf, p.Addend.Bytes()...)
+	return buf
+}
+
+// DecodeParams parses and validates parameters received from the peer.
+// Validation includes an irreducibility check on the proposed
+// polynomial: a reducible modulus would quietly break universality.
+func DecodeParams(data []byte) (*Params, error) {
+	m, off, err := uvarint(data, 0)
+	if err != nil {
+		return nil, fmt.Errorf("privacy: m: %w", err)
+	}
+	nExps, off, err := uvarint(data, off)
+	if err != nil {
+		return nil, fmt.Errorf("privacy: exponent count: %w", err)
+	}
+	if nExps < 2 || nExps > 16 {
+		return nil, fmt.Errorf("privacy: implausible exponent count %d", nExps)
+	}
+	exps := make([]int, nExps)
+	for i := range exps {
+		var e uint64
+		e, off, err = uvarint(data, off)
+		if err != nil {
+			return nil, fmt.Errorf("privacy: exponent %d: %w", i, err)
+		}
+		// Cap the field degree well above any realistic batch (the
+		// engine amplifies a few thousand bits at a time) but low
+		// enough that validating the polynomial — a Rabin test costing
+		// O(degree^2) — cannot be weaponized as a CPU exhaustion attack.
+		if e > 1<<14 {
+			return nil, fmt.Errorf("privacy: exponent %d absurdly large", e)
+		}
+		exps[i] = int(e)
+	}
+	f, err := gf2.FieldWithPoly(exps)
+	if err != nil {
+		return nil, fmt.Errorf("privacy: rejected peer polynomial: %w", err)
+	}
+	n := f.N
+	// Compare in uint64 space: casting an adversarial 2^63-scale m to
+	// int first would wrap negative and slip past the bound.
+	if m == 0 || m > uint64(n) {
+		return nil, fmt.Errorf("privacy: output length %d out of (0, %d]", m, n)
+	}
+	multBytes := (n + 7) / 8
+	addBytes := (int(m) + 7) / 8
+	if len(data)-off != multBytes+addBytes {
+		return nil, fmt.Errorf("privacy: body is %d bytes, want %d", len(data)-off, multBytes+addBytes)
+	}
+	mult := bitarray.FromBytes(data[off : off+multBytes])
+	mult.Truncate(n)
+	if mult.OnesCount() == 0 {
+		return nil, fmt.Errorf("privacy: zero multiplier")
+	}
+	add := bitarray.FromBytes(data[off+multBytes:])
+	add.Truncate(int(m))
+	return &Params{
+		M:          int(m),
+		PolyExps:   exps,
+		Multiplier: mult,
+		Addend:     add,
+		field:      f,
+	}, nil
+}
+
+func uvarint(p []byte, off int) (uint64, int, error) {
+	v, n := binary.Uvarint(p[off:])
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("bad varint at offset %d", off)
+	}
+	return v, off + n, nil
+}

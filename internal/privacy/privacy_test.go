@@ -1,0 +1,269 @@
+package privacy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qkd/internal/bitarray"
+	"qkd/internal/rng"
+)
+
+func TestRoundUp32(t *testing.T) {
+	cases := map[int]int{1: 32, 31: 32, 32: 32, 33: 64, 64: 64, 1000: 1024, 4096: 4096}
+	for in, want := range cases {
+		if got := RoundUp32(in); got != want {
+			t.Errorf("RoundUp32(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestBothSidesAgree(t *testing.T) {
+	r := rng.NewSplitMix64(1)
+	for _, inputLen := range []int{40, 512, 1000, 4096} {
+		input := r.Bits(inputLen)
+		m := inputLen / 2
+		p, err := NewParams(inputLen, m, r)
+		if err != nil {
+			t.Fatalf("NewParams(%d, %d): %v", inputLen, m, err)
+		}
+		a, err := p.Apply(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The peer decodes the wire form and applies independently.
+		q, err := DecodeParams(p.Encode())
+		if err != nil {
+			t.Fatalf("DecodeParams: %v", err)
+		}
+		b, err := q.Apply(input.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("inputLen %d: sides disagree", inputLen)
+		}
+		if a.Len() != m {
+			t.Fatalf("output %d bits, want %d", a.Len(), m)
+		}
+	}
+}
+
+func TestDifferentInputsDiffer(t *testing.T) {
+	// Universality sanity: flipping one input bit changes the output
+	// with overwhelming probability.
+	r := rng.NewSplitMix64(2)
+	input := r.Bits(1024)
+	p, err := NewParams(1024, 512, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := p.Apply(input)
+	same := 0
+	for i := 0; i < 64; i++ {
+		mod := input.Clone()
+		mod.Flip(i * 16)
+		out, err := p.Apply(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Equal(base) {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Errorf("%d of 64 single-bit flips produced identical output", same)
+	}
+}
+
+func TestOutputLooksBalanced(t *testing.T) {
+	// Hash outputs over random inputs should be roughly half ones.
+	r := rng.NewSplitMix64(3)
+	p, err := NewParams(512, 256, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones, total := 0, 0
+	for i := 0; i < 50; i++ {
+		out, err := p.Apply(r.Bits(512))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ones += out.OnesCount()
+		total += out.Len()
+	}
+	frac := float64(ones) / float64(total)
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("output ones fraction %v", frac)
+	}
+}
+
+func TestAddendApplied(t *testing.T) {
+	r := rng.NewSplitMix64(4)
+	input := r.Bits(100)
+	p, err := NewParams(100, 50, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1, _ := p.Apply(input)
+	p.Addend.Flip(0)
+	out2, _ := p.Apply(input)
+	if out1.Equal(out2) {
+		t.Error("changing the addend did not change the output")
+	}
+	out1.Flip(0)
+	if !out1.Equal(out2) {
+		t.Error("addend flip did not act as XOR on bit 0")
+	}
+}
+
+func TestNewParamsValidation(t *testing.T) {
+	r := rng.NewSplitMix64(5)
+	if _, err := NewParams(0, 1, r); err == nil {
+		t.Error("zero input length accepted")
+	}
+	if _, err := NewParams(100, 0, r); err == nil {
+		t.Error("zero output accepted")
+	}
+	if _, err := NewParams(100, 101, r); err == nil {
+		t.Error("expansion accepted — privacy amplification must shorten")
+	}
+}
+
+func TestApplyRejectsOversizedInput(t *testing.T) {
+	r := rng.NewSplitMix64(6)
+	p, err := NewParams(100, 50, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Apply(r.Bits(p.N() + 1)); err == nil {
+		t.Error("oversized input accepted")
+	}
+}
+
+func TestDecodeRejectsTampering(t *testing.T) {
+	r := rng.NewSplitMix64(7)
+	p, err := NewParams(256, 128, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := p.Encode()
+	if _, err := DecodeParams(good); err != nil {
+		t.Fatalf("valid encoding rejected: %v", err)
+	}
+	// Truncated.
+	if _, err := DecodeParams(good[:len(good)-3]); err == nil {
+		t.Error("truncated encoding accepted")
+	}
+	// Empty.
+	if _, err := DecodeParams(nil); err == nil {
+		t.Error("empty encoding accepted")
+	}
+}
+
+func TestDecodeRejectsReduciblePolynomial(t *testing.T) {
+	// Hand-craft parameters with x^64 + 1 (reducible): the receiver
+	// must refuse — this is a security check against a malicious or
+	// broken peer.
+	r := rng.NewSplitMix64(8)
+	p, err := NewParams(64, 32, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.PolyExps = []int{64, 0}
+	if _, err := DecodeParams(p.Encode()); err == nil {
+		t.Error("reducible polynomial accepted")
+	}
+}
+
+func TestDecodeRejectsZeroMultiplier(t *testing.T) {
+	r := rng.NewSplitMix64(9)
+	p, err := NewParams(64, 32, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Multiplier = bitarray.New(p.N())
+	if _, err := DecodeParams(p.Encode()); err == nil {
+		t.Error("zero multiplier accepted")
+	}
+}
+
+// Property: encode/decode round-trips and both sides agree, for random
+// sizes and inputs.
+func TestPropertyRoundTripAgreement(t *testing.T) {
+	r := rng.NewSplitMix64(10)
+	f := func(lenRaw, mRaw uint16, seed uint64) bool {
+		inputLen := int(lenRaw)%512 + 1
+		m := int(mRaw)%inputLen + 1
+		rr := rng.NewSplitMix64(seed)
+		input := rr.Bits(inputLen)
+		p, err := NewParams(inputLen, m, r)
+		if err != nil {
+			return false
+		}
+		a, err := p.Apply(input)
+		if err != nil {
+			return false
+		}
+		q, err := DecodeParams(p.Encode())
+		if err != nil {
+			return false
+		}
+		b, err := q.Apply(input)
+		if err != nil {
+			return false
+		}
+		return a.Equal(b) && a.Len() == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the map x -> h(x) is linear up to the addend:
+// h(x) ^ h(y) ^ h(x^y) == addend-cancelled constant h(0)^... —
+// concretely, (h(x)^b) ^ (h(y)^b) == h(x^y)^b.
+func TestPropertyLinearity(t *testing.T) {
+	r := rng.NewSplitMix64(11)
+	p, err := NewParams(256, 100, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(sx, sy uint64) bool {
+		rx := rng.NewSplitMix64(sx)
+		ry := rng.NewSplitMix64(sy)
+		x := rx.Bits(256)
+		y := ry.Bits(256)
+		hx, err1 := p.Apply(x)
+		hy, err2 := p.Apply(y)
+		xy := x.Clone()
+		xy.Xor(y)
+		hxy, err3 := p.Apply(xy)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		// Remove the addend from each.
+		hx.Xor(p.Addend)
+		hy.Xor(p.Addend)
+		hxy.Xor(p.Addend)
+		hx.Xor(hy)
+		return hx.Equal(hxy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkApply4096to2048(b *testing.B) {
+	r := rng.NewSplitMix64(1)
+	input := r.Bits(4096)
+	p, err := NewParams(4096, 2048, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Apply(input); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package privacy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qkd/internal/rng"
+)
+
+// DecodeParams consumes attacker-controlled bytes; it must reject
+// garbage with an error, never panic — and never accept parameters
+// whose polynomial is reducible (which would break universality).
+
+func TestDecodeParamsNeverPanics(t *testing.T) {
+	f := func(p []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		q, err := DecodeParams(p)
+		if err == nil && q == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeParamsBitflips(t *testing.T) {
+	gen := rng.NewSplitMix64(4)
+	p, err := NewParams(256, 128, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := p.Encode()
+	accepted := 0
+	for trial := 0; trial < 200; trial++ {
+		buf := append([]byte(nil), valid...)
+		buf[gen.Intn(len(buf))] ^= byte(1 << gen.Intn(8))
+		q, err := DecodeParams(buf)
+		if err != nil {
+			continue
+		}
+		accepted++
+		// Anything accepted must still be structurally sound: a field
+		// polynomial the validator certified and consistent sizes.
+		if q.M <= 0 || q.M > q.N() || q.Multiplier.Len() != q.N() || q.Addend.Len() != q.M {
+			t.Fatalf("trial %d: accepted inconsistent params", trial)
+		}
+	}
+	// Multiplier/addend flips are legitimately accepted (they are just
+	// different hash family members); header flips must mostly fail.
+	t.Logf("%d/200 single-bit corruptions decoded (multiplier/addend bits)", accepted)
+}

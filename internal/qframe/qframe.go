@@ -1,0 +1,136 @@
+// Package qframe defines the raw-key symbol records exchanged between
+// the physical layer and the QKD protocol stack.
+//
+// In the BBN system, the 1300 nm bright-pulse laser frames and
+// annunciates the dim 1550 nm QKD pulses, so both sides can label each
+// detection event with the index of the transmitted pulse. The protocol
+// engine then consumes "Qframes": contiguous runs of pulse slots with,
+// on Alice's side, the (basis, value) modulation she applied, and on
+// Bob's side, the basis he selected and which detector (if any) clicked.
+package qframe
+
+import "fmt"
+
+// Basis identifies one of BB84's two conjugate bases.
+type Basis uint8
+
+const (
+	// BasisRect is the "rectilinear" basis (phase 0 / pi).
+	BasisRect Basis = 0
+	// BasisDiag is the "diagonal" basis (phase pi/2 / 3pi/2).
+	BasisDiag Basis = 1
+)
+
+func (b Basis) String() string {
+	if b == BasisRect {
+		return "rect"
+	}
+	return "diag"
+}
+
+// Phase returns Alice's interferometer phase shift, in units of pi/2,
+// for this (basis, value) pair: value*pi + basis*pi/2. The paper's
+// encoding: 0 -> {0, pi/2}, 1 -> {pi, 3pi/2}.
+func Phase(b Basis, value int) int {
+	return (2*value + int(b)) & 3
+}
+
+// Detection is the outcome of one gated APD sampling interval at Bob.
+type Detection uint8
+
+const (
+	// NoClick: neither detector fired (photon lost, absorbed, or the
+	// laser emitted no photon this pulse).
+	NoClick Detection = iota
+	// ClickD0: detector D0 fired, registering bit value 0.
+	ClickD0
+	// ClickD1: detector D1 fired, registering bit value 1.
+	ClickD1
+	// DoubleClick: both detectors fired in the same gate (multi-photon
+	// pulse, or a dark count coinciding with a real detection).
+	DoubleClick
+)
+
+func (d Detection) String() string {
+	switch d {
+	case NoClick:
+		return "none"
+	case ClickD0:
+		return "D0"
+	case ClickD1:
+		return "D1"
+	case DoubleClick:
+		return "double"
+	}
+	return fmt.Sprintf("Detection(%d)", uint8(d))
+}
+
+// TxSymbol records what Alice modulated onto pulse slot Slot of a frame.
+type TxSymbol struct {
+	Slot  uint32
+	Basis Basis
+	Value uint8 // 0 or 1
+}
+
+// RxSymbol records what Bob observed in pulse slot Slot.
+type RxSymbol struct {
+	Slot   uint32
+	Basis  Basis
+	Result Detection
+}
+
+// Value returns the bit value Bob registered and ok=true when the
+// detection is usable (exactly one detector clicked).
+func (r RxSymbol) Value() (bit uint8, ok bool) {
+	switch r.Result {
+	case ClickD0:
+		return 0, true
+	case ClickD1:
+		return 1, true
+	default:
+		return 0, false
+	}
+}
+
+// TxFrame is a contiguous train of transmitted pulses. Frames are the
+// unit the sifting protocol operates on ("raw qframes" in the paper's
+// protocol stack diagram).
+type TxFrame struct {
+	// ID numbers the frame; the bright-pulse annunciation scheme is
+	// abstracted as agreement on (frame, slot) coordinates.
+	ID uint64
+	// Pulses holds one symbol per pulse slot, slot numbers 0..n-1.
+	Pulses []TxSymbol
+}
+
+// RxFrame is Bob's view of frame ID: only the slots where his gated
+// detectors produced a usable or double click are recorded (no-click
+// slots are omitted, which is what makes sifting messages compressible).
+type RxFrame struct {
+	ID         uint64
+	SlotsTotal int // number of pulse slots in the frame
+	Detections []RxSymbol
+}
+
+// ClickCount returns how many usable single-detector clicks the frame
+// contains.
+func (f *RxFrame) ClickCount() int {
+	n := 0
+	for _, d := range f.Detections {
+		if _, ok := d.Value(); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// DoubleClickCount returns how many double clicks the frame contains.
+func (f *RxFrame) DoubleClickCount() int {
+	n := 0
+	for _, d := range f.Detections {
+		if d.Result == DoubleClick {
+			n++
+		}
+	}
+	return n
+}

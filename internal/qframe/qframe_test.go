@@ -1,0 +1,72 @@
+package qframe
+
+import "testing"
+
+func TestPhaseEncoding(t *testing.T) {
+	// The paper's encoding: value 0 -> phase 0 (basis 0) or pi/2
+	// (basis 1); value 1 -> pi (basis 0) or 3pi/2 (basis 1).
+	cases := []struct {
+		basis Basis
+		value int
+		want  int // units of pi/2
+	}{
+		{BasisRect, 0, 0},
+		{BasisDiag, 0, 1},
+		{BasisRect, 1, 2},
+		{BasisDiag, 1, 3},
+	}
+	for _, c := range cases {
+		if got := Phase(c.basis, c.value); got != c.want {
+			t.Errorf("Phase(%v, %d) = %d, want %d", c.basis, c.value, got, c.want)
+		}
+	}
+}
+
+func TestDetectionValue(t *testing.T) {
+	cases := []struct {
+		det Detection
+		bit uint8
+		ok  bool
+	}{
+		{NoClick, 0, false},
+		{ClickD0, 0, true},
+		{ClickD1, 1, true},
+		{DoubleClick, 0, false},
+	}
+	for _, c := range cases {
+		r := RxSymbol{Result: c.det}
+		bit, ok := r.Value()
+		if bit != c.bit || ok != c.ok {
+			t.Errorf("Value(%v) = %d, %v; want %d, %v", c.det, bit, ok, c.bit, c.ok)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if BasisRect.String() != "rect" || BasisDiag.String() != "diag" {
+		t.Error("Basis strings")
+	}
+	for _, d := range []Detection{NoClick, ClickD0, ClickD1, DoubleClick} {
+		if d.String() == "" {
+			t.Errorf("Detection(%d) has empty string", d)
+		}
+	}
+	if Detection(99).String() == "" {
+		t.Error("unknown detection has empty string")
+	}
+}
+
+func TestFrameCounts(t *testing.T) {
+	f := &RxFrame{ID: 1, SlotsTotal: 10, Detections: []RxSymbol{
+		{Slot: 0, Result: ClickD0},
+		{Slot: 2, Result: ClickD1},
+		{Slot: 4, Result: DoubleClick},
+		{Slot: 6, Result: DoubleClick},
+	}}
+	if got := f.ClickCount(); got != 2 {
+		t.Errorf("ClickCount = %d, want 2", got)
+	}
+	if got := f.DoubleClickCount(); got != 2 {
+		t.Errorf("DoubleClickCount = %d, want 2", got)
+	}
+}

@@ -1,0 +1,192 @@
+// Package rng provides the deterministic randomness primitives the QKD
+// protocol suite depends on: a 32-bit Galois LFSR (the paper uses
+// LFSR-derived pseudo-random subsets in its Cascade variant, identified
+// on the wire by their 32-bit seed), and a SplitMix64 PRNG used to drive
+// the photonic simulator reproducibly.
+//
+// These generators are NOT cryptographically secure, and are not meant
+// to be: the LFSR subsets are public protocol state (their seeds are
+// sent in the clear), and the simulator randomness models physics, not
+// secrets. Secret material (basis choices, OTP pads in production use)
+// would come from hardware randomness; the simulator substitutes seeded
+// PRNG so experiments are reproducible.
+package rng
+
+import (
+	"math"
+
+	"qkd/internal/bitarray"
+)
+
+// LFSR32 is a 32-bit Galois linear-feedback shift register with the
+// maximal-length taps x^32 + x^22 + x^2 + x^1 + 1 (taps 0xC0000401 in
+// Galois form). Seeded with any nonzero value it has period 2^32-1.
+//
+// The paper's Cascade variant defines each parity subset as "a
+// pseudo-random bit string from a Linear-Feedback Shift Register ...
+// identified by a 32-bit seed for the LFSR"; Mask reproduces that.
+type LFSR32 struct {
+	state uint32
+}
+
+// galoisTaps is the feedback mask for x^32+x^22+x^2+x+1.
+const galoisTaps = 0xC0000401
+
+// NewLFSR32 returns an LFSR seeded with seed. A zero seed would lock
+// the register, so it is mapped to 1.
+func NewLFSR32(seed uint32) *LFSR32 {
+	if seed == 0 {
+		seed = 1
+	}
+	return &LFSR32{state: seed}
+}
+
+// Next advances the register one step and returns the output bit.
+func (l *LFSR32) Next() int {
+	out := int(l.state & 1)
+	l.state >>= 1
+	if out == 1 {
+		l.state ^= galoisTaps
+	}
+	return out
+}
+
+// State returns the current register contents.
+func (l *LFSR32) State() uint32 { return l.state }
+
+// Mask generates an n-bit pseudo-random mask: bit i is the i-th output
+// of the LFSR. Two parties running NewLFSR32(seed).Mask(n) with the
+// same seed and n obtain identical masks, which is how the BBN Cascade
+// variant communicates subsets by seed alone.
+func Mask(seed uint32, n int) *bitarray.BitArray {
+	l := NewLFSR32(seed)
+	m := bitarray.New(n)
+	for i := 0; i < n; i++ {
+		if l.Next() == 1 {
+			m.Set(i, 1)
+		}
+	}
+	return m
+}
+
+// SplitMix64 is a tiny, fast, well-distributed 64-bit PRNG
+// (Steele, Lea, Flood 2014). It backs all simulator randomness.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns 32 random bits.
+func (s *SplitMix64) Uint32() uint32 { return uint32(s.Uint64() >> 32) }
+
+// Bit returns a single random bit as 0 or 1.
+func (s *SplitMix64) Bit() int { return int(s.Uint64() >> 63) }
+
+// Float64 returns a uniform value in [0, 1).
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	// Rejection sampling to avoid modulo bias.
+	max := (1 << 63) - (1<<63)%uint64(n)
+	for {
+		v := s.Uint64() >> 1
+		if v < max {
+			return int(v % uint64(n))
+		}
+	}
+}
+
+// Poisson draws from a Poisson distribution with mean lambda using
+// Knuth's method, which is exact and fast for the small means used in
+// weak-coherent pulse simulation (mu ~ 0.1).
+func (s *SplitMix64) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	// For the large means that can arise in bright-pulse modelling,
+	// fall back to a normal approximation to keep this O(1).
+	if lambda > 30 {
+		k := int(lambda + s.normFloat()*math.Sqrt(lambda) + 0.5)
+		if k < 0 {
+			k = 0
+		}
+		return k
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Bits fills a BitArray of n random bits.
+func (s *SplitMix64) Bits(n int) *bitarray.BitArray {
+	a := bitarray.New(n)
+	words := a.Words()
+	for i := range words {
+		words[i] = s.Uint64()
+	}
+	// Re-trim by reconstructing through FromWords semantics.
+	b := bitarray.FromWords(words, n)
+	return b
+}
+
+// Bytes fills p with random bytes.
+func (s *SplitMix64) Bytes(p []byte) {
+	for i := 0; i+8 <= len(p); i += 8 {
+		v := s.Uint64()
+		for j := 0; j < 8; j++ {
+			p[i+j] = byte(v >> (8 * j))
+		}
+	}
+	if r := len(p) % 8; r != 0 {
+		v := s.Uint64()
+		for j := 0; j < r; j++ {
+			p[len(p)-r+j] = byte(v >> (8 * j))
+		}
+	}
+}
+
+// Shuffle permutes idx uniformly (Fisher-Yates). Classic Cascade
+// shuffles the sifted bits between passes.
+func (s *SplitMix64) Shuffle(idx []int) {
+	for i := len(idx) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+}
+
+// normFloat returns an approximately standard-normal variate by
+// summing 12 uniforms (Irwin-Hall); adequate for the normal
+// approximation fallback in Poisson.
+func (s *SplitMix64) normFloat() float64 {
+	sum := 0.0
+	for i := 0; i < 12; i++ {
+		sum += s.Float64()
+	}
+	return sum - 6
+}

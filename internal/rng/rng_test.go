@@ -1,0 +1,241 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLFSRNonDegenerate(t *testing.T) {
+	l := NewLFSR32(0xDEADBEEF)
+	ones := 0
+	for i := 0; i < 10000; i++ {
+		ones += l.Next()
+	}
+	// A maximal LFSR is balanced: expect ~5000 ones.
+	if ones < 4500 || ones > 5500 {
+		t.Errorf("LFSR badly biased: %d ones in 10000", ones)
+	}
+}
+
+func TestLFSRZeroSeedMapped(t *testing.T) {
+	l := NewLFSR32(0)
+	if l.State() == 0 {
+		t.Fatal("zero seed locked the register")
+	}
+	seen := false
+	for i := 0; i < 100; i++ {
+		if l.Next() == 1 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("LFSR from mapped seed produced all zeros")
+	}
+}
+
+func TestLFSRDeterministic(t *testing.T) {
+	a := NewLFSR32(42)
+	b := NewLFSR32(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("LFSR diverged at step %d", i)
+		}
+	}
+}
+
+func TestLFSRLongPeriod(t *testing.T) {
+	// State must not return to the seed within a modest horizon
+	// (period is 2^32-1 for maximal taps).
+	l := NewLFSR32(1)
+	for i := 0; i < 1<<16; i++ {
+		l.Next()
+		if l.State() == 1 {
+			t.Fatalf("LFSR period only %d", i+1)
+		}
+	}
+}
+
+func TestMaskAgreement(t *testing.T) {
+	m1 := Mask(12345, 777)
+	m2 := Mask(12345, 777)
+	if !m1.Equal(m2) {
+		t.Fatal("same seed produced different masks")
+	}
+	m3 := Mask(12346, 777)
+	if m1.Equal(m3) {
+		t.Fatal("different seeds produced identical masks")
+	}
+	if m1.Len() != 777 {
+		t.Fatalf("mask length %d", m1.Len())
+	}
+}
+
+func TestMaskRoughlyHalf(t *testing.T) {
+	m := Mask(999, 10000)
+	ones := m.OnesCount()
+	if ones < 4500 || ones > 5500 {
+		t.Errorf("mask density off: %d/10000", ones)
+	}
+}
+
+func TestSplitMixDeterministic(t *testing.T) {
+	a := NewSplitMix64(7)
+	b := NewSplitMix64(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("SplitMix64 nondeterministic")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewSplitMix64(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := NewSplitMix64(5)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn biased: value %d count %d", v, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSplitMix64(1).Intn(0)
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := NewSplitMix64(11)
+	for _, lambda := range []float64{0.1, 0.5, 2, 10} {
+		n := 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += s.Poisson(lambda)
+		}
+		mean := float64(sum) / float64(n)
+		if math.Abs(mean-lambda) > 0.15*lambda+0.02 {
+			t.Errorf("Poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+}
+
+func TestPoissonZeroLambda(t *testing.T) {
+	s := NewSplitMix64(1)
+	for i := 0; i < 100; i++ {
+		if s.Poisson(0) != 0 {
+			t.Fatal("Poisson(0) != 0")
+		}
+	}
+}
+
+func TestPoissonLargeLambdaApprox(t *testing.T) {
+	s := NewSplitMix64(2)
+	n := 5000
+	sum := 0
+	for i := 0; i < n; i++ {
+		k := s.Poisson(100)
+		if k < 0 {
+			t.Fatal("negative Poisson draw")
+		}
+		sum += k
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 95 || mean > 105 {
+		t.Errorf("Poisson(100) mean = %v", mean)
+	}
+}
+
+func TestBitsLengthAndBalance(t *testing.T) {
+	s := NewSplitMix64(9)
+	a := s.Bits(10001)
+	if a.Len() != 10001 {
+		t.Fatalf("Bits length %d", a.Len())
+	}
+	ones := a.OnesCount()
+	if ones < 4600 || ones > 5400 {
+		t.Errorf("Bits biased: %d/10001", ones)
+	}
+}
+
+func TestBytesFill(t *testing.T) {
+	s := NewSplitMix64(13)
+	for _, n := range []int{0, 1, 7, 8, 9, 100} {
+		p := make([]byte, n)
+		s.Bytes(p)
+		if n >= 16 {
+			allZero := true
+			for _, b := range p {
+				if b != 0 {
+					allZero = false
+				}
+			}
+			if allZero {
+				t.Errorf("Bytes(%d) all zero", n)
+			}
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	s := NewSplitMix64(17)
+	idx := make([]int, 100)
+	for i := range idx {
+		idx[i] = i
+	}
+	s.Shuffle(idx)
+	seen := make(map[int]bool)
+	for _, v := range idx {
+		if seen[v] {
+			t.Fatalf("duplicate %d after shuffle", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 100 {
+		t.Fatal("shuffle lost elements")
+	}
+}
+
+// Property: Mask is a pure function of (seed, n).
+func TestPropertyMaskPure(t *testing.T) {
+	f := func(seed uint32, nRaw uint16) bool {
+		n := int(nRaw)%512 + 1
+		return Mask(seed, n).Equal(Mask(seed, n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMask4096(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Mask(uint32(i), 4096)
+	}
+}
+
+func BenchmarkPoissonMu01(b *testing.B) {
+	s := NewSplitMix64(1)
+	for i := 0; i < b.N; i++ {
+		s.Poisson(0.1)
+	}
+}

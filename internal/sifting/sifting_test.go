@@ -1,0 +1,275 @@
+package sifting
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qkd/internal/photonics"
+	"qkd/internal/qframe"
+)
+
+// makeFrames builds a deterministic tx/rx pair at roughly the requested
+// detection probability using the photonic simulator.
+func makeFrames(t *testing.T, seed uint64, slots int) (*qframe.TxFrame, *qframe.RxFrame) {
+	t.Helper()
+	p := photonics.DefaultParams()
+	l := photonics.NewLink(p, seed)
+	return l.TransmitFrame(1, slots)
+}
+
+func TestSiftRoundTripAgreesWithGroundTruth(t *testing.T) {
+	tx, rx := makeFrames(t, 1, 50000)
+
+	sm := BuildSift(rx)
+	decoded, err := DecodeSift(sm.Encode())
+	if err != nil {
+		t.Fatalf("DecodeSift: %v", err)
+	}
+	resp, aliceRes, err := Respond(tx, decoded)
+	if err != nil {
+		t.Fatalf("Respond: %v", err)
+	}
+	respDecoded, err := DecodeResponse(resp.Encode())
+	if err != nil {
+		t.Fatalf("DecodeResponse: %v", err)
+	}
+	bobRes, err := Apply(rx, sm, respDecoded)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+
+	if aliceRes.Bits.Len() != bobRes.Bits.Len() {
+		t.Fatalf("sifted lengths differ: alice %d, bob %d",
+			aliceRes.Bits.Len(), bobRes.Bits.Len())
+	}
+	if len(aliceRes.Slots) != len(bobRes.Slots) {
+		t.Fatal("slot lists differ in length")
+	}
+	for i := range aliceRes.Slots {
+		if aliceRes.Slots[i] != bobRes.Slots[i] {
+			t.Fatalf("slot %d differs: %d vs %d", i, aliceRes.Slots[i], bobRes.Slots[i])
+		}
+	}
+	// The sifted strings must match ground truth: Hamming distance equals
+	// the simulator's measured error count.
+	sifted, errors := photonics.MeasuredQBER(tx, rx)
+	if aliceRes.Bits.Len() != sifted {
+		t.Errorf("sifted %d bits, ground truth %d", aliceRes.Bits.Len(), sifted)
+	}
+	if d := aliceRes.Bits.HammingDistance(bobRes.Bits); d != errors {
+		t.Errorf("sifted strings differ in %d bits, ground truth %d errors", d, errors)
+	}
+}
+
+func TestSiftDropsDoubleClicks(t *testing.T) {
+	rx := &qframe.RxFrame{ID: 1, SlotsTotal: 10, Detections: []qframe.RxSymbol{
+		{Slot: 1, Basis: qframe.BasisRect, Result: qframe.ClickD0},
+		{Slot: 3, Basis: qframe.BasisDiag, Result: qframe.DoubleClick},
+		{Slot: 5, Basis: qframe.BasisRect, Result: qframe.ClickD1},
+	}}
+	m := BuildSift(rx)
+	if len(m.Slots) != 2 || m.Slots[0] != 1 || m.Slots[1] != 5 {
+		t.Fatalf("sift kept wrong slots: %v", m.Slots)
+	}
+}
+
+func TestSiftRatioMatchesPaperArithmetic(t *testing.T) {
+	// Paper, Section 5: with 1 % delivery and 50 % basis agreement,
+	// 1000 pulses yield ~5 sifted bits ("1 photon in 200").
+	p := photonics.DefaultParams()
+	// Tune to ~1 % click probability: mu*T*eta = 0.01 with no darks.
+	p.MeanPhotons = 0.1
+	p.FiberKm = 0
+	p.SystemLossDB = 0
+	p.DetectorEff = 0.1
+	p.DarkCountProb = 0
+	l := photonics.NewLink(p, 3)
+
+	totalPulses := 200000
+	tx, rx := l.TransmitFrame(7, totalPulses)
+	sm := BuildSift(rx)
+	_, aliceRes, err := Respond(tx, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(aliceRes.Bits.Len()) / float64(totalPulses)
+	if ratio < 1.0/300 || ratio > 1.0/140 {
+		t.Errorf("sift ratio = 1/%0.f, want ~1/200", 1/ratio)
+	}
+}
+
+func TestRLEBeatsNaive(t *testing.T) {
+	// At realistic (sparse) detection rates the RLE encoding must be
+	// substantially smaller than the naive record list.
+	_, rx := makeFrames(t, 5, 100000)
+	m := BuildSift(rx)
+	if len(m.Slots) == 0 {
+		t.Skip("no detections")
+	}
+	rle := len(m.Encode())
+	naive := len(m.EncodeNaive())
+	if rle >= naive {
+		t.Errorf("RLE encoding (%d bytes) not smaller than naive (%d bytes)", rle, naive)
+	}
+}
+
+func TestDecodeSiftRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},                 // empty
+		{0x80},             // truncated varint
+		{1, 1, 5, 1, 1, 1}, // claims 5 detections in 1 slot
+	}
+	for i, p := range cases {
+		if _, err := DecodeSift(p); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestDecodeSiftRejectsOutOfRangeSlot(t *testing.T) {
+	m := &SiftMessage{FrameID: 1, SlotsTotal: 10,
+		Slots: []uint32{5}, Bases: []qframe.Basis{0}}
+	enc := m.Encode()
+	// Legitimate message decodes.
+	if _, err := DecodeSift(enc); err != nil {
+		t.Fatalf("valid message rejected: %v", err)
+	}
+	// Now claim a slot beyond SlotsTotal.
+	bad := &SiftMessage{FrameID: 1, SlotsTotal: 4,
+		Slots: []uint32{5}, Bases: []qframe.Basis{0}}
+	if _, err := DecodeSift(bad.Encode()); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+}
+
+func TestRespondRejectsMismatchedFrame(t *testing.T) {
+	tx := &qframe.TxFrame{ID: 1, Pulses: make([]qframe.TxSymbol, 4)}
+	m := &SiftMessage{FrameID: 2, SlotsTotal: 4}
+	if _, _, err := Respond(tx, m); err == nil {
+		t.Error("frame mismatch accepted")
+	}
+	m = &SiftMessage{FrameID: 1, SlotsTotal: 5}
+	if _, _, err := Respond(tx, m); err == nil {
+		t.Error("slot count mismatch accepted")
+	}
+}
+
+func TestApplyRejectsBogusResponse(t *testing.T) {
+	rx := &qframe.RxFrame{ID: 1, SlotsTotal: 4, Detections: []qframe.RxSymbol{
+		{Slot: 0, Basis: qframe.BasisRect, Result: qframe.ClickD0},
+	}}
+	m := BuildSift(rx)
+	// Wrong frame.
+	r := &Response{FrameID: 9}
+	if _, err := Apply(rx, m, r); err == nil {
+		t.Error("wrong-frame response accepted")
+	}
+	// Wrong keep length.
+	resp, _, err := Respond(&qframe.TxFrame{ID: 1, Pulses: make([]qframe.TxSymbol, 4)}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Keep.Append(1)
+	if _, err := Apply(rx, m, resp); err == nil {
+		t.Error("wrong-length keep accepted")
+	}
+}
+
+func TestEmptyFrameSiftsToNothing(t *testing.T) {
+	tx := &qframe.TxFrame{ID: 3, Pulses: make([]qframe.TxSymbol, 100)}
+	rx := &qframe.RxFrame{ID: 3, SlotsTotal: 100}
+	m := BuildSift(rx)
+	dec, err := DecodeSift(m.Encode())
+	if err != nil {
+		t.Fatalf("empty sift round trip: %v", err)
+	}
+	resp, aliceRes, err := Respond(tx, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobRes, err := Apply(rx, m, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aliceRes.Bits.Len() != 0 || bobRes.Bits.Len() != 0 {
+		t.Error("empty frame produced sifted bits")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary well-formed messages.
+func TestPropertySiftCodecRoundTrip(t *testing.T) {
+	f := func(frameID uint64, raw []uint16, basisBits []byte) bool {
+		// Build strictly increasing slot list from raw.
+		seen := map[uint32]bool{}
+		var slots []uint32
+		for _, r := range raw {
+			s := uint32(r)
+			if !seen[s] {
+				seen[s] = true
+				slots = append(slots, s)
+			}
+		}
+		// sort
+		for i := 1; i < len(slots); i++ {
+			for j := i; j > 0 && slots[j-1] > slots[j]; j-- {
+				slots[j-1], slots[j] = slots[j], slots[j-1]
+			}
+		}
+		m := &SiftMessage{FrameID: frameID, SlotsTotal: 1 << 16, Slots: slots}
+		for i := range slots {
+			b := qframe.BasisRect
+			if len(basisBits) > 0 && basisBits[i%len(basisBits)]&1 == 1 {
+				b = qframe.BasisDiag
+			}
+			m.Bases = append(m.Bases, b)
+		}
+		dec, err := DecodeSift(m.Encode())
+		if err != nil {
+			return false
+		}
+		if dec.FrameID != m.FrameID || dec.SlotsTotal != m.SlotsTotal ||
+			len(dec.Slots) != len(m.Slots) {
+			return false
+		}
+		for i := range m.Slots {
+			if dec.Slots[i] != m.Slots[i] || dec.Bases[i] != m.Bases[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSiftEncode(b *testing.B) {
+	p := photonics.DefaultParams()
+	l := photonics.NewLink(p, 1)
+	_, rx := l.TransmitFrame(1, 100000)
+	m := BuildSift(rx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Encode()
+	}
+}
+
+func BenchmarkSiftFullTransaction(b *testing.B) {
+	p := photonics.DefaultParams()
+	l := photonics.NewLink(p, 1)
+	tx, rx := l.TransmitFrame(1, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := BuildSift(rx)
+		dec, _ := DecodeSift(m.Encode())
+		resp, _, err := Respond(tx, dec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rd, _ := DecodeResponse(resp.Encode())
+		if _, err := Apply(rx, m, rd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package vpn assembles the full system of Figs. 2 and 11: two private
+// enclaves, each behind a gateway that combines an IPsec dataplane, an
+// IKE daemon with QKD extensions, and one end of a quantum key
+// distribution link. User traffic entering gateway A in the clear
+// leaves gateway B in the clear, protected in between by keys that
+// exist only because single photons made it down the fiber.
+//
+//	enclave A -- gwA ==[internet: ESP tunnel]== gwB -- enclave B
+//	              \\                             //
+//	               ==[quantum channel + QKD protocols]==
+package vpn
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"qkd/internal/channel"
+	"qkd/internal/core"
+	"qkd/internal/ike"
+	"qkd/internal/ipsec"
+	"qkd/internal/keypool"
+	"qkd/internal/photonics"
+)
+
+// Config assembles a network.
+type Config struct {
+	// Photonics configures the quantum link (DefaultParams if zero).
+	Photonics photonics.Params
+	// QKD configures the protocol engines.
+	QKD core.Config
+	// IKE configures both daemons.
+	IKE ike.Config
+	// Suite protects enclave traffic.
+	Suite ipsec.CipherSuite
+	// Life bounds each negotiated SA.
+	Life ipsec.Lifetime
+	// OTPBits is the per-direction pad withdrawal for SuiteOTP tunnels.
+	OTPBits int
+	// FrameSlots is the pulse count per QKD frame.
+	FrameSlots int
+	// Seed drives all simulation randomness.
+	Seed uint64
+	// IKELogA / IKELogB, when non-nil, receive each daemon's
+	// racoon-style log lines (Fig. 12).
+	IKELogA io.Writer
+	IKELogB io.Writer
+}
+
+// Site is one end of the VPN: gateway plus its control-plane pieces.
+type Site struct {
+	GW   *ipsec.Gateway
+	IKE  *ike.Daemon
+	Pool *keypool.Reservoir
+}
+
+// Network is the assembled two-site system.
+type Network struct {
+	A, B    *Site
+	Session *core.Session
+
+	polAB *ipsec.Policy
+	polBA *ipsec.Policy
+
+	// EveTap, when set, sees every tunnel packet crossing the simulated
+	// internet and may drop or rewrite it.
+	EveTap func(p *ipsec.Packet) (*ipsec.Packet, bool)
+
+	mu        sync.Mutex
+	delivered uint64
+	dropped   uint64
+}
+
+// Addresses used throughout (mirroring the paper's 192.1.99.x testbed).
+var (
+	GatewayA = ipsec.MustAddr("192.1.99.34")
+	GatewayB = ipsec.MustAddr("192.1.99.35")
+	HostA    = ipsec.MustAddr("10.1.0.5")
+	HostB    = ipsec.MustAddr("10.2.0.9")
+)
+
+// New assembles the network. Call Establish to bring the tunnel up.
+func New(cfg Config) (*Network, error) {
+	if cfg.Photonics.PulseRateHz == 0 {
+		cfg.Photonics = photonics.DefaultParams()
+	}
+	if cfg.OTPBits == 0 {
+		cfg.OTPBits = 64 * 1024
+	}
+
+	session := core.NewSession(cfg.Photonics, cfg.QKD, cfg.FrameSlots, cfg.Seed)
+
+	polAB := &ipsec.Policy{
+		Name: "a-to-b", Action: ipsec.Protect, Suite: cfg.Suite,
+		PeerGW: GatewayB, Life: cfg.Life, OTPBits: cfg.OTPBits,
+		Sel: ipsec.Selector{Src: ipsec.MustPrefix("10.1.0.0/16"), Dst: ipsec.MustPrefix("10.2.0.0/16")},
+	}
+	polBA := &ipsec.Policy{
+		Name: "b-to-a", Action: ipsec.Protect, Suite: cfg.Suite,
+		PeerGW: GatewayA, Life: cfg.Life, OTPBits: cfg.OTPBits,
+		Sel: ipsec.Selector{Src: ipsec.MustPrefix("10.2.0.0/16"), Dst: ipsec.MustPrefix("10.1.0.0/16")},
+	}
+	gwA := ipsec.NewGateway(GatewayA, ipsec.NewSPD(polAB, polBA))
+	gwB := ipsec.NewGateway(GatewayB, ipsec.NewSPD(polBA, polAB))
+
+	ikeConnA, ikeConnB := channel.MemPair(64)
+	psk := []byte("darpa-quantum-network-psk")
+	cfgI := cfg.IKE
+	cfgI.Seed = cfg.Seed ^ 0x1CE
+	dA := ike.NewDaemon(ike.Initiator, ikeConnA, gwA, session.Alice.Pool(), psk, cfgI, cfg.IKELogA)
+	cfgR := cfg.IKE
+	cfgR.Seed = cfg.Seed ^ 0x2CE
+	dB := ike.NewDaemon(ike.Responder, ikeConnB, gwB, session.Bob.Pool(), psk, cfgR, cfg.IKELogB)
+
+	n := &Network{
+		A:       &Site{GW: gwA, IKE: dA, Pool: session.Alice.Pool()},
+		B:       &Site{GW: gwB, IKE: dB, Pool: session.Bob.Pool()},
+		Session: session,
+		polAB:   polAB,
+		polBA:   polBA,
+	}
+	return n, nil
+}
+
+// DistillKeys pumps QKD frames until both reservoirs hold at least
+// bits, within maxFrames.
+func (n *Network) DistillKeys(bits, maxFrames int) error {
+	return n.Session.RunUntilDistilled(bits, maxFrames)
+}
+
+// Establish starts both IKE daemons (Phase 1) and negotiates the
+// tunnel's first SAs. The reservoirs must hold key material (run
+// DistillKeys first, or let the negotiation block on late arrival).
+func (n *Network) Establish() error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- n.B.IKE.Start() }()
+	if err := n.A.IKE.Start(); err != nil {
+		return fmt.Errorf("vpn: initiator IKE: %w", err)
+	}
+	if err := <-errCh; err != nil {
+		return fmt.Errorf("vpn: responder IKE: %w", err)
+	}
+	return n.Renegotiate()
+}
+
+// Renegotiate rolls the tunnel over to fresh SAs ("key rollover").
+func (n *Network) Renegotiate() error {
+	return n.A.IKE.Negotiate(n.polAB, "b-to-a")
+}
+
+// Close tears the network down.
+func (n *Network) Close() {
+	n.A.IKE.Stop()
+	n.B.IKE.Stop()
+}
+
+// Stats reports delivered/dropped user packets.
+func (n *Network) Stats() (delivered, dropped uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delivered, n.dropped
+}
+
+// Send pushes one user packet from src enclave to dst enclave through
+// the tunnel and returns the payload as received at the far side.
+func (n *Network) Send(src, dst ipsec.Addr, id uint32, payload []byte) ([]byte, error) {
+	out, in := n.A.GW, n.B.GW
+	if n.polBA.Sel.Matches(&ipsec.Packet{Src: src, Dst: dst, Proto: ipsec.ProtoPing}) {
+		out, in = n.B.GW, n.A.GW
+	}
+	inner := &ipsec.Packet{Src: src, Dst: dst, Proto: ipsec.ProtoPing, ID: id, Payload: payload}
+	outer, err := out.ProcessOutbound(inner)
+	if err != nil {
+		n.mu.Lock()
+		n.dropped++
+		n.mu.Unlock()
+		return nil, err
+	}
+	// Cross the simulated internet, where Eve may interfere.
+	if n.EveTap != nil {
+		var drop bool
+		outer, drop = n.EveTap(outer)
+		if drop {
+			n.mu.Lock()
+			n.dropped++
+			n.mu.Unlock()
+			return nil, errors.New("vpn: packet lost in transit")
+		}
+	}
+	got, err := in.ProcessInbound(outer)
+	if err != nil {
+		n.mu.Lock()
+		n.dropped++
+		n.mu.Unlock()
+		return nil, err
+	}
+	if got.Src != src || got.Dst != dst || got.ID != id {
+		return nil, fmt.Errorf("vpn: decapsulated packet headers corrupted")
+	}
+	n.mu.Lock()
+	n.delivered++
+	n.mu.Unlock()
+	return got.Payload, nil
+}
+
+// Ping sends A->B and expects delivery; a convenience for tests.
+func (n *Network) Ping(id uint32) error {
+	_, err := n.Send(HostA, HostB, id, []byte("ping"))
+	return err
+}
+
+// SendWithRollover sends, and on SA expiry transparently renegotiates
+// with fresh QKD key and retries once — the deployment behaviour where
+// "every time the lifetime expires, a new security association must be
+// negotiated and it will bring with it fresh key material."
+func (n *Network) SendWithRollover(src, dst ipsec.Addr, id uint32, payload []byte) ([]byte, error) {
+	got, err := n.Send(src, dst, id, payload)
+	if err == nil {
+		return got, nil
+	}
+	if errors.Is(err, ipsec.ErrNoSA) || errors.Is(err, ipsec.ErrExpired) ||
+		errors.Is(err, ipsec.ErrPadExhaust) {
+		if err := n.Renegotiate(); err != nil {
+			return nil, fmt.Errorf("vpn: rollover failed: %w", err)
+		}
+		return n.Send(src, dst, id, payload)
+	}
+	return nil, err
+}
+
+// KeyRaceResult summarizes a key consumption/production race (E8).
+type KeyRaceResult struct {
+	Delivered     uint64
+	Rollovers     int
+	RolloverFails int
+	BitsDistilled uint64
+	BitsConsumed  uint64
+}
+
+// RunKeyRace interleaves user traffic with QKD distillation for the
+// given number of rounds: each round pumps qkdFrames frames of quantum
+// transmission and then pushes packets user packets through the tunnel,
+// rolling SAs over as they expire. It is the "race between the rate at
+// which keying material is put into place and the rate at which it is
+// consumed" of Section 2, in miniature.
+func (n *Network) RunKeyRace(rounds, qkdFrames, packets, payloadBytes int) (KeyRaceResult, error) {
+	var res KeyRaceResult
+	id := uint32(0)
+	for r := 0; r < rounds; r++ {
+		if err := n.Session.RunFrames(qkdFrames); err != nil {
+			return res, fmt.Errorf("vpn: qkd pump: %w", err)
+		}
+		for p := 0; p < packets; p++ {
+			id++
+			_, err := n.Send(HostA, HostB, id, make([]byte, payloadBytes))
+			if err == nil {
+				res.Delivered++
+				continue
+			}
+			if errors.Is(err, ipsec.ErrNoSA) || errors.Is(err, ipsec.ErrExpired) ||
+				errors.Is(err, ipsec.ErrPadExhaust) {
+				res.Rollovers++
+				if nerr := n.Renegotiate(); nerr != nil {
+					res.RolloverFails++
+					continue // key starved; traffic drops this round
+				}
+				if _, err := n.Send(HostA, HostB, id, make([]byte, payloadBytes)); err == nil {
+					res.Delivered++
+				}
+				continue
+			}
+			return res, err
+		}
+	}
+	am := n.Session.Alice.Metrics()
+	res.BitsDistilled = am.DistilledBits
+	st := n.A.IKE.Stats()
+	res.BitsConsumed = st.QbitsConsumed
+	return res, nil
+}
+
+// WaitPool blocks until the named site's reservoir holds bits or the
+// timeout passes.
+func WaitPool(pool *keypool.Reservoir, bits int, timeout time.Duration) error {
+	return ike.WaitAvailable(pool, bits, timeout)
+}

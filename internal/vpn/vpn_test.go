@@ -1,0 +1,259 @@
+package vpn
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"qkd/internal/core"
+	"qkd/internal/ipsec"
+	"qkd/internal/photonics"
+)
+
+// fastPhotonics is a lossless link so tests distill quickly.
+func fastPhotonics() photonics.Params {
+	p := photonics.DefaultParams()
+	p.MeanPhotons = 0.1
+	p.FiberKm = 0
+	p.SystemLossDB = 0
+	p.DetectorEff = 1.0
+	p.DarkCountProb = 1e-5
+	p.Visibility = 0.96
+	return p
+}
+
+func fastConfig(suite ipsec.CipherSuite) Config {
+	return Config{
+		Photonics: fastPhotonics(),
+		QKD:       core.Config{BatchBits: 2048},
+		Suite:     suite,
+		OTPBits:   8192,
+		Seed:      42,
+	}
+}
+
+func TestEndToEndVPN(t *testing.T) {
+	n, err := New(fastConfig(ipsec.SuiteAES128CTR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.DistillKeys(2048, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Establish(); err != nil {
+		t.Fatal(err)
+	}
+	// Traffic both directions.
+	got, err := n.Send(HostA, HostB, 1, []byte("hello bob"))
+	if err != nil {
+		t.Fatalf("A->B: %v", err)
+	}
+	if !bytes.Equal(got, []byte("hello bob")) {
+		t.Fatalf("payload corrupted: %q", got)
+	}
+	got, err = n.Send(HostB, HostA, 2, []byte("hello alice"))
+	if err != nil {
+		t.Fatalf("B->A: %v", err)
+	}
+	if !bytes.Equal(got, []byte("hello alice")) {
+		t.Fatalf("payload corrupted: %q", got)
+	}
+	if d, _ := n.Stats(); d != 2 {
+		t.Errorf("delivered = %d", d)
+	}
+}
+
+func TestVPNOverOTP(t *testing.T) {
+	n, err := New(fastConfig(ipsec.SuiteOTP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	// OTP needs 2x8192 bits plus margin.
+	if err := n.DistillKeys(3*8192, 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Establish(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(1); i <= 20; i++ {
+		if err := n.Ping(i); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+	}
+}
+
+func TestTunnelHidesPlaintext(t *testing.T) {
+	n, err := New(fastConfig(ipsec.SuiteAES128CTR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.DistillKeys(2048, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Establish(); err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("extremely secret enclave data")
+	n.EveTap = func(p *ipsec.Packet) (*ipsec.Packet, bool) {
+		if p.Proto != ipsec.ProtoESP {
+			t.Errorf("non-ESP packet on the internet: proto %d", p.Proto)
+		}
+		if bytes.Contains(p.Payload, secret[:12]) {
+			t.Error("plaintext visible on the wire")
+		}
+		return p, false
+	}
+	if _, err := n.Send(HostA, HostB, 1, secret); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEveTamperingDetected(t *testing.T) {
+	n, err := New(fastConfig(ipsec.SuiteAES128CTR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.DistillKeys(2048, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Establish(); err != nil {
+		t.Fatal(err)
+	}
+	n.EveTap = func(p *ipsec.Packet) (*ipsec.Packet, bool) {
+		p.Payload[len(p.Payload)-1] ^= 1
+		return p, false
+	}
+	if _, err := n.Send(HostA, HostB, 1, []byte("data")); !errors.Is(err, ipsec.ErrIntegrity) {
+		t.Fatalf("tampered tunnel packet: err = %v, want ErrIntegrity", err)
+	}
+	if gwStats := n.B.GW.Stats(); gwStats.IntegFailures != 1 {
+		t.Errorf("IntegFailures = %d", gwStats.IntegFailures)
+	}
+}
+
+func TestRolloverUnderByteLifetime(t *testing.T) {
+	cfg := fastConfig(ipsec.SuiteAES128CTR)
+	cfg.Life = ipsec.Lifetime{Bytes: 500}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.DistillKeys(8192, 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Establish(); err != nil {
+		t.Fatal(err)
+	}
+	rollovers := 0
+	for i := uint32(1); i <= 40; i++ {
+		_, err := n.SendWithRollover(HostA, HostB, i, make([]byte, 100))
+		if err != nil {
+			// Rollover may exhaust the pool: distill more and retry.
+			if derr := n.DistillKeys(2048, 120); derr != nil {
+				t.Fatalf("packet %d: %v (and distill: %v)", i, err, derr)
+			}
+			if _, err = n.SendWithRollover(HostA, HostB, i, make([]byte, 100)); err != nil {
+				t.Fatalf("packet %d after refill: %v", i, err)
+			}
+		}
+	}
+	if st := n.A.IKE.Stats(); st.Phase2Initiated < 5 {
+		t.Errorf("expected several rollovers, Phase2Initiated = %d", st.Phase2Initiated)
+	}
+	_ = rollovers
+}
+
+func TestKeyRaceOTPStarves(t *testing.T) {
+	// E8's core claim in miniature: an OTP tunnel consumes pad at
+	// traffic rate; with a slow QKD link the race is lost (rollovers
+	// fail on an empty reservoir), while an AES tunnel sips a Qblock
+	// per rollover and keeps running.
+	mk := func(suite ipsec.CipherSuite) KeyRaceResult {
+		cfg := fastConfig(suite)
+		cfg.OTPBits = 16384
+		cfg.IKE.Phase2Timeout = 50 * 1e6 // 50ms: fail fast when starved
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		if err := n.DistillKeys(3*16384, 400); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Establish(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.RunKeyRace(10, 1, 30, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	otp := mk(ipsec.SuiteOTP)
+	aes := mk(ipsec.SuiteAES128CTR)
+	if aes.Delivered < otp.Delivered {
+		t.Errorf("AES (%d delivered) did not beat OTP (%d) under key starvation",
+			aes.Delivered, otp.Delivered)
+	}
+	if otp.RolloverFails == 0 {
+		t.Error("OTP tunnel never starved — race parameters too generous")
+	}
+	if aes.RolloverFails > otp.RolloverFails {
+		t.Errorf("AES starved more often (%d) than OTP (%d)", aes.RolloverFails, otp.RolloverFails)
+	}
+}
+
+func TestRealisticLinkVPN(t *testing.T) {
+	// Full stack at the paper's 10 km operating point.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Config{
+		Photonics:  photonics.DefaultParams(),
+		QKD:        core.Config{BatchBits: 4096, Corrector: core.CorrectorClassic},
+		Suite:      ipsec.SuiteAES128CTR,
+		FrameSlots: 100000,
+		Seed:       7,
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.DistillKeys(1100, 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Establish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Ping(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkVPNPacket(b *testing.B) {
+	n, err := New(fastConfig(ipsec.SuiteAES128CTR))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.DistillKeys(2048, 60); err != nil {
+		b.Fatal(err)
+	}
+	if err := n.Establish(); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1000)
+	b.SetBytes(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Send(HostA, HostB, uint32(i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

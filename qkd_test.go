@@ -1,0 +1,107 @@
+package qkd
+
+import (
+	"testing"
+)
+
+// The facade tests exercise the public API end to end, exactly as the
+// README documents it — they are the contract a downstream user relies
+// on.
+
+func TestFacadeQuickstart(t *testing.T) {
+	session := NewSession(fastParams(), Config{BatchBits: 2048}, 10000, 42)
+	if err := session.RunUntilDistilled(1024, 120); err != nil {
+		t.Fatal(err)
+	}
+	alice, err := session.Alice.Pool().TryConsume(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := session.Bob.Pool().TryConsume(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alice.Equal(bob) {
+		t.Fatal("facade session produced differing keys")
+	}
+}
+
+func TestFacadeDefaultOperatingPoint(t *testing.T) {
+	p := DefaultLinkParams()
+	if p.MeanPhotons != 0.1 || p.FiberKm != 10 || p.PulseRateHz != 1e6 {
+		t.Errorf("default params drifted from the paper: %+v", p)
+	}
+	q := p.ExpectedQBER()
+	if q < 0.06 || q > 0.08 {
+		t.Errorf("default predicted QBER %.3f outside the paper's 6-8%% band", q)
+	}
+}
+
+func TestFacadeAttacks(t *testing.T) {
+	s := NewSession(fastParams(), Config{BatchBits: 2048}, 10000, 7)
+	s.Link.SetTap(NewInterceptResend(1.0, 9))
+	if err := s.RunFrames(10); err != nil {
+		t.Fatal(err)
+	}
+	if s.Alice.Metrics().DistilledBits != 0 {
+		t.Error("facade attack path failed to suppress key")
+	}
+}
+
+func TestFacadeVPN(t *testing.T) {
+	n, err := NewVPN(VPNConfig{
+		Photonics: fastParams(),
+		QKD:       Config{BatchBits: 2048},
+		Suite:     SuiteAES128CTR,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.DistillKeys(2048, 120); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Establish(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.Send(HostA, HostB, 1, []byte("facade"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "facade" {
+		t.Fatalf("payload %q", got)
+	}
+}
+
+func TestFacadeRelayAndOptical(t *testing.T) {
+	mesh := NewRelayFullMesh(1, 4096, "a", "b", "c")
+	mesh.Tick()
+	d, err := mesh.TransportKey("a", "c", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Key.Len() != 256 {
+		t.Errorf("key length %d", d.Key.Len())
+	}
+
+	fab := NewOpticalMesh()
+	fab.AddEndpoint("x")
+	fab.AddEndpoint("y")
+	fab.AddSwitch("s", 1)
+	fab.Connect("x", "s", 1)
+	fab.Connect("s", "y", 1)
+	p, err := fab.Establish("x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops() != 1 || p.SwitchDB != 1 {
+		t.Errorf("path %v, %v dB", p.Nodes, p.SwitchDB)
+	}
+}
+
+func TestFacadeCascadeConstructors(t *testing.T) {
+	if NewBBNCascade(1).Name() == "" || NewClassicCascade(0.05, 1).Name() == "" {
+		t.Error("corrector constructors broken")
+	}
+}
