@@ -1,0 +1,3 @@
+module qkd
+
+go 1.24

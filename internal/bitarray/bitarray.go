@@ -105,10 +105,36 @@ func (a *BitArray) Append(v int) {
 	}
 }
 
-// AppendAll appends every bit of b to a.
+// AppendWord appends the low nbits of w (LSB-first), 0 <= nbits <= 64.
+func (a *BitArray) AppendWord(w uint64, nbits int) {
+	if nbits < 0 || nbits > 64 {
+		panic(fmt.Sprintf("bitarray: AppendWord(%d bits) out of [0,64]", nbits))
+	}
+	if nbits == 0 {
+		return
+	}
+	if nbits < 64 {
+		w &= (1 << uint(nbits)) - 1
+	}
+	for need := (a.n + nbits + 63) / 64; len(a.words) < need; {
+		a.words = append(a.words, 0)
+	}
+	off := uint(a.n) & 63
+	a.words[a.n>>6] |= w << off
+	if off != 0 && int(off)+nbits > 64 {
+		a.words[a.n>>6+1] |= w >> (64 - off)
+	}
+	a.n += nbits
+}
+
+// AppendAll appends every bit of b to a, word-at-a-time.
 func (a *BitArray) AppendAll(b *BitArray) {
-	for i := 0; i < b.n; i++ {
-		a.Append(b.Get(i))
+	full := b.n >> 6
+	for i := 0; i < full; i++ {
+		a.AppendWord(b.words[i], 64)
+	}
+	if r := b.n & 63; r != 0 {
+		a.AppendWord(b.words[full], r)
 	}
 }
 
@@ -123,6 +149,12 @@ func (a *BitArray) Clone() *BitArray {
 func (a *BitArray) Slice(from, to int) *BitArray {
 	if from < 0 || to > a.n || from > to {
 		panic(fmt.Sprintf("bitarray: Slice(%d,%d) out of range [0,%d]", from, to, a.n))
+	}
+	if from&63 == 0 {
+		out := New(to - from)
+		copy(out.words, a.words[from>>6:])
+		out.trim()
+		return out
 	}
 	out := New(to - from)
 	for i := from; i < to; i++ {
@@ -169,6 +201,37 @@ func (a *BitArray) And(b *BitArray) {
 	for i := range a.words {
 		a.words[i] &= b.words[i]
 	}
+}
+
+// Not flips every bit in place.
+func (a *BitArray) Not() {
+	for i := range a.words {
+		a.words[i] = ^a.words[i]
+	}
+	a.trim()
+}
+
+// Compress returns the bits of a at positions where mask has a 1 bit,
+// packed in order (the PEXT of a by mask, extended to bit vectors).
+// The arrays must be the same length.
+func (a *BitArray) Compress(mask *BitArray) *BitArray {
+	if a.n != mask.n {
+		panic("bitarray: Compress length mismatch")
+	}
+	out := New(mask.OnesCount())
+	j := 0
+	for i, m := range mask.words {
+		w := a.words[i]
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			m &= m - 1
+			if w>>uint(b)&1 == 1 {
+				out.words[j>>6] |= 1 << (uint(j) & 63)
+			}
+			j++
+		}
+	}
+	return out
 }
 
 // OnesCount returns the number of set bits.
@@ -270,6 +333,18 @@ func (a *BitArray) Select(idx []int) *BitArray {
 	for j, i := range idx {
 		if a.Get(i) == 1 {
 			out.Set(j, 1)
+		}
+	}
+	return out
+}
+
+// SelectU32 is Select for uint32 indices (the slot lists the protocol
+// stack carries), avoiding a conversion pass.
+func (a *BitArray) SelectU32(idx []uint32) *BitArray {
+	out := New(len(idx))
+	for j, i := range idx {
+		if a.Get(int(i)) == 1 {
+			out.words[j>>6] |= 1 << (uint(j) & 63)
 		}
 	}
 	return out

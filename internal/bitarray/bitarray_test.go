@@ -309,3 +309,137 @@ func BenchmarkParityMasked4096(b *testing.B) {
 		a.ParityMasked(m)
 	}
 }
+
+// --- Bulk-op tests (the word-at-a-time fast paths the sifting and
+// photonics hot loops depend on) ---
+
+func TestAppendWord(t *testing.T) {
+	a := New(0)
+	a.AppendWord(0b1011, 4)
+	a.AppendWord(0xFFFFFFFFFFFFFFFF, 64)
+	a.AppendWord(0, 3)
+	if a.Len() != 71 {
+		t.Fatalf("Len = %d, want 71", a.Len())
+	}
+	want := []int{1, 1, 0, 1}
+	for i, w := range want {
+		if a.Get(i) != w {
+			t.Errorf("bit %d = %d, want %d", i, a.Get(i), w)
+		}
+	}
+	for i := 4; i < 68; i++ {
+		if a.Get(i) != 1 {
+			t.Errorf("bit %d = 0, want 1", i)
+		}
+	}
+	for i := 68; i < 71; i++ {
+		if a.Get(i) != 0 {
+			t.Errorf("bit %d = 1, want 0", i)
+		}
+	}
+	// Masking: bits of w above nbits must be ignored.
+	b := New(0)
+	b.AppendWord(^uint64(0), 1)
+	if b.Len() != 1 || b.Get(0) != 1 || b.OnesCount() != 1 {
+		t.Error("AppendWord did not mask high bits")
+	}
+}
+
+// Property: AppendWord in random chunk sizes equals per-bit Append.
+func TestPropertyAppendWordChunks(t *testing.T) {
+	f := func(words []uint64, seed uint8) bool {
+		chunked, bitwise := New(0), New(0)
+		sz := int(seed)%64 + 1
+		for _, w := range words {
+			chunked.AppendWord(w, sz)
+			for i := 0; i < sz; i++ {
+				bitwise.Append(int(w >> uint(i) & 1))
+			}
+		}
+		return chunked.Equal(bitwise)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: word-at-a-time AppendAll equals per-bit appends.
+func TestPropertyAppendAll(t *testing.T) {
+	f := func(p, q []byte, trim uint8) bool {
+		a := FromBytes(p)
+		b := FromBytes(q)
+		if int(trim) < b.Len() {
+			b.Truncate(b.Len() - int(trim))
+		}
+		got := a.Clone()
+		got.AppendAll(b)
+		want := a.Clone()
+		for i := 0; i < b.Len(); i++ {
+			want.Append(b.Get(i))
+		}
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNot(t *testing.T) {
+	a := FromBools([]bool{true, false, true})
+	a.Not()
+	if a.Get(0) != 0 || a.Get(1) != 1 || a.Get(2) != 0 {
+		t.Error("Not flipped wrong bits")
+	}
+	if a.OnesCount() != 1 {
+		t.Errorf("OnesCount after Not = %d (tail bits not trimmed?)", a.OnesCount())
+	}
+}
+
+// Property: Compress picks exactly the masked bits, in order.
+func TestPropertyCompress(t *testing.T) {
+	f := func(p, q []byte) bool {
+		n := len(p)
+		if len(q) < n {
+			n = len(q)
+		}
+		a := FromBytes(p[:n])
+		m := FromBytes(q[:n])
+		got := a.Compress(m)
+		want := New(0)
+		for i := 0; i < a.Len(); i++ {
+			if m.Get(i) == 1 {
+				want.Append(a.Get(i))
+			}
+		}
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectU32(t *testing.T) {
+	a := FromBools([]bool{false, true, false, true, true})
+	got := a.SelectU32([]uint32{4, 0, 1})
+	if got.Len() != 3 || got.Get(0) != 1 || got.Get(1) != 0 || got.Get(2) != 1 {
+		t.Errorf("SelectU32 = %v", got)
+	}
+}
+
+func TestSliceAlignedFastPath(t *testing.T) {
+	a := New(200)
+	for i := 0; i < 200; i += 3 {
+		a.Set(i, 1)
+	}
+	for _, c := range [][2]int{{0, 200}, {64, 130}, {128, 128}, {0, 64}} {
+		got := a.Slice(c[0], c[1])
+		if got.Len() != c[1]-c[0] {
+			t.Fatalf("Slice(%d,%d).Len = %d", c[0], c[1], got.Len())
+		}
+		for i := c[0]; i < c[1]; i++ {
+			if got.Get(i-c[0]) != a.Get(i) {
+				t.Fatalf("Slice(%d,%d) bit %d differs", c[0], c[1], i-c[0])
+			}
+		}
+	}
+}

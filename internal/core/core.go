@@ -299,12 +299,12 @@ func (a *Alice) HandleFrame(tx *qframe.TxFrame) error {
 		return fmt.Errorf("core/alice: sending sift response: %w", err)
 	}
 	a.metrics.FramesSifted++
-	a.metrics.PulsesSent += uint64(len(tx.Pulses))
+	a.metrics.PulsesSent += uint64(tx.Len())
 	a.metrics.SiftedBits += uint64(res.Bits.Len())
 	a.batch.bits.AppendAll(res.Bits)
-	a.batch.pulses += len(tx.Pulses)
+	a.batch.pulses += tx.Len()
 
-	if a.batch.bits.Len() >= a.cfg.BatchBits {
+	for a.batch.bits.Len() >= a.cfg.BatchBits {
 		if err := a.distill(); err != nil {
 			return err
 		}
@@ -313,11 +313,22 @@ func (a *Alice) HandleFrame(tx *qframe.TxFrame) error {
 }
 
 // distill runs error correction (as reference), entropy estimation and
-// privacy amplification over the accumulated batch.
+// privacy amplification over one batch. Exactly BatchBits bits are
+// carved off the accumulator (the remainder seeds the next batch) so
+// every batch amplifies over the same GF(2^n) degree — the field setup
+// and the peer's polynomial validation are cached per degree, which
+// keeps the per-batch cost to the hash itself.
 func (a *Alice) distill() error {
-	bits := a.batch.bits
-	pulses := a.batch.pulses
-	a.batch = batchState{bits: bitarray.New(0)}
+	carve := a.cfg.BatchBits
+	total := a.batch.bits.Len()
+	bits := a.batch.bits.Slice(0, carve)
+	// Attribute transmitted pulses pro rata to the carved batch; the
+	// remainder rides along with the leftover sifted bits.
+	pulses := a.batch.pulses * carve / total
+	a.batch = batchState{
+		bits:   a.batch.bits.Slice(carve, total),
+		pulses: a.batch.pulses - pulses,
+	}
 
 	proto := a.corrector()
 	disclosed, err := proto.RunReference(connMessenger{a.conn}, bits)
@@ -434,7 +445,7 @@ func (b *Bob) HandleFrame(rx *qframe.RxFrame) error {
 	b.metrics.SiftedBits += uint64(res.Bits.Len())
 	b.batch.bits.AppendAll(res.Bits)
 
-	if b.batch.bits.Len() >= b.cfg.BatchBits {
+	for b.batch.bits.Len() >= b.cfg.BatchBits {
 		if err := b.distill(); err != nil {
 			return err
 		}
@@ -442,9 +453,12 @@ func (b *Bob) HandleFrame(rx *qframe.RxFrame) error {
 	return nil
 }
 
+// distill mirrors Alice's fixed-size batch carving (both ends hold the
+// same sifted lengths, so they carve identically without coordination).
 func (b *Bob) distill() error {
-	bits := b.batch.bits
-	b.batch = batchState{bits: bitarray.New(0)}
+	carve := b.cfg.BatchBits
+	bits := b.batch.bits.Slice(0, carve)
+	b.batch = batchState{bits: b.batch.bits.Slice(carve, b.batch.bits.Len())}
 
 	proto := b.corrector()
 	res, err := proto.RunCorrect(connMessenger{b.conn}, bits)

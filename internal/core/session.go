@@ -8,6 +8,7 @@ import (
 	"qkd/internal/channel"
 	"qkd/internal/keypool"
 	"qkd/internal/photonics"
+	"qkd/internal/qframe"
 	"qkd/internal/rng"
 )
 
@@ -119,35 +120,69 @@ func NewAuthenticatedSession(params photonics.Params, cfg Config, frameSlots int
 	return s, nil
 }
 
-// RunFrames transmits n frames through the link and the full protocol
-// pipeline. The two engines run concurrently (they exchange messages);
-// errors from either side abort the run.
-func (s *Session) RunFrames(n int) error {
-	for i := 0; i < n; i++ {
-		tx, rx := s.Link.TransmitFrame(s.nextFrame, s.frameSlots)
-		s.nextFrame++
+// framePipelineDepth bounds how many frames the physical-layer
+// simulation may run ahead of the protocol engines.
+const framePipelineDepth = 4
 
+// RunFrames transmits n frames through the link and the full protocol
+// pipeline. The run is pipelined: a producer goroutine simulates frame
+// i+1 (and up to framePipelineDepth ahead) on the link while the two
+// protocol engines — themselves running concurrently, since they
+// exchange messages — distill frame i. Batching several frames per call
+// keeps the pipeline full; errors from either engine abort the run
+// (frames already simulated but not yet processed are discarded, which
+// is physically just lost light).
+func (s *Session) RunFrames(n int) error {
+	type framePair struct {
+		id uint64
+		tx *qframe.TxFrame
+		rx *qframe.RxFrame
+	}
+	frames := make(chan framePair, framePipelineDepth)
+	stop := make(chan struct{})
+	prodDone := make(chan struct{})
+	go func() {
+		defer close(prodDone)
+		defer close(frames)
+		for i := 0; i < n; i++ {
+			tx, rx := s.Link.TransmitFrame(s.nextFrame, s.frameSlots)
+			p := framePair{id: s.nextFrame, tx: tx, rx: rx}
+			s.nextFrame++
+			select {
+			case frames <- p:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	// The producer owns the link and s.nextFrame until it exits; make
+	// sure it has before RunFrames returns on any path.
+	defer func() {
+		close(stop)
+		<-prodDone
+	}()
+	for p := range frames {
 		var wg sync.WaitGroup
 		var aliceErr, bobErr error
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			aliceErr = s.Alice.HandleFrame(tx)
+			aliceErr = s.Alice.HandleFrame(p.tx)
 			if aliceErr != nil {
 				// Unblock Bob if he is mid-exchange with a failed peer.
 				s.aliceConn.Close()
 			}
 		}()
-		bobErr = s.Bob.HandleFrame(rx)
+		bobErr = s.Bob.HandleFrame(p.rx)
 		if bobErr != nil {
 			s.bobConn.Close()
 		}
 		wg.Wait()
 		if aliceErr != nil {
-			return fmt.Errorf("frame %d: %w", s.nextFrame-1, aliceErr)
+			return fmt.Errorf("frame %d: %w", p.id, aliceErr)
 		}
 		if bobErr != nil {
-			return fmt.Errorf("frame %d: %w", s.nextFrame-1, bobErr)
+			return fmt.Errorf("frame %d: %w", p.id, bobErr)
 		}
 	}
 	return nil
@@ -155,14 +190,21 @@ func (s *Session) RunFrames(n int) error {
 
 // RunUntilDistilled keeps transmitting frames until at least bits of
 // distilled key are available in both reservoirs, or maxFrames elapse.
+// Frames run in small batches so the simulate/distill pipeline stays
+// full between reservoir checks.
 func (s *Session) RunUntilDistilled(bits, maxFrames int) error {
-	for f := 0; f < maxFrames; f++ {
+	for f := 0; f < maxFrames; {
 		if s.Alice.Pool().Available() >= bits && s.Bob.Pool().Available() >= bits {
 			return nil
 		}
-		if err := s.RunFrames(1); err != nil {
+		chunk := framePipelineDepth
+		if f+chunk > maxFrames {
+			chunk = maxFrames - f
+		}
+		if err := s.RunFrames(chunk); err != nil {
 			return err
 		}
+		f += chunk
 	}
 	if s.Alice.Pool().Available() >= bits && s.Bob.Pool().Available() >= bits {
 		return nil

@@ -117,7 +117,7 @@ func (a *InterceptResend) KnownBits(tx *qframe.TxFrame, sifted []uint32) int {
 		if !ok {
 			continue
 		}
-		if m.basis == tx.Pulses[slot].Basis {
+		if m.basis == tx.Basis(int(slot)) {
 			known++
 		}
 	}

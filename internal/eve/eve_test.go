@@ -34,6 +34,22 @@ func runFrames(l *photonics.Link, frames, slots int) (sifted, errors int) {
 	return
 }
 
+// siftedSlots returns the slots that survive sifting (usable click,
+// matched basis) — ground truth for Eve's knowledge accounting.
+func siftedSlots(tx *qframe.TxFrame, rx *qframe.RxFrame) []uint32 {
+	var out []uint32
+	for i := 0; i < rx.Count(); i++ {
+		d := rx.At(i)
+		if _, ok := d.Value(); !ok {
+			continue
+		}
+		if tx.Basis(int(d.Slot)) == d.Basis {
+			out = append(out, d.Slot)
+		}
+	}
+	return out
+}
+
 func TestInterceptResendFullInducesQuarterQBER(t *testing.T) {
 	l := photonics.NewLink(singlePhotonParams(), 1)
 	l.SetTap(NewInterceptResend(1.0, 99))
@@ -81,15 +97,7 @@ func TestInterceptResendKnowledgeAccounting(t *testing.T) {
 	totalSifted, totalKnown := 0, 0
 	for f := 0; f < 30; f++ {
 		tx, rx := l.TransmitFrame(uint64(f), 5000)
-		var sifted []uint32
-		for _, d := range rx.Detections {
-			if _, ok := d.Value(); !ok {
-				continue
-			}
-			if tx.Pulses[d.Slot].Basis == d.Basis {
-				sifted = append(sifted, d.Slot)
-			}
-		}
+		sifted := siftedSlots(tx, rx)
 		totalSifted += len(sifted)
 		totalKnown += a.KnownBits(tx, sifted)
 	}
@@ -126,15 +134,7 @@ func TestBeamsplitKnowledgeScalesWithMu(t *testing.T) {
 		known, sifted := 0, 0
 		for f := 0; f < 10; f++ {
 			tx, rx := l.TransmitFrame(uint64(f), 5000)
-			var sslots []uint32
-			for _, d := range rx.Detections {
-				if _, ok := d.Value(); !ok {
-					continue
-				}
-				if tx.Pulses[d.Slot].Basis == d.Basis {
-					sslots = append(sslots, d.Slot)
-				}
-			}
+			sslots := siftedSlots(tx, rx)
 			sifted += len(sslots)
 			known += a.KnownBits(sslots)
 		}

@@ -66,14 +66,15 @@ func E7Eve(seed uint64, quick bool) (*Report, error) {
 			tx, rx := link.TransmitFrame(uint64(f), 10000)
 			pulses += 10000
 			var slots []uint32
-			for _, d := range rx.Detections {
-				if _, ok := d.Value(); !ok {
+			for i := 0; i < rx.Count(); i++ {
+				d := rx.At(i)
+				v, ok := d.Value()
+				if !ok {
 					continue
 				}
-				if tx.Pulses[d.Slot].Basis == d.Basis {
+				if tx.Basis(int(d.Slot)) == d.Basis {
 					slots = append(slots, d.Slot)
-					v, _ := d.Value()
-					if tx.Pulses[d.Slot].Value != v {
+					if tx.Value(int(d.Slot)) != v {
 						errors++
 					}
 				}

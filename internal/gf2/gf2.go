@@ -91,11 +91,29 @@ func NewField(n int) (*Field, error) {
 	return f, nil
 }
 
+// verifiedPolys memoizes Irreducible verdicts by exponent list. The
+// receiving side of privacy amplification validates its peer's
+// polynomial on every batch; with fixed-size batches the polynomial
+// repeats, and re-running Rabin's test (n squarings in GF(2^n)) per
+// batch would dominate the whole distillation pipeline. The cache is
+// bounded: polynomials arrive from the network, and an adversary
+// proposing a fresh one per batch must not grow process memory — past
+// the cap every new polynomial just pays for its own Rabin test.
+// Honest links cycle a handful of polynomials, one per degree.
+var verifiedPolys struct {
+	sync.Mutex
+	m map[string]bool
+}
+
+const verifiedPolysCap = 256
+
 // FieldWithPoly builds a field from explicit exponents (descending,
 // ending in 0), verifying irreducibility. The receiving side of privacy
 // amplification uses this to validate the polynomial its peer proposed
 // — accepting a reducible polynomial would break the hash family's
 // universality, so validation is a security check, not pedantry.
+// Verdicts are memoized, so only the first sighting of a polynomial
+// pays for Rabin's test.
 func FieldWithPoly(exps []int) (*Field, error) {
 	if len(exps) < 2 || exps[len(exps)-1] != 0 {
 		return nil, fmt.Errorf("gf2: polynomial must include x^n and 1")
@@ -109,9 +127,25 @@ func FieldWithPoly(exps []int) (*Field, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("gf2: degree %d must be positive", n)
 	}
-	if !Irreducible(exps) {
+	key := fmt.Sprint(exps)
+	verifiedPolys.Lock()
+	irr, seen := verifiedPolys.m[key]
+	verifiedPolys.Unlock()
+	if !seen {
+		irr = Irreducible(exps)
+		verifiedPolys.Lock()
+		if verifiedPolys.m == nil {
+			verifiedPolys.m = make(map[string]bool)
+		}
+		if len(verifiedPolys.m) < verifiedPolysCap {
+			verifiedPolys.m[key] = irr
+		}
+		verifiedPolys.Unlock()
+	}
+	if !irr {
 		return nil, fmt.Errorf("gf2: polynomial of degree %d is reducible", n)
 	}
+	exps = append([]int(nil), exps...) // callers may reuse their slice
 	return &Field{N: n, exps: exps, words: (n + 63) / 64}, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -304,12 +305,14 @@ func TestEveBlockingIKEIsDoS(t *testing.T) {
 
 func TestForgedIKEMessagesRejected(t *testing.T) {
 	// Eve tampers with phase 2 traffic: the SKEYID tag fails and the
-	// message is dropped (then the negotiation times out).
-	tampered := 0
+	// message is dropped (then the negotiation times out). The MITM
+	// callback runs on the channel's forwarding goroutine, so the
+	// tamper counter must be atomic.
+	var tampered atomic.Int64
 	connA, connB := channel.NewMITM(func(dir channel.Direction, m channel.Message) (channel.Message, bool) {
 		if m.Type == TIKE && len(m.Payload) > 40 { // phase 2 sized
 			m.Payload[10] ^= 1
-			tampered++
+			tampered.Add(1)
 		}
 		return m, false
 	})
@@ -319,7 +322,7 @@ func TestForgedIKEMessagesRejected(t *testing.T) {
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout after forgery drops", err)
 	}
-	if tampered == 0 {
+	if tampered.Load() == 0 {
 		t.Fatal("test bug: nothing tampered")
 	}
 	if st := h.dB.Stats(); st.AuthFailures == 0 {
@@ -410,8 +413,9 @@ func TestFailedOTPNegotiationLeavesPoolsSynced(t *testing.T) {
 	// Regression: a failed OTP negotiation (enough key for one pad but
 	// not two) must not consume from one reservoir without the other —
 	// a partial withdrawal silently poisons every later SA.
+	const phase2Timeout = 100 * time.Millisecond
 	h := newHarness(t, ipsec.SuiteOTP, ipsec.Lifetime{},
-		Config{Phase2Timeout: 100 * time.Millisecond}, 0)
+		Config{Phase2Timeout: phase2Timeout}, 0)
 	// One pad's worth plus change: the atomic 2x withdrawal must fail.
 	material := rng.NewSplitMix64(5).Bits(4096 + 512)
 	h.poolA.Deposit(material.Clone())
@@ -424,6 +428,13 @@ func TestFailedOTPNegotiationLeavesPoolsSynced(t *testing.T) {
 		t.Fatalf("pools desynced after failed negotiation: %d vs %d",
 			h.poolA.Available(), h.poolB.Available())
 	}
+	// The responder's blocking pad withdrawal from the failed exchange
+	// may still be pending for up to its own Phase2Timeout; key
+	// deposited inside that window would feed the stale negotiation
+	// instead of the retry (a known product-level wrinkle — see
+	// ROADMAP.md). Wait out the responder's window before refilling,
+	// with slack for race-instrumented runs.
+	time.Sleep(phase2Timeout + phase2Timeout/2)
 	// Top both up and confirm a clean tunnel comes up.
 	topup := rng.NewSplitMix64(6).Bits(2 * 4096)
 	h.poolA.Deposit(topup.Clone())

@@ -23,11 +23,22 @@
 //
 // The bright-pulse (1300 nm) framing channel is abstracted into
 // agreement on (frame, slot) coordinates; see package qframe.
+//
+// Two sampling engines implement the model behind one interface
+// (TransmitEngine): the exact per-pulse Monte Carlo above, and a
+// batched fast path that draws aggregate per-frame click totals from
+// the closed-form per-pulse probabilities and then samples only the
+// clicked slots — the same distribution at a fraction of the cost,
+// since at mu = 0.1 some 97 % of pulses are vacuum. Links use the
+// batched path automatically and fall back to the exact path whenever
+// individual pulses must be observable: an eavesdropper tap, detector
+// dead time, or a cut fiber.
 package photonics
 
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"qkd/internal/qframe"
 	"qkd/internal/rng"
@@ -189,6 +200,38 @@ type Stats struct {
 	DarkClicks   uint64 // clicks attributable to dark counts alone
 }
 
+// TransmitEngine is one strategy for simulating a frame of pulses.
+// Two engines exist behind this interface:
+//
+//   - Exact: the per-pulse Monte Carlo, drawing photon numbers, fiber
+//     survival, interferometer routing and detector behaviour for every
+//     pulse slot. It is the reference semantics, and the only engine
+//     that can host eavesdropper taps, detector dead time, and fiber
+//     cuts — anything that needs to see (or perturb) individual pulses.
+//   - Batched: the sampling-equivalent fast path. At mu = 0.1 roughly
+//     97 % of pulses are vacuum, so instead of four-plus PRNG draws per
+//     slot it draws aggregate per-frame counts from the closed-form
+//     per-pulse outcome probabilities (each count an exact binomial)
+//     and then samples only the clicked slots. The per-slot outcome
+//     distribution is identical to the exact engine's; only the
+//     reporting-only Stats counters (PhotonsSent, MultiPhoton, Arrived)
+//     are drawn independently of the clicks rather than jointly.
+//
+// Links pick the engine automatically (see Link.TransmitFrame);
+// SetEngine pins one for tests and benchmarks.
+type TransmitEngine interface {
+	// Name identifies the engine in logs and benchmarks.
+	Name() string
+	// Transmit simulates one frame of `slots` pulses on the link.
+	Transmit(l *Link, id uint64, slots int) (*qframe.TxFrame, *qframe.RxFrame)
+}
+
+// Exact returns the per-pulse Monte Carlo engine.
+func Exact() TransmitEngine { return exactEngine{} }
+
+// Batched returns the aggregate-count fast-path engine.
+func Batched() TransmitEngine { return batchedEngine{} }
+
 // Link is a simulated quantum channel between an Alice and a Bob.
 // It is not safe for concurrent use; each link belongs to one
 // protocol-engine pair.
@@ -204,6 +247,7 @@ type Link struct {
 	stats     Stats
 	dead      [2]int // remaining dead gates per detector
 	cut       bool
+	engine    TransmitEngine // pinned engine; nil selects automatically
 }
 
 // NewLink builds a link with the given parameters, seeded
@@ -242,11 +286,44 @@ func (l *Link) Restore() { l.cut = false }
 // IsCut reports whether the fiber is currently severed.
 func (l *Link) IsCut() bool { return l.cut }
 
+// SetEngine pins a transmit engine (nil restores automatic selection).
+// Pinning Batched on a link with a tap installed silently bypasses the
+// tap — automatic selection never does this; pin only in tests and
+// benchmarks that know the link is honest.
+func (l *Link) SetEngine(e TransmitEngine) { l.engine = e }
+
+// Engine returns the engine the next TransmitFrame will use: the pinned
+// one, or else the exact per-pulse path whenever something needs to see
+// individual pulses (an installed tap, detector dead time, a cut
+// fiber), and the batched fast path otherwise.
+func (l *Link) Engine() TransmitEngine {
+	if l.engine != nil {
+		return l.engine
+	}
+	if l.tap != nil || l.cut || l.params.DeadGates > 0 {
+		return exactEngine{}
+	}
+	return batchedEngine{}
+}
+
 // TransmitFrame simulates one frame of `slots` pulses and returns
-// Alice's transmitted symbols and Bob's detection record.
+// Alice's transmitted symbols and Bob's detection record, dispatching
+// to the active TransmitEngine.
 func (l *Link) TransmitFrame(id uint64, slots int) (*qframe.TxFrame, *qframe.RxFrame) {
-	tx := &qframe.TxFrame{ID: id, Pulses: make([]qframe.TxSymbol, slots)}
-	rx := &qframe.RxFrame{ID: id, SlotsTotal: slots}
+	return l.Engine().Transmit(l, id, slots)
+}
+
+// ---------------------------------------------------------------------
+// Exact engine: per-pulse Monte Carlo
+// ---------------------------------------------------------------------
+
+type exactEngine struct{}
+
+func (exactEngine) Name() string { return "exact" }
+
+func (exactEngine) Transmit(l *Link, id uint64, slots int) (*qframe.TxFrame, *qframe.RxFrame) {
+	tx := qframe.NewTxFrame(id, slots)
+	rx := qframe.NewRxFrame(id, slots)
 	if f, ok := l.tap.(FrameAware); ok {
 		f.BeginFrame(id)
 	}
@@ -254,7 +331,7 @@ func (l *Link) TransmitFrame(id uint64, slots int) (*qframe.TxFrame, *qframe.RxF
 		slot := uint32(s)
 		basis := qframe.Basis(l.aliceRand.Bit())
 		value := uint8(l.aliceRand.Bit())
-		tx.Pulses[s] = qframe.TxSymbol{Slot: slot, Basis: basis, Value: value}
+		tx.SetSymbol(s, basis, value)
 
 		pulse := Pulse{
 			Slot:    slot,
@@ -277,7 +354,7 @@ func (l *Link) TransmitFrame(id uint64, slots int) (*qframe.TxFrame, *qframe.RxF
 
 		det := l.detect(&pulse)
 		if det.Result != qframe.NoClick {
-			rx.Detections = append(rx.Detections, det)
+			rx.Record(det.Slot, det.Basis, det.Result)
 		}
 	}
 	return tx, rx
@@ -364,6 +441,193 @@ func (l *Link) detect(p *Pulse) qframe.RxSymbol {
 	return out
 }
 
+// ---------------------------------------------------------------------
+// Batched engine: aggregate counts, then sample only the clicked slots
+// ---------------------------------------------------------------------
+
+type batchedEngine struct{}
+
+func (batchedEngine) Name() string { return "batched" }
+
+// Detection outcome categories a non-vacuum gate can land in. Per slot
+// these are mutually exclusive; their per-slot probabilities follow in
+// closed form from the same Poisson/thinning model the exact engine
+// samples pulse by pulse.
+const (
+	catMatchedCorrect = iota // bases matched, single click, Alice's bit
+	catMatchedWrong          // bases matched, single click, flipped bit
+	catMatchedDouble         // bases matched, both APDs fired
+	catMisSingle             // bases differed, single click (uniform bit)
+	catMisDouble             // bases differed, both APDs fired
+	numCats
+)
+
+// slotProbs holds the per-slot outcome distribution and the dark-only
+// fractions within each clicking category.
+type slotProbs struct {
+	cat      [numCats]float64 // unconditional per-slot probability
+	darkFrac [numCats]float64 // P[click is dark-only | category]
+}
+
+// batchProbs derives the closed-form per-slot outcome probabilities.
+// Derivation: k ~ Poisson(mu) photons each survive the fiber w.p. T and
+// fire a detector w.p. eta, so photons *detected* at each APD are
+// independent Poissons obtained by thinning lam = mu*T*eta: with
+// matched bases the split is (1-e, e) across (correct, wrong) for
+// optical error probability e; with mismatched bases it is (1/2, 1/2).
+// An APD fires iff its Poisson count is nonzero or its dark count
+// (prob d) fires; the per-gate categories follow by independence.
+func batchProbs(p Params, cut bool) slotProbs {
+	lam := p.MeanPhotons * p.ChannelTransmission() * p.DetectorEff
+	if cut {
+		lam = 0
+	}
+	e := p.OpticalErrorProb()
+	d := p.DarkCountProb
+
+	pC := 1 - math.Exp(-lam*(1-e)) // signal fires correct APD (matched)
+	pW := 1 - math.Exp(-lam*e)     // signal fires wrong APD (matched)
+	pH := 1 - math.Exp(-lam/2)     // signal fires either APD (mismatched)
+
+	noC := (1 - pC) * (1 - d) // correct APD silent, incl. darks
+	noW := (1 - pW) * (1 - d)
+	noH := (1 - pH) * (1 - d)
+
+	var sp slotProbs
+	// Conditional on matched bases (probability 1/2 per slot):
+	qmc := (1 - noC) * noW
+	qmw := (1 - noW) * noC
+	qmd := (1 - noC) * (1 - noW)
+	// Conditional on mismatched bases:
+	qms := 2 * (1 - noH) * noH
+	qsd := (1 - noH) * (1 - noH)
+	sp.cat = [numCats]float64{0.5 * qmc, 0.5 * qmw, 0.5 * qmd, 0.5 * qms, 0.5 * qsd}
+
+	// Dark-only fractions: the click happened with zero signal photons
+	// detected, the sub-event the DarkClicks counter tracks.
+	vac := (1 - pC) * (1 - pW) // no signal at either APD (matched)
+	vacH := (1 - pH) * (1 - pH)
+	sp.darkFrac = [numCats]float64{
+		safeDiv(vac*d*(1-d), qmc),
+		safeDiv(vac*d*(1-d), qmw),
+		safeDiv(vac*d*d, qmd),
+		safeDiv(vacH*2*d*(1-d), qms),
+		safeDiv(vacH*d*d, qsd),
+	}
+	return sp
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func (batchedEngine) Transmit(l *Link, id uint64, slots int) (*qframe.TxFrame, *qframe.RxFrame) {
+	// Alice's modulation: two packed random columns, 64 slots per draw.
+	tx := qframe.NewTxFrameFromColumns(id, l.aliceRand.Bits(slots), l.aliceRand.Bits(slots))
+	rx := qframe.NewRxFrame(id, slots)
+
+	// Source and propagation counters (reporting only — drawn from the
+	// same marginals as the exact engine, independently of the clicks).
+	l.stats.Pulses += uint64(slots)
+	sent := l.chanRand.Poisson(float64(slots) * l.params.MeanPhotons)
+	l.stats.PhotonsSent += uint64(sent)
+	l.stats.MultiPhoton += uint64(l.chanRand.Binomial(slots, l.params.MultiPhotonProb()))
+	if !l.cut {
+		l.stats.Arrived += uint64(l.chanRand.Binomial(sent, l.params.ChannelTransmission()))
+	}
+
+	// Aggregate category counts: a multinomial over the per-slot
+	// outcome distribution, drawn as sequential conditional binomials.
+	sp := batchProbs(l.params, l.cut)
+	var counts [numCats]int
+	remaining, rest := slots, 1.0
+	for c := 0; c < numCats && remaining > 0 && rest > 0; c++ {
+		q := sp.cat[c] / rest
+		if q > 1 {
+			q = 1
+		}
+		counts[c] = l.chanRand.Binomial(remaining, q)
+		remaining -= counts[c]
+		rest -= sp.cat[c]
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+
+	// Choose which slots clicked: `total` distinct slots uniformly at
+	// random, via a sparse Fisher-Yates (O(total) time and memory).
+	// The first counts[0] picks are category 0, and so on — the picks
+	// arrive in uniformly random order, so no separate shuffle is
+	// needed. Keys pack slot and category for an in-order emit.
+	displaced := make(map[int]int, total)
+	keys := make([]uint64, 0, total)
+	cat, catLeft := 0, counts[0]
+	for i := 0; i < total; i++ {
+		for catLeft == 0 {
+			cat++
+			catLeft = counts[cat]
+		}
+		j := i + l.bobRand.Intn(slots-i)
+		slot, ok := displaced[j]
+		if !ok {
+			slot = j
+		}
+		cur, ok := displaced[i]
+		if !ok {
+			cur = i
+		}
+		displaced[j] = cur
+		keys = append(keys, uint64(slot)<<3|uint64(cat))
+		catLeft--
+	}
+	slices.Sort(keys)
+
+	randomize := l.params.DoubleClicks == RandomizeDoubleClicks
+	for _, k := range keys {
+		slot := int(k >> 3)
+		ab, av := tx.Basis(slot), tx.Value(slot)
+		switch k & 7 {
+		case catMatchedCorrect:
+			rx.Record(uint32(slot), ab, qframe.ClickFor(av))
+		case catMatchedWrong:
+			rx.Record(uint32(slot), ab, qframe.ClickFor(av^1))
+		case catMisSingle:
+			rx.Record(uint32(slot), ab^1, qframe.ClickFor(uint8(l.bobRand.Bit())))
+		case catMatchedDouble, catMisDouble:
+			basis := ab
+			if k&7 == catMisDouble {
+				basis = ab ^ 1
+			}
+			if randomize {
+				rx.Record(uint32(slot), basis, qframe.ClickFor(uint8(l.bobRand.Bit())))
+			} else {
+				rx.Record(uint32(slot), basis, qframe.DoubleClick)
+			}
+		}
+	}
+
+	// Click counters, mirroring the exact engine's accounting: under
+	// the randomize policy a double-gated click is recorded (and
+	// counted) as a single click too.
+	singles := counts[catMatchedCorrect] + counts[catMatchedWrong] + counts[catMisSingle]
+	doubles := counts[catMatchedDouble] + counts[catMisDouble]
+	l.stats.SingleClicks += uint64(singles)
+	l.stats.DoubleClicks += uint64(doubles)
+	darkCats := []int{catMatchedCorrect, catMatchedWrong, catMisSingle}
+	if randomize {
+		l.stats.SingleClicks += uint64(doubles)
+		darkCats = append(darkCats, catMatchedDouble, catMisDouble)
+	}
+	for _, c := range darkCats {
+		l.stats.DarkClicks += uint64(l.chanRand.Binomial(counts[c], sp.darkFrac[c]))
+	}
+	return tx, rx
+}
+
 // MeasuredQBER compares a transmitted and received frame pair and
 // returns (siftedBits, errorBits): the slots where Bob registered a
 // usable click and chose Alice's basis, and among those, how many bit
@@ -371,17 +635,13 @@ func (l *Link) detect(p *Pulse) qframe.RxSymbol {
 // simulator (and to tests); the protocol stack must instead estimate
 // error rates through the Cascade exchange.
 func MeasuredQBER(tx *qframe.TxFrame, rx *qframe.RxFrame) (sifted, errors int) {
-	for _, d := range rx.Detections {
-		v, ok := d.Value()
-		if !ok {
-			continue
-		}
-		t := tx.Pulses[d.Slot]
-		if t.Basis != d.Basis {
+	slots, bases, values := rx.Usable()
+	for i, slot := range slots {
+		if tx.Basis(int(slot)) != qframe.Basis(bases.Get(i)) {
 			continue
 		}
 		sifted++
-		if t.Value != v {
+		if tx.Value(int(slot)) != uint8(values.Get(i)) {
 			errors++
 		}
 	}

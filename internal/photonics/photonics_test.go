@@ -4,7 +4,6 @@ import (
 	"math"
 	"testing"
 
-	"qkd/internal/qframe"
 	"qkd/internal/rng"
 )
 
@@ -90,17 +89,22 @@ func TestIdealLinkNoErrors(t *testing.T) {
 
 func TestMatchedBasisValuesAgree(t *testing.T) {
 	// On an ideal link every matched-basis single click must carry
-	// Alice's value.
-	l := NewLink(idealParams(), 7)
-	tx, rx := l.TransmitFrame(0, 500)
-	for _, d := range rx.Detections {
-		v, ok := d.Value()
-		if !ok {
-			continue
-		}
-		a := tx.Pulses[d.Slot]
-		if a.Basis == d.Basis && a.Value != v {
-			t.Fatalf("slot %d: matched basis but value %d != %d", d.Slot, v, a.Value)
+	// Alice's value — on both engines.
+	for _, eng := range []TransmitEngine{Exact(), Batched()} {
+		l := NewLink(idealParams(), 7)
+		l.SetEngine(eng)
+		tx, rx := l.TransmitFrame(0, 500)
+		for i := 0; i < rx.Count(); i++ {
+			d := rx.At(i)
+			v, ok := d.Value()
+			if !ok {
+				continue
+			}
+			a := tx.Symbol(int(d.Slot))
+			if a.Basis == d.Basis && a.Value != v {
+				t.Fatalf("%s: slot %d: matched basis but value %d != %d",
+					eng.Name(), d.Slot, v, a.Value)
+			}
 		}
 	}
 }
@@ -116,12 +120,13 @@ func TestMismatchedBasisRandom(t *testing.T) {
 	agree, total := 0, 0
 	for f := 0; f < 20; f++ {
 		tx, rx := l.TransmitFrame(uint64(f), 1000)
-		for _, d := range rx.Detections {
+		for i := 0; i < rx.Count(); i++ {
+			d := rx.At(i)
 			v, ok := d.Value()
 			if !ok {
 				continue
 			}
-			a := tx.Pulses[d.Slot]
+			a := tx.Symbol(int(d.Slot))
 			if a.Basis != d.Basis {
 				total++
 				if a.Value == v {
@@ -170,7 +175,7 @@ func TestSiftedFractionMatchesPrediction(t *testing.T) {
 		tx, rx := l.TransmitFrame(uint64(f), 10000)
 		s, _ := MeasuredQBER(tx, rx)
 		sifted += s
-		pulses += len(tx.Pulses)
+		pulses += tx.Len()
 	}
 	got := float64(sifted) / float64(pulses)
 	want := p.ExpectedSiftedFraction()
@@ -188,12 +193,12 @@ func TestCutLinkDeliversNothing(t *testing.T) {
 		t.Fatal("IsCut false after Cut")
 	}
 	_, rx := l.TransmitFrame(0, 5000)
-	if len(rx.Detections) != 0 {
-		t.Errorf("cut link delivered %d detections", len(rx.Detections))
+	if rx.Count() != 0 {
+		t.Errorf("cut link delivered %d detections", rx.Count())
 	}
 	l.Restore()
 	_, rx = l.TransmitFrame(1, 5000)
-	if len(rx.Detections) == 0 {
+	if rx.Count() == 0 {
 		t.Error("restored link delivered nothing")
 	}
 }
@@ -228,23 +233,15 @@ func TestDoubleClickPolicies(t *testing.T) {
 	p.MeanPhotons = 20
 	l := NewLink(p, 13)
 	_, rx := l.TransmitFrame(0, 2000)
-	sawDouble := false
-	for _, d := range rx.Detections {
-		if d.Result == qframe.DoubleClick {
-			sawDouble = true
-		}
-	}
-	if !sawDouble {
+	if rx.DoubleClickCount() == 0 {
 		t.Error("discard policy: expected DoubleClick records at mu=20")
 	}
 
 	p.DoubleClicks = RandomizeDoubleClicks
 	l = NewLink(p, 13)
 	_, rx = l.TransmitFrame(0, 2000)
-	for _, d := range rx.Detections {
-		if d.Result == qframe.DoubleClick {
-			t.Fatal("randomize policy emitted a DoubleClick")
-		}
+	if rx.DoubleClickCount() != 0 {
+		t.Fatal("randomize policy emitted a DoubleClick")
 	}
 }
 
@@ -267,17 +264,57 @@ func TestStatsAccumulate(t *testing.T) {
 }
 
 func TestDeterministicGivenSeed(t *testing.T) {
-	a := NewLink(DefaultParams(), 99)
-	b := NewLink(DefaultParams(), 99)
-	txA, rxA := a.TransmitFrame(0, 3000)
-	txB, rxB := b.TransmitFrame(0, 3000)
-	if len(txA.Pulses) != len(txB.Pulses) || len(rxA.Detections) != len(rxB.Detections) {
-		t.Fatal("same seed, different outcomes")
-	}
-	for i := range rxA.Detections {
-		if rxA.Detections[i] != rxB.Detections[i] {
-			t.Fatal("same seed, different detections")
+	// Both engines must be reproducible from the seed alone.
+	for _, eng := range []TransmitEngine{Exact(), Batched()} {
+		a := NewLink(DefaultParams(), 99)
+		b := NewLink(DefaultParams(), 99)
+		a.SetEngine(eng)
+		b.SetEngine(eng)
+		txA, rxA := a.TransmitFrame(0, 3000)
+		txB, rxB := b.TransmitFrame(0, 3000)
+		if txA.Len() != txB.Len() || rxA.Count() != rxB.Count() {
+			t.Fatalf("%s: same seed, different outcomes", eng.Name())
 		}
+		for i := 0; i < txA.Len(); i++ {
+			if txA.Symbol(i) != txB.Symbol(i) {
+				t.Fatalf("%s: same seed, different modulation", eng.Name())
+			}
+		}
+		for i := 0; i < rxA.Count(); i++ {
+			if rxA.At(i) != rxB.At(i) {
+				t.Fatalf("%s: same seed, different detections", eng.Name())
+			}
+		}
+	}
+}
+
+func TestEngineSelection(t *testing.T) {
+	p := DefaultParams()
+	l := NewLink(p, 1)
+	if got := l.Engine().Name(); got != "batched" {
+		t.Errorf("honest link engine = %s, want batched", got)
+	}
+	l.SetTap(blackHoleTap{})
+	if got := l.Engine().Name(); got != "exact" {
+		t.Errorf("tapped link engine = %s, want exact", got)
+	}
+	l.SetTap(nil)
+	l.Cut()
+	if got := l.Engine().Name(); got != "exact" {
+		t.Errorf("cut link engine = %s, want exact", got)
+	}
+	l.Restore()
+	if got := l.Engine().Name(); got != "batched" {
+		t.Errorf("restored link engine = %s, want batched", got)
+	}
+	p.DeadGates = 5
+	dead := NewLink(p, 1)
+	if got := dead.Engine().Name(); got != "exact" {
+		t.Errorf("dead-time link engine = %s, want exact", got)
+	}
+	dead.SetEngine(Batched())
+	if got := dead.Engine().Name(); got != "batched" {
+		t.Errorf("pinned engine = %s, want batched", got)
 	}
 }
 
@@ -291,9 +328,9 @@ func TestDeadTimeReducesRate(t *testing.T) {
 	deadened := NewLink(p, 23)
 	_, rx2 := deadened.TransmitFrame(0, 20000)
 
-	if len(rx2.Detections) >= len(rx1.Detections) {
+	if rx2.Count() >= rx1.Count() {
 		t.Errorf("dead time did not reduce clicks: %d vs %d",
-			len(rx2.Detections), len(rx1.Detections))
+			rx2.Count(), rx1.Count())
 	}
 }
 
@@ -333,15 +370,108 @@ func TestTapCanSuppressSignal(t *testing.T) {
 	l := NewLink(p, 31)
 	l.SetTap(blackHoleTap{})
 	_, rx := l.TransmitFrame(0, 20000)
-	if len(rx.Detections) != 0 {
-		t.Errorf("black hole tap let %d detections through", len(rx.Detections))
+	if rx.Count() != 0 {
+		t.Errorf("black hole tap let %d detections through", rx.Count())
 	}
 }
 
-func BenchmarkTransmitFrame10k(b *testing.B) {
-	l := NewLink(DefaultParams(), 1)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		l.TransmitFrame(uint64(i), 10000)
+// assertRateClose checks two empirical rates k1/n1 and k2/n2 agree
+// within 5 standard deviations of their pooled binomial difference.
+func assertRateClose(t *testing.T, what string, k1, n1, k2, n2 float64) {
+	t.Helper()
+	if n1 == 0 || n2 == 0 {
+		t.Fatalf("%s: no samples (%v, %v)", what, n1, n2)
+	}
+	p1, p2 := k1/n1, k2/n2
+	pooled := (k1 + k2) / (n1 + n2)
+	sigma := math.Sqrt(pooled * (1 - pooled) * (1/n1 + 1/n2))
+	if math.Abs(p1-p2) > 5*sigma+1e-12 {
+		t.Errorf("%s: exact %.6g vs batched %.6g differ by more than 5 sigma (%.3g)",
+			what, p1, p2, sigma)
+	}
+}
+
+// TestBatchedMatchesExactDistributions pins the two engines to the same
+// observable distributions: over >= 10^6 pulses per engine, the click
+// rate, double-click rate, dark-click fraction and measured QBER must
+// agree within 5 sigma. This is the contract that lets the batched path
+// substitute for the per-pulse Monte Carlo on honest links.
+func TestBatchedMatchesExactDistributions(t *testing.T) {
+	bench := DefaultParams()
+	bench.FiberKm = 0
+	bench.SystemLossDB = 0
+	bench.DetectorEff = 1
+	bench.DarkCountProb = 1e-5
+	bench.Visibility = 0.96
+
+	bright := bench
+	bright.MeanPhotons = 1.0
+	bright.DoubleClicks = RandomizeDoubleClicks
+
+	darkHeavy := DefaultParams()
+	darkHeavy.DarkCountProb = 1e-3
+
+	scenarios := []struct {
+		name string
+		p    Params
+	}{
+		{"paper-default", DefaultParams()},
+		{"bench", bench},
+		{"bright-randomize", bright},
+		{"dark-heavy", darkHeavy},
+	}
+	const frames, slots = 50, 20000 // 10^6 pulses per engine per scenario
+	type tally struct {
+		stats                   Stats
+		sifted, errors, doubles float64
+	}
+	run := func(p Params, eng TransmitEngine, seed uint64) tally {
+		l := NewLink(p, seed)
+		l.SetEngine(eng)
+		var out tally
+		for f := 0; f < frames; f++ {
+			tx, rx := l.TransmitFrame(uint64(f), slots)
+			s, e := MeasuredQBER(tx, rx)
+			out.sifted += float64(s)
+			out.errors += float64(e)
+			out.doubles += float64(rx.DoubleClickCount())
+		}
+		out.stats = l.Stats()
+		return out
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			ex := run(sc.p, Exact(), 1001)
+			ba := run(sc.p, Batched(), 2002)
+			n := float64(frames * slots)
+			assertRateClose(t, "single-click rate",
+				float64(ex.stats.SingleClicks), n, float64(ba.stats.SingleClicks), n)
+			assertRateClose(t, "double-click rate",
+				float64(ex.stats.DoubleClicks), n, float64(ba.stats.DoubleClicks), n)
+			assertRateClose(t, "dark-click rate",
+				float64(ex.stats.DarkClicks), n, float64(ba.stats.DarkClicks), n)
+			assertRateClose(t, "sifted fraction", ex.sifted, n, ba.sifted, n)
+			assertRateClose(t, "measured QBER", ex.errors, ex.sifted, ba.errors, ba.sifted)
+			assertRateClose(t, "photons sent / pulse",
+				float64(ex.stats.PhotonsSent), n, float64(ba.stats.PhotonsSent), n)
+			assertRateClose(t, "multi-photon rate",
+				float64(ex.stats.MultiPhoton), n, float64(ba.stats.MultiPhoton), n)
+		})
+	}
+}
+
+// BenchmarkLink_TransmitFrame covers both physical-layer engines on the
+// same 10k-slot frame so the fast path's speedup stays visible in the
+// bench trajectory.
+func BenchmarkLink_TransmitFrame(b *testing.B) {
+	for _, eng := range []TransmitEngine{Exact(), Batched()} {
+		b.Run(eng.Name(), func(b *testing.B) {
+			l := NewLink(DefaultParams(), 1)
+			l.SetEngine(eng)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				l.TransmitFrame(uint64(i), 10000)
+			}
+		})
 	}
 }

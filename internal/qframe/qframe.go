@@ -7,9 +7,22 @@
 // engine then consumes "Qframes": contiguous runs of pulse slots with,
 // on Alice's side, the (basis, value) modulation she applied, and on
 // Bob's side, the basis he selected and which detector (if any) clicked.
+//
+// Frames are stored columnar, not as struct slices: a TxFrame is two
+// packed bit columns (one basis bit and one value bit per slot), and an
+// RxFrame is a sparse detection list held as parallel columns (slot
+// numbers, packed basis bits, detection outcomes). The packed layout is
+// what lets the physical layer draw a whole frame's modulation 64 slots
+// per PRNG call and lets sifting compare bases word-at-a-time; upper
+// layers go through the accessors below rather than indexing slices of
+// structs.
 package qframe
 
-import "fmt"
+import (
+	"fmt"
+
+	"qkd/internal/bitarray"
+)
 
 // Basis identifies one of BB84's two conjugate bases.
 type Basis uint8
@@ -65,14 +78,23 @@ func (d Detection) String() string {
 	return fmt.Sprintf("Detection(%d)", uint8(d))
 }
 
-// TxSymbol records what Alice modulated onto pulse slot Slot of a frame.
+// ClickFor returns the Detection registering bit value v (0 or 1).
+func ClickFor(v uint8) Detection {
+	if v == 0 {
+		return ClickD0
+	}
+	return ClickD1
+}
+
+// TxSymbol is the accessor view of what Alice modulated onto one pulse
+// slot of a frame (the storage itself is columnar; see TxFrame).
 type TxSymbol struct {
 	Slot  uint32
 	Basis Basis
 	Value uint8 // 0 or 1
 }
 
-// RxSymbol records what Bob observed in pulse slot Slot.
+// RxSymbol is the accessor view of what Bob observed in one pulse slot.
 type RxSymbol struct {
 	Slot   uint32
 	Basis  Basis
@@ -94,30 +116,135 @@ func (r RxSymbol) Value() (bit uint8, ok bool) {
 
 // TxFrame is a contiguous train of transmitted pulses. Frames are the
 // unit the sifting protocol operates on ("raw qframes" in the paper's
-// protocol stack diagram).
+// protocol stack diagram). Storage is two packed bit columns, one bit
+// per pulse slot each.
 type TxFrame struct {
 	// ID numbers the frame; the bright-pulse annunciation scheme is
 	// abstracted as agreement on (frame, slot) coordinates.
 	ID uint64
-	// Pulses holds one symbol per pulse slot, slot numbers 0..n-1.
-	Pulses []TxSymbol
+
+	bases  *bitarray.BitArray // bit i: basis of slot i
+	values *bitarray.BitArray // bit i: value of slot i
 }
+
+// NewTxFrame returns a frame of `slots` pulse slots, all modulated
+// (BasisRect, 0) until SetSymbol says otherwise.
+func NewTxFrame(id uint64, slots int) *TxFrame {
+	return &TxFrame{ID: id, bases: bitarray.New(slots), values: bitarray.New(slots)}
+}
+
+// NewTxFrameFromColumns adopts pre-packed basis and value columns (used
+// by the physical layer's bulk modulation draw). The columns are not
+// copied and must be the same length.
+func NewTxFrameFromColumns(id uint64, bases, values *bitarray.BitArray) *TxFrame {
+	if bases.Len() != values.Len() {
+		panic(fmt.Sprintf("qframe: column lengths differ: %d bases, %d values",
+			bases.Len(), values.Len()))
+	}
+	return &TxFrame{ID: id, bases: bases, values: values}
+}
+
+// Len returns the number of pulse slots in the frame.
+func (f *TxFrame) Len() int { return f.bases.Len() }
+
+// Basis returns the basis Alice modulated onto slot.
+func (f *TxFrame) Basis(slot int) Basis { return Basis(f.bases.Get(slot)) }
+
+// Value returns the bit value Alice modulated onto slot.
+func (f *TxFrame) Value(slot int) uint8 { return uint8(f.values.Get(slot)) }
+
+// Symbol returns the accessor view of one slot.
+func (f *TxFrame) Symbol(slot int) TxSymbol {
+	return TxSymbol{Slot: uint32(slot), Basis: f.Basis(slot), Value: f.Value(slot)}
+}
+
+// SetSymbol records Alice's modulation for one slot.
+func (f *TxFrame) SetSymbol(slot int, b Basis, v uint8) {
+	f.bases.Set(slot, int(b))
+	f.values.Set(slot, int(v))
+}
+
+// BasisColumn exposes the packed basis column (one bit per slot) for
+// word-at-a-time consumers like sifting. Callers must not mutate it.
+func (f *TxFrame) BasisColumn() *bitarray.BitArray { return f.bases }
+
+// ValueColumn exposes the packed value column (one bit per slot).
+// Callers must not mutate it.
+func (f *TxFrame) ValueColumn() *bitarray.BitArray { return f.values }
 
 // RxFrame is Bob's view of frame ID: only the slots where his gated
 // detectors produced a usable or double click are recorded (no-click
 // slots are omitted, which is what makes sifting messages compressible).
+// The sparse detection list is columnar: slot numbers, packed basis
+// bits, and detection outcomes in three parallel columns, ordered by
+// ascending slot.
 type RxFrame struct {
 	ID         uint64
 	SlotsTotal int // number of pulse slots in the frame
-	Detections []RxSymbol
+
+	slots   []uint32
+	bases   *bitarray.BitArray // bit i: Bob's basis for detection i
+	results []Detection
+}
+
+// NewRxFrame returns an empty detection record for a frame of
+// slotsTotal pulse slots.
+func NewRxFrame(id uint64, slotsTotal int) *RxFrame {
+	return &RxFrame{ID: id, SlotsTotal: slotsTotal, bases: bitarray.New(0)}
+}
+
+// Record appends one detection. Detections must be recorded in strictly
+// ascending slot order (the order the gates fire in).
+func (f *RxFrame) Record(slot uint32, b Basis, result Detection) {
+	if n := len(f.slots); n > 0 && f.slots[n-1] >= slot {
+		panic(fmt.Sprintf("qframe: detection slots out of order: %d after %d",
+			slot, f.slots[n-1]))
+	}
+	f.slots = append(f.slots, slot)
+	f.bases.Append(int(b))
+	f.results = append(f.results, result)
+}
+
+// Count returns the number of recorded detections (usable or double).
+func (f *RxFrame) Count() int { return len(f.slots) }
+
+// At returns the accessor view of detection i (not slot i).
+func (f *RxFrame) At(i int) RxSymbol {
+	return RxSymbol{Slot: f.slots[i], Basis: Basis(f.bases.Get(i)), Result: f.results[i]}
+}
+
+// Usable returns the columnar view of the usable (single-click)
+// detections: slot numbers, Bob's packed basis bits, and the packed bit
+// values the clicks registered, all parallel and in ascending slot
+// order. This is the input shape the sifting fast path consumes.
+func (f *RxFrame) Usable() (slots []uint32, bases, values *bitarray.BitArray) {
+	n := f.ClickCount()
+	slots = make([]uint32, 0, n)
+	bases = bitarray.New(0)
+	values = bitarray.New(0)
+	for i, res := range f.results {
+		var v int
+		switch res {
+		case ClickD0:
+			v = 0
+		case ClickD1:
+			v = 1
+		default:
+			continue
+		}
+		slots = append(slots, f.slots[i])
+		bases.Append(f.bases.Get(i))
+		values.Append(v)
+	}
+	return slots, bases, values
 }
 
 // ClickCount returns how many usable single-detector clicks the frame
 // contains.
 func (f *RxFrame) ClickCount() int {
 	n := 0
-	for _, d := range f.Detections {
-		if _, ok := d.Value(); ok {
+	for _, res := range f.results {
+		if res == ClickD0 || res == ClickD1 {
 			n++
 		}
 	}
@@ -127,8 +254,8 @@ func (f *RxFrame) ClickCount() int {
 // DoubleClickCount returns how many double clicks the frame contains.
 func (f *RxFrame) DoubleClickCount() int {
 	n := 0
-	for _, d := range f.Detections {
-		if d.Result == DoubleClick {
+	for _, res := range f.results {
+		if res == DoubleClick {
 			n++
 		}
 	}

@@ -57,16 +57,81 @@ func TestStringers(t *testing.T) {
 }
 
 func TestFrameCounts(t *testing.T) {
-	f := &RxFrame{ID: 1, SlotsTotal: 10, Detections: []RxSymbol{
-		{Slot: 0, Result: ClickD0},
-		{Slot: 2, Result: ClickD1},
-		{Slot: 4, Result: DoubleClick},
-		{Slot: 6, Result: DoubleClick},
-	}}
+	f := NewRxFrame(1, 10)
+	f.Record(0, BasisRect, ClickD0)
+	f.Record(2, BasisDiag, ClickD1)
+	f.Record(4, BasisRect, DoubleClick)
+	f.Record(6, BasisRect, DoubleClick)
 	if got := f.ClickCount(); got != 2 {
 		t.Errorf("ClickCount = %d, want 2", got)
 	}
 	if got := f.DoubleClickCount(); got != 2 {
 		t.Errorf("DoubleClickCount = %d, want 2", got)
+	}
+	if got := f.Count(); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+}
+
+func TestTxFrameColumns(t *testing.T) {
+	f := NewTxFrame(7, 100)
+	if f.Len() != 100 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	f.SetSymbol(3, BasisDiag, 1)
+	f.SetSymbol(64, BasisDiag, 0)
+	if f.Basis(3) != BasisDiag || f.Value(3) != 1 {
+		t.Error("SetSymbol(3) not read back")
+	}
+	if f.Basis(64) != BasisDiag || f.Value(64) != 0 {
+		t.Error("SetSymbol(64) not read back")
+	}
+	if f.Basis(0) != BasisRect || f.Value(0) != 0 {
+		t.Error("untouched slot not zero")
+	}
+	s := f.Symbol(3)
+	if s.Slot != 3 || s.Basis != BasisDiag || s.Value != 1 {
+		t.Errorf("Symbol(3) = %+v", s)
+	}
+	if f.BasisColumn().OnesCount() != 2 || f.ValueColumn().OnesCount() != 1 {
+		t.Error("columns inconsistent with accessors")
+	}
+}
+
+func TestRxFrameAccessors(t *testing.T) {
+	f := NewRxFrame(1, 10)
+	f.Record(1, BasisDiag, ClickD1)
+	f.Record(4, BasisRect, DoubleClick)
+	f.Record(6, BasisRect, ClickD0)
+	d := f.At(0)
+	if d.Slot != 1 || d.Basis != BasisDiag || d.Result != ClickD1 {
+		t.Errorf("At(0) = %+v", d)
+	}
+	slots, bases, values := f.Usable()
+	if len(slots) != 2 || slots[0] != 1 || slots[1] != 6 {
+		t.Fatalf("Usable slots = %v", slots)
+	}
+	if bases.Get(0) != 1 || bases.Get(1) != 0 {
+		t.Error("Usable bases wrong")
+	}
+	if values.Get(0) != 1 || values.Get(1) != 0 {
+		t.Error("Usable values wrong")
+	}
+}
+
+func TestRecordRejectsOutOfOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f := NewRxFrame(1, 10)
+	f.Record(5, BasisRect, ClickD0)
+	f.Record(5, BasisRect, ClickD0)
+}
+
+func TestClickFor(t *testing.T) {
+	if ClickFor(0) != ClickD0 || ClickFor(1) != ClickD1 {
+		t.Error("ClickFor")
 	}
 }

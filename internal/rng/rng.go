@@ -143,6 +143,48 @@ func (s *SplitMix64) Poisson(lambda float64) int {
 	}
 }
 
+// Binomial draws the number of successes in n independent trials of
+// probability p. The batched photonics engine uses it to draw aggregate
+// per-frame click totals instead of per-pulse coin flips.
+//
+// For the sparse regime the engine lives in (np small) the draw is
+// exact: successes are located by sampling geometric gaps between them,
+// costing O(np) time. When the variance np(1-p) is large the skew is
+// negligible and a rounded normal approximation is used, keeping the
+// call O(1); the crossover matches Poisson's.
+func (s *SplitMix64) Binomial(n int, p float64) int {
+	switch {
+	case n <= 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	case p > 0.5:
+		return n - s.Binomial(n, 1-p)
+	}
+	if npq := float64(n) * p * (1 - p); npq > 64 {
+		k := int(float64(n)*p + s.normFloat()*math.Sqrt(npq) + 0.5)
+		if k < 0 {
+			k = 0
+		}
+		if k > n {
+			k = n
+		}
+		return k
+	}
+	// Geometric-gap method: the gap to the next success is geometric
+	// with parameter p, so successes are found in O(np) expected steps.
+	lnq := math.Log1p(-p)
+	k, i := 0, 0
+	for {
+		u := s.Float64() // [0,1); 1-u in (0,1] keeps the log finite
+		i += int(math.Log(1-u)/lnq) + 1
+		if i > n {
+			return k
+		}
+		k++
+	}
+}
+
 // Bits fills a BitArray of n random bits.
 func (s *SplitMix64) Bits(n int) *bitarray.BitArray {
 	a := bitarray.New(n)

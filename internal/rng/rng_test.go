@@ -239,3 +239,57 @@ func BenchmarkPoissonMu01(b *testing.B) {
 		s.Poisson(0.1)
 	}
 }
+
+func TestBinomialEdgeCases(t *testing.T) {
+	s := NewSplitMix64(1)
+	if got := s.Binomial(0, 0.5); got != 0 {
+		t.Errorf("Binomial(0, .5) = %d", got)
+	}
+	if got := s.Binomial(100, 0); got != 0 {
+		t.Errorf("Binomial(100, 0) = %d", got)
+	}
+	if got := s.Binomial(100, 1); got != 100 {
+		t.Errorf("Binomial(100, 1) = %d", got)
+	}
+	for i := 0; i < 100; i++ {
+		if got := s.Binomial(10, 0.3); got < 0 || got > 10 {
+			t.Fatalf("Binomial(10, .3) = %d out of range", got)
+		}
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	// Both regimes (geometric-gap and normal approximation) must
+	// reproduce the binomial mean and variance within 5 sigma.
+	s := NewSplitMix64(42)
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{10000, 0.001}, // sparse: geometric-gap path
+		{10000, 0.07},  // sparse-ish, still exact
+		{10000, 0.5},   // dense: normal approximation
+		{200, 0.4},     // small n, exact via complement
+	}
+	for _, c := range cases {
+		const draws = 20000
+		sum, sum2 := 0.0, 0.0
+		for i := 0; i < draws; i++ {
+			k := float64(s.Binomial(c.n, c.p))
+			sum += k
+			sum2 += k * k
+		}
+		mean := sum / draws
+		wantMean := float64(c.n) * c.p
+		variance := sum2/draws - mean*mean
+		wantVar := float64(c.n) * c.p * (1 - c.p)
+		// 5-sigma tolerance on the sample mean.
+		tol := 5 * math.Sqrt(wantVar/draws)
+		if math.Abs(mean-wantMean) > tol {
+			t.Errorf("Binomial(%d, %g): mean %.2f, want %.2f +/- %.2f", c.n, c.p, mean, wantMean, tol)
+		}
+		if variance < 0.8*wantVar || variance > 1.2*wantVar {
+			t.Errorf("Binomial(%d, %g): variance %.2f, want ~%.2f", c.n, c.p, variance, wantVar)
+		}
+	}
+}

@@ -53,8 +53,7 @@ func TestDecodeSiftBitflipsRejectedOrConsistent(t *testing.T) {
 	gen := rng.NewSplitMix64(9)
 	m := &SiftMessage{FrameID: 3, SlotsTotal: 1000}
 	for s := 20; s < 1000; s += 37 {
-		m.Slots = append(m.Slots, uint32(s))
-		m.Bases = append(m.Bases, 0)
+		m.AddDetection(uint32(s), 0)
 	}
 	valid := m.Encode()
 	for trial := 0; trial < 300; trial++ {

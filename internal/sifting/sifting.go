@@ -18,37 +18,68 @@
 // strings (identical up to quantum bit errors, which the next stage —
 // error correction — repairs) and the list of pulse slots they came
 // from.
+//
+// The comparison itself runs on packed bit columns: Bob's reported
+// bases travel as a bit vector, Alice gathers her bases at the reported
+// slots into another bit vector, and the keep mask is a word-at-a-time
+// XNOR of the two; the sifted bits fall out of a packed compress
+// (extract-by-mask) rather than per-detection branching.
 package sifting
 
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	"qkd/internal/bitarray"
 	"qkd/internal/qframe"
 )
 
 // SiftMessage is Bob's report of which slots produced usable clicks and
-// with which basis he measured each.
+// with which basis he measured each. Bases is a packed column parallel
+// to Slots (bit i set means BasisDiag).
 type SiftMessage struct {
 	FrameID    uint64
 	SlotsTotal int
 	Slots      []uint32
-	Bases      []qframe.Basis // parallel to Slots
+	Bases      *bitarray.BitArray
+
+	// values holds the bit each reported click registered, parallel to
+	// Slots. BuildSift fills it so Bob's Apply need not re-derive the
+	// columns from the frame; it never goes on the wire (Alice must not
+	// learn Bob's bits) and decoded messages leave it nil.
+	values *bitarray.BitArray
+}
+
+// AddDetection appends one reported detection (used by tests and
+// hand-built messages; BuildSift is the bulk path).
+func (m *SiftMessage) AddDetection(slot uint32, b qframe.Basis) {
+	if m.Bases == nil {
+		m.Bases = bitarray.New(0)
+	}
+	m.Slots = append(m.Slots, slot)
+	m.Bases.Append(int(b))
 }
 
 // BuildSift constructs Bob's sift message from a received frame,
 // dropping no-clicks and double-clicks.
 func BuildSift(rx *qframe.RxFrame) *SiftMessage {
-	m := &SiftMessage{FrameID: rx.ID, SlotsTotal: rx.SlotsTotal}
-	for _, d := range rx.Detections {
-		if _, ok := d.Value(); !ok {
-			continue
-		}
-		m.Slots = append(m.Slots, d.Slot)
-		m.Bases = append(m.Bases, d.Basis)
+	slots, bases, values := rx.Usable()
+	return &SiftMessage{
+		FrameID:    rx.ID,
+		SlotsTotal: rx.SlotsTotal,
+		Slots:      slots,
+		Bases:      bases,
+		values:     values,
 	}
-	return m
+}
+
+// basesOrEmpty tolerates hand-built messages with a nil column.
+func (m *SiftMessage) basesOrEmpty() *bitarray.BitArray {
+	if m.Bases == nil {
+		return bitarray.New(0)
+	}
+	return m.Bases
 }
 
 // Encode serializes the message with delta/varint slot compression and
@@ -64,13 +95,7 @@ func (m *SiftMessage) Encode() []byte {
 		buf = binary.AppendUvarint(buf, uint64(gap))
 		prev = int64(s)
 	}
-	bases := bitarray.New(len(m.Bases))
-	for i, b := range m.Bases {
-		if b == qframe.BasisDiag {
-			bases.Set(i, 1)
-		}
-	}
-	return append(buf, bases.Bytes()...)
+	return append(buf, m.basesOrEmpty().Bytes()...)
 }
 
 // EncodeNaive serializes without compression: 4 bytes of slot number
@@ -81,10 +106,11 @@ func (m *SiftMessage) EncodeNaive() []byte {
 	buf = binary.AppendUvarint(buf, m.FrameID)
 	buf = binary.AppendUvarint(buf, uint64(m.SlotsTotal))
 	buf = binary.AppendUvarint(buf, uint64(len(m.Slots)))
+	bases := m.basesOrEmpty()
 	for i, s := range m.Slots {
 		var rec [5]byte
 		binary.BigEndian.PutUint32(rec[:4], s)
-		rec[4] = byte(m.Bases[i])
+		rec[4] = byte(bases.Get(i))
 		buf = append(buf, rec[:]...)
 	}
 	return buf
@@ -138,11 +164,8 @@ func DecodeSift(p []byte) (*SiftMessage, error) {
 	if len(p)-off < need {
 		return nil, fmt.Errorf("sifting: basis bits truncated: have %d, need %d", len(p)-off, need)
 	}
-	bases := bitarray.FromBytes(p[off : off+need])
-	m.Bases = make([]qframe.Basis, count)
-	for i := range m.Bases {
-		m.Bases[i] = qframe.Basis(bases.Get(i))
-	}
+	m.Bases = bitarray.FromBytes(p[off : off+need])
+	m.Bases.Truncate(int(count))
 	return m, nil
 }
 
@@ -194,61 +217,92 @@ type Result struct {
 	Slots []uint32
 }
 
+// filterSlots returns the slots whose keep bit is set, walking the keep
+// mask word-at-a-time.
+func filterSlots(slots []uint32, keep *bitarray.BitArray) []uint32 {
+	out := make([]uint32, 0, keep.OnesCount())
+	for wi, w := range keep.Words() {
+		base := wi << 6
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			out = append(out, slots[base+b])
+		}
+	}
+	return out
+}
+
 // Respond runs Alice's side: compare Bob's reported bases against the
 // transmitted frame and produce both the response message and Alice's
-// own sifted result.
+// own sifted result. The comparison is columnar: gather Alice's bases
+// at the reported slots, XNOR against Bob's packed bases for the keep
+// mask, and compress Alice's values by that mask for the sifted bits.
 func Respond(tx *qframe.TxFrame, m *SiftMessage) (*Response, *Result, error) {
 	if tx.ID != m.FrameID {
 		return nil, nil, fmt.Errorf("sifting: frame mismatch: tx %d, sift %d", tx.ID, m.FrameID)
 	}
-	if m.SlotsTotal != len(tx.Pulses) {
+	if m.SlotsTotal != tx.Len() {
 		return nil, nil, fmt.Errorf("sifting: slot count mismatch: tx %d, sift %d",
-			len(tx.Pulses), m.SlotsTotal)
+			tx.Len(), m.SlotsTotal)
 	}
-	keep := bitarray.New(len(m.Slots))
-	res := &Result{FrameID: m.FrameID, Bits: bitarray.New(0)}
-	for i, slot := range m.Slots {
-		p := tx.Pulses[slot]
-		if p.Basis != m.Bases[i] {
-			continue
-		}
-		keep.Set(i, 1)
-		res.Bits.Append(int(p.Value))
-		res.Slots = append(res.Slots, slot)
+	bases := m.basesOrEmpty()
+	if bases.Len() != len(m.Slots) {
+		return nil, nil, fmt.Errorf("sifting: %d slots but %d basis bits",
+			len(m.Slots), bases.Len())
+	}
+	keep := tx.BasisColumn().SelectU32(m.Slots)
+	keep.Xor(bases)
+	keep.Not() // 1 where Alice's and Bob's bases agree
+	res := &Result{
+		FrameID: m.FrameID,
+		Bits:    tx.ValueColumn().SelectU32(m.Slots).Compress(keep),
+		Slots:   filterSlots(m.Slots, keep),
 	}
 	return &Response{FrameID: m.FrameID, Keep: keep}, res, nil
 }
 
 // Apply runs Bob's side: fold Alice's response into his detection
-// record, producing his sifted result.
+// record, producing his sifted result. m must be the sift message built
+// from rx (Bob replays his own report to locate the kept bits).
 func Apply(rx *qframe.RxFrame, m *SiftMessage, r *Response) (*Result, error) {
 	if r.FrameID != m.FrameID {
 		return nil, fmt.Errorf("sifting: response frame %d for sift %d", r.FrameID, m.FrameID)
+	}
+	if m.FrameID != rx.ID {
+		return nil, fmt.Errorf("sifting: sift message frame %d for frame %d", m.FrameID, rx.ID)
 	}
 	if r.Keep.Len() != len(m.Slots) {
 		return nil, fmt.Errorf("sifting: response keeps %d bits for %d detections",
 			r.Keep.Len(), len(m.Slots))
 	}
-	// Index Bob's usable detections by slot for value lookup.
-	values := make(map[uint32]uint8, len(rx.Detections))
-	for _, d := range rx.Detections {
-		if v, ok := d.Value(); ok {
-			values[d.Slot] = v
+	values := m.values
+	if values != nil {
+		// BuildSift carried the values column along; just confirm the
+		// message still matches the frame's click census.
+		if n := rx.ClickCount(); n != len(m.Slots) {
+			return nil, fmt.Errorf("sifting: sift message reports %d detections, frame has %d usable",
+				len(m.Slots), n)
 		}
+	} else {
+		// Hand-built or decoded message: re-derive the columns.
+		slots, _, v := rx.Usable()
+		if len(slots) != len(m.Slots) {
+			return nil, fmt.Errorf("sifting: sift message reports %d detections, frame has %d usable",
+				len(m.Slots), len(slots))
+		}
+		for i := range slots {
+			if slots[i] != m.Slots[i] {
+				return nil, fmt.Errorf("sifting: sift message slot %d does not match frame slot %d",
+					m.Slots[i], slots[i])
+			}
+		}
+		values = v
 	}
-	res := &Result{FrameID: m.FrameID, Bits: bitarray.New(0)}
-	for i, slot := range m.Slots {
-		if r.Keep.Get(i) == 0 {
-			continue
-		}
-		v, ok := values[slot]
-		if !ok {
-			return nil, fmt.Errorf("sifting: response keeps slot %d we never reported", slot)
-		}
-		res.Bits.Append(int(v))
-		res.Slots = append(res.Slots, slot)
-	}
-	return res, nil
+	return &Result{
+		FrameID: m.FrameID,
+		Bits:    values.Compress(r.Keep),
+		Slots:   filterSlots(m.Slots, r.Keep),
+	}, nil
 }
 
 // uvarint reads a varint at p[off:], returning the value and new offset.

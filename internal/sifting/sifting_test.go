@@ -62,11 +62,10 @@ func TestSiftRoundTripAgreesWithGroundTruth(t *testing.T) {
 }
 
 func TestSiftDropsDoubleClicks(t *testing.T) {
-	rx := &qframe.RxFrame{ID: 1, SlotsTotal: 10, Detections: []qframe.RxSymbol{
-		{Slot: 1, Basis: qframe.BasisRect, Result: qframe.ClickD0},
-		{Slot: 3, Basis: qframe.BasisDiag, Result: qframe.DoubleClick},
-		{Slot: 5, Basis: qframe.BasisRect, Result: qframe.ClickD1},
-	}}
+	rx := qframe.NewRxFrame(1, 10)
+	rx.Record(1, qframe.BasisRect, qframe.ClickD0)
+	rx.Record(3, qframe.BasisDiag, qframe.DoubleClick)
+	rx.Record(5, qframe.BasisRect, qframe.ClickD1)
 	m := BuildSift(rx)
 	if len(m.Slots) != 2 || m.Slots[0] != 1 || m.Slots[1] != 5 {
 		t.Fatalf("sift kept wrong slots: %v", m.Slots)
@@ -127,23 +126,23 @@ func TestDecodeSiftRejectsGarbage(t *testing.T) {
 }
 
 func TestDecodeSiftRejectsOutOfRangeSlot(t *testing.T) {
-	m := &SiftMessage{FrameID: 1, SlotsTotal: 10,
-		Slots: []uint32{5}, Bases: []qframe.Basis{0}}
+	m := &SiftMessage{FrameID: 1, SlotsTotal: 10}
+	m.AddDetection(5, qframe.BasisRect)
 	enc := m.Encode()
 	// Legitimate message decodes.
 	if _, err := DecodeSift(enc); err != nil {
 		t.Fatalf("valid message rejected: %v", err)
 	}
 	// Now claim a slot beyond SlotsTotal.
-	bad := &SiftMessage{FrameID: 1, SlotsTotal: 4,
-		Slots: []uint32{5}, Bases: []qframe.Basis{0}}
+	bad := &SiftMessage{FrameID: 1, SlotsTotal: 4}
+	bad.AddDetection(5, qframe.BasisRect)
 	if _, err := DecodeSift(bad.Encode()); err == nil {
 		t.Error("out-of-range slot accepted")
 	}
 }
 
 func TestRespondRejectsMismatchedFrame(t *testing.T) {
-	tx := &qframe.TxFrame{ID: 1, Pulses: make([]qframe.TxSymbol, 4)}
+	tx := qframe.NewTxFrame(1, 4)
 	m := &SiftMessage{FrameID: 2, SlotsTotal: 4}
 	if _, _, err := Respond(tx, m); err == nil {
 		t.Error("frame mismatch accepted")
@@ -155,9 +154,8 @@ func TestRespondRejectsMismatchedFrame(t *testing.T) {
 }
 
 func TestApplyRejectsBogusResponse(t *testing.T) {
-	rx := &qframe.RxFrame{ID: 1, SlotsTotal: 4, Detections: []qframe.RxSymbol{
-		{Slot: 0, Basis: qframe.BasisRect, Result: qframe.ClickD0},
-	}}
+	rx := qframe.NewRxFrame(1, 4)
+	rx.Record(0, qframe.BasisRect, qframe.ClickD0)
 	m := BuildSift(rx)
 	// Wrong frame.
 	r := &Response{FrameID: 9}
@@ -165,7 +163,7 @@ func TestApplyRejectsBogusResponse(t *testing.T) {
 		t.Error("wrong-frame response accepted")
 	}
 	// Wrong keep length.
-	resp, _, err := Respond(&qframe.TxFrame{ID: 1, Pulses: make([]qframe.TxSymbol, 4)}, m)
+	resp, _, err := Respond(qframe.NewTxFrame(1, 4), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,11 +171,21 @@ func TestApplyRejectsBogusResponse(t *testing.T) {
 	if _, err := Apply(rx, m, resp); err == nil {
 		t.Error("wrong-length keep accepted")
 	}
+	// A sift message that does not correspond to the frame.
+	other := &SiftMessage{FrameID: 1, SlotsTotal: 4}
+	other.AddDetection(2, qframe.BasisRect)
+	resp2, _, err := Respond(qframe.NewTxFrame(1, 4), other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(rx, other, resp2); err == nil {
+		t.Error("mismatched sift message accepted")
+	}
 }
 
 func TestEmptyFrameSiftsToNothing(t *testing.T) {
-	tx := &qframe.TxFrame{ID: 3, Pulses: make([]qframe.TxSymbol, 100)}
-	rx := &qframe.RxFrame{ID: 3, SlotsTotal: 100}
+	tx := qframe.NewTxFrame(3, 100)
+	rx := qframe.NewRxFrame(3, 100)
 	m := BuildSift(rx)
 	dec, err := DecodeSift(m.Encode())
 	if err != nil {
@@ -215,13 +223,13 @@ func TestPropertySiftCodecRoundTrip(t *testing.T) {
 				slots[j-1], slots[j] = slots[j], slots[j-1]
 			}
 		}
-		m := &SiftMessage{FrameID: frameID, SlotsTotal: 1 << 16, Slots: slots}
-		for i := range slots {
+		m := &SiftMessage{FrameID: frameID, SlotsTotal: 1 << 16}
+		for i, s := range slots {
 			b := qframe.BasisRect
 			if len(basisBits) > 0 && basisBits[i%len(basisBits)]&1 == 1 {
 				b = qframe.BasisDiag
 			}
-			m.Bases = append(m.Bases, b)
+			m.AddDetection(s, b)
 		}
 		dec, err := DecodeSift(m.Encode())
 		if err != nil {
@@ -232,7 +240,7 @@ func TestPropertySiftCodecRoundTrip(t *testing.T) {
 			return false
 		}
 		for i := range m.Slots {
-			if dec.Slots[i] != m.Slots[i] || dec.Bases[i] != m.Bases[i] {
+			if dec.Slots[i] != m.Slots[i] || dec.Bases.Get(i) != m.Bases.Get(i) {
 				return false
 			}
 		}

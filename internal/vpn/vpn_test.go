@@ -173,6 +173,9 @@ func TestKeyRaceOTPStarves(t *testing.T) {
 	// traffic rate; with a slow QKD link the race is lost (rollovers
 	// fail on an empty reservoir), while an AES tunnel sips a Qblock
 	// per rollover and keeps running.
+	if testing.Short() {
+		t.Skip("short mode: the key race is wall-clock bound (IKE timeouts)")
+	}
 	mk := func(suite ipsec.CipherSuite) KeyRaceResult {
 		cfg := fastConfig(suite)
 		cfg.OTPBits = 16384

@@ -8,7 +8,13 @@
 //
 // The hardware physical layer is substituted by a faithful Monte Carlo
 // photonic simulator (see DESIGN.md for the substitution table); every
-// protocol layer above it is implemented in full.
+// protocol layer above it is implemented in full. The simulator runs
+// two sampling engines behind one interface: an exact per-pulse path
+// (always used when eavesdropper taps, detector dead time, or fiber
+// cuts need to see individual pulses) and a batched fast path that
+// draws aggregate per-frame click counts and samples only the clicked
+// slots — the same distributions, at detection rate instead of pulse
+// rate (DESIGN.md section 2).
 //
 // # Quick start
 //
@@ -56,6 +62,18 @@ func DefaultLinkParams() LinkParams { return photonics.DefaultParams() }
 
 // NewLink builds a simulated link.
 func NewLink(p LinkParams, seed uint64) *Link { return photonics.NewLink(p, seed) }
+
+// TransmitEngine is one physical-layer simulation strategy. Links pick
+// automatically: the batched fast path on honest, dead-time-free links,
+// and the exact per-pulse Monte Carlo whenever individual pulses must
+// be observable (taps, dead time, cut fiber). Link.SetEngine pins one.
+type TransmitEngine = photonics.TransmitEngine
+
+// ExactEngine returns the per-pulse Monte Carlo engine.
+func ExactEngine() TransmitEngine { return photonics.Exact() }
+
+// BatchedEngine returns the aggregate-count fast-path engine.
+func BatchedEngine() TransmitEngine { return photonics.Batched() }
 
 // Attacks on the quantum channel (Section 6).
 type (
