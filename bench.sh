@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# bench.sh — run the distillation fast-path headline benchmarks and
+# emit BENCH_distill.json, so the perf trajectory is tracked PR over PR.
+#
+# Usage:
+#   ./bench.sh            # full run (stable numbers, ~a minute)
+#   ./bench.sh --smoke    # CI smoke: one short iteration set, asserts
+#                         # the benchmarks still run, not their speed
+#
+# The headline set covers each layer the distillation pipeline crosses
+# (every row of the DESIGN.md §7 / README perf tables):
+#   BenchmarkMul4096 / BenchmarkMul1024  GF(2^n) windowed-comb multiply
+#   BenchmarkMask4096                    word-batched LFSR subsets
+#   BenchmarkBBN4096QBER5                rank-indexed BBN Cascade, 5% QBER
+#   BenchmarkApply4096to2048             privacy amplification end to end
+#   BenchmarkPipeline_DistillPerFrame    full sift->EC->entropy->PA frame
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BENCHTIME="${BENCHTIME:-1s}"
+COUNT="${COUNT:-1}"
+if [[ "${1:-}" == "--smoke" ]]; then
+    BENCHTIME=10x
+fi
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+run() { # pkg, regex
+    go test -run '^$' -bench "$2" -benchtime "$BENCHTIME" -count "$COUNT" -benchmem "$1" | tee -a "$out"
+}
+
+run ./internal/gf2/     'BenchmarkMul4096$|BenchmarkMul1024$'
+run ./internal/rng/     'BenchmarkMask4096$'
+run ./internal/cascade/ 'BenchmarkBBN4096QBER5$'
+run ./internal/privacy/ 'BenchmarkApply4096to2048$'
+run .                   'BenchmarkPipeline_DistillPerFrame$'
+
+# Fold the benchmark lines into a JSON report. Keys are benchmark
+# names; values ns/op plus allocation counters when present.
+python3 - "$out" <<'EOF'
+import json, re, sys
+
+rows = {}
+pat = re.compile(
+    r'^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op'
+    r'(?:.*?\s([\d.]+) B/op\s+([\d.]+) allocs/op)?')
+for line in open(sys.argv[1]):
+    m = pat.match(line.strip())
+    if not m:
+        continue
+    name, iters, ns, bop, allocs = m.groups()
+    row = {"iterations": int(iters), "ns_per_op": float(ns)}
+    if bop is not None:
+        row["bytes_per_op"] = float(bop)
+        row["allocs_per_op"] = float(allocs)
+    rows[name] = row
+
+with open("BENCH_distill.json", "w") as f:
+    json.dump(rows, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote BENCH_distill.json ({len(rows)} benchmarks)")
+if not rows:
+    sys.exit("no benchmark output parsed")
+EOF

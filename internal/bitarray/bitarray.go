@@ -165,6 +165,36 @@ func (a *BitArray) Slice(from, to int) *BitArray {
 	return out
 }
 
+// CopyRange sets a to a copy of src's bits [from, to), reusing a's
+// storage when capacity allows — the allocation-free counterpart of
+// Slice for callers that recycle buffers.
+func (a *BitArray) CopyRange(src *BitArray, from, to int) {
+	if from < 0 || to > src.n || from > to {
+		panic(fmt.Sprintf("bitarray: CopyRange(%d,%d) out of range [0,%d]", from, to, src.n))
+	}
+	n := to - from
+	words := (n + 63) / 64
+	if cap(a.words) < words {
+		a.words = make([]uint64, words)
+	}
+	a.words = a.words[:words]
+	a.n = n
+	off := uint(from) & 63
+	w0 := from >> 6
+	if off == 0 {
+		copy(a.words, src.words[w0:w0+words])
+	} else {
+		for i := 0; i < words; i++ {
+			w := src.words[w0+i] >> off
+			if w0+i+1 < len(src.words) {
+				w |= src.words[w0+i+1] << (64 - off)
+			}
+			a.words[i] = w
+		}
+	}
+	a.trim()
+}
+
 // Truncate shortens the array to n bits (n must not exceed Len).
 func (a *BitArray) Truncate(n int) {
 	if n < 0 || n > a.n {

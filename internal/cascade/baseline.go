@@ -88,7 +88,8 @@ func (c *BlockParity) RunCorrect(m Messenger, key *bitarray.BitArray) (*Result, 
 		return nil, err
 	}
 	k, blocks := c.geometry(n)
-	identity := identitySeq(n)
+	ident := func(r int) int { return r }
+	var pp *bitarray.PrefixParity
 	res := &Result{Corrected: work}
 	for iter := 0; iter < c.MaxIters; iter++ {
 		res.Rounds = iter + 1
@@ -102,14 +103,15 @@ func (c *BlockParity) RunCorrect(m Messenger, key *bitarray.BitArray) (*Result, 
 		}
 		res.Disclosed += blocks
 
+		pp = work.PrefixParities(nil, pp)
 		var searches []*searchState
 		for b := 0; b < blocks; b++ {
 			lo, hi := b*k, (b+1)*k
 			if hi > n {
 				hi = n
 			}
-			if work.ParityRange(lo, hi) != refPar.Get(b) {
-				searches = append(searches, &searchState{seq: identity, lo: lo, hi: hi})
+			if pp.Range(lo, hi) != refPar.Get(b) {
+				searches = append(searches, &searchState{lo: lo, hi: hi, parity: pp.Range, member: ident})
 			}
 		}
 		if len(searches) == 0 {
@@ -121,7 +123,7 @@ func (c *BlockParity) RunCorrect(m Messenger, key *bitarray.BitArray) (*Result, 
 			}
 			return res, nil
 		}
-		bits, d, err := runWave(m, work, searches)
+		bits, d, err := runWave(m, searches)
 		if err != nil {
 			return nil, err
 		}
@@ -135,14 +137,4 @@ func (c *BlockParity) RunCorrect(m Messenger, key *bitarray.BitArray) (*Result, 
 		}
 	}
 	return nil, fmt.Errorf("cascade: block-parity corrector exceeded %d iterations", c.MaxIters)
-}
-
-// identitySeq returns [0, 1, ..., n-1]; the baseline searches natural
-// positions.
-func identitySeq(n int) []int {
-	s := make([]int, n)
-	for i := range s {
-		s[i] = i
-	}
-	return s
 }

@@ -38,6 +38,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"qkd/internal/bitarray"
 	"qkd/internal/rng"
@@ -132,27 +133,38 @@ func recvEither(m Messenger, a, b byte) (byte, []byte, error) {
 	return p[0], p[1:], nil
 }
 
-// subsetIndices materializes the member indices of the LFSR subset for
-// seed over n bits.
-func subsetIndices(seed uint32, n int) []int {
-	l := rng.NewLFSR32(seed)
-	idx := make([]int, 0, n/2)
-	for i := 0; i < n; i++ {
-		if l.Next() == 1 {
-			idx = append(idx, i)
-		}
-	}
-	return idx
+// subsetState is the word-parallel view of one LFSR parity subset: the
+// batched mask, a rank index over its members, and a parity index bound
+// to whichever key snapshot the holder last called bind with. States
+// are recycled through a sync.Pool — core's engines distill fixed-size
+// batches, so after warmup every round's masks, rank tables and parity
+// prefixes land in right-sized buffers with no allocation.
+type subsetState struct {
+	words []uint64
+	mask  *bitarray.BitArray
+	rank  bitarray.Rank
+	px    bitarray.ParityIndex
 }
 
-// parityAt returns the parity of key restricted to idx[lo:hi].
-func parityAt(key *bitarray.BitArray, idx []int, lo, hi int) int {
-	p := 0
-	for _, i := range idx[lo:hi] {
-		p ^= key.Get(i)
-	}
-	return p
+var subsetPool = sync.Pool{New: func() interface{} { return new(subsetState) }}
+
+// getSubset materializes the subset for seed over n bits from pooled
+// storage: the LFSR runs 64 bits per step and the rank index is built
+// from word popcounts.
+func getSubset(seed uint32, n int) *subsetState {
+	s := subsetPool.Get().(*subsetState)
+	s.words = rng.MaskWords(seed, n, s.words)
+	s.mask = bitarray.FromWords(s.words, n)
+	s.rank.Build(s.mask)
+	return s
 }
+
+// bind refreshes the parity index over the given key snapshot.
+func (s *subsetState) bind(key *bitarray.BitArray) {
+	s.rank.Bind(key, &s.px)
+}
+
+func putSubset(s *subsetState) { subsetPool.Put(s) }
 
 // hello exchanges and validates the key length.
 func sendHello(m Messenger, n int) error {
@@ -203,20 +215,28 @@ func (c *BBN) RunReference(m Messenger, key *bitarray.BitArray) (int, error) {
 	}
 	disclosed := 0
 	for round := 0; round < c.MaxRounds; round++ {
-		// Announce this round's subsets and our parities.
+		// Announce this round's subsets and our parities. The key never
+		// changes on this side, so each subset's parity index is bound
+		// once and answers every dichotomic query of the round in O(log)
+		// word lookups.
 		seeds := make([]uint32, c.Subsets)
 		out := make([]byte, 4+c.Subsets*4+(c.Subsets+7)/8)
 		binary.LittleEndian.PutUint32(out[0:], uint32(c.Subsets))
 		par := bitarray.New(c.Subsets)
-		cache := make(map[uint32][]int, c.Subsets)
+		cache := make(map[uint32]*subsetState, c.Subsets)
 		for i := range seeds {
 			seeds[i] = c.seedRand.Uint32()
 			if seeds[i] == 0 {
 				seeds[i] = 1
 			}
 			binary.LittleEndian.PutUint32(out[4+4*i:], seeds[i])
-			mask := rng.Mask(seeds[i], n)
-			if key.ParityMasked(mask) == 1 {
+			s, ok := cache[seeds[i]]
+			if !ok {
+				s = getSubset(seeds[i], n)
+				s.bind(key)
+				cache[seeds[i]] = s
+			}
+			if s.px.ParityRange(0, s.rank.Count()) == 1 {
 				par.Set(i, 1)
 			}
 		}
@@ -227,16 +247,20 @@ func (c *BBN) RunReference(m Messenger, key *bitarray.BitArray) (int, error) {
 		disclosed += c.Subsets
 
 		d, finished, err := serveRound(m, func(seed uint32, lo, hi int) (int, error) {
-			idx, ok := cache[seed]
+			s, ok := cache[seed]
 			if !ok {
-				idx = subsetIndices(seed, n)
-				cache[seed] = idx
+				s = getSubset(seed, n)
+				s.bind(key)
+				cache[seed] = s
 			}
-			if lo < 0 || hi > len(idx) || lo >= hi {
-				return 0, fmt.Errorf("%w: query range [%d,%d) of %d", errProtocol, lo, hi, len(idx))
+			if lo < 0 || hi > s.rank.Count() || lo >= hi {
+				return 0, fmt.Errorf("%w: query range [%d,%d) of %d", errProtocol, lo, hi, s.rank.Count())
 			}
-			return parityAt(key, idx, lo, hi), nil
+			return s.px.ParityRange(lo, hi), nil
 		})
+		for _, s := range cache {
+			putSubset(s)
+		}
 		disclosed += d
 		if err != nil {
 			return disclosed, err
@@ -271,7 +295,7 @@ func (c *BBN) RunCorrect(m Messenger, key *bitarray.BitArray) (*Result, error) {
 			return nil, fmt.Errorf("%w: truncated subsets message", errProtocol)
 		}
 		seeds := make([]uint32, count)
-		masks := make([]*bitarray.BitArray, count)
+		subs := make([]*subsetState, count)
 		refPar := bitarray.FromBytes(body[4+4*count:])
 		res.Disclosed += count
 		// diff[i] = our parity XOR reference parity for subset i.
@@ -279,13 +303,19 @@ func (c *BBN) RunCorrect(m Messenger, key *bitarray.BitArray) (*Result, error) {
 		mismatches := 0
 		for i := range seeds {
 			seeds[i] = binary.LittleEndian.Uint32(body[4+4*i:])
-			masks[i] = rng.Mask(seeds[i], n)
-			diff[i] = work.ParityMasked(masks[i]) ^ refPar.Get(i)
+			subs[i] = getSubset(seeds[i], n)
+			diff[i] = work.ParityMasked(subs[i].mask) ^ refPar.Get(i)
 			mismatches += diff[i]
+		}
+		recycle := func() {
+			for _, s := range subs {
+				putSubset(s)
+			}
 		}
 
 		if mismatches == 0 {
 			// Clean round: declare completion.
+			recycle()
 			if err := sendMsg(m, msgRoundDone, []byte{1}); err != nil {
 				return nil, err
 			}
@@ -295,43 +325,56 @@ func (c *BBN) RunCorrect(m Messenger, key *bitarray.BitArray) (*Result, error) {
 			return res, nil
 		}
 
-		// Fix errors in waves until every subset parity agrees.
-		idxCache := make(map[uint32][]int)
+		// Fix errors in waves until every subset parity agrees. Each
+		// wave rebinds the mismatched subsets' parity indexes to the
+		// current work snapshot, then the post-flip bookkeeping updates
+		// every subset's diff with one sparse word-parity per subset
+		// instead of a per-flip per-subset bit probe.
+		flips := bitarray.New(n)
+		var nz []int
 		for mismatches > 0 {
 			var searches []*searchState
 			for i, d := range diff {
 				if d != 1 {
 					continue
 				}
-				idx, ok := idxCache[seeds[i]]
-				if !ok {
-					idx = subsetIndices(seeds[i], n)
-					idxCache[seeds[i]] = idx
-				}
-				if len(idx) == 0 {
+				s := subs[i]
+				if s.rank.Count() == 0 {
+					recycle()
 					return nil, fmt.Errorf("%w: mismatched empty subset", errProtocol)
 				}
-				searches = append(searches, &searchState{key: seeds[i], seq: idx, lo: 0, hi: len(idx)})
+				s.bind(work)
+				searches = append(searches, &searchState{
+					key:    seeds[i],
+					lo:     0,
+					hi:     s.rank.Count(),
+					parity: s.px.ParityRange,
+					member: s.rank.Select,
+				})
 			}
-			bits, d, err := runWave(m, work, searches)
+			bits, d, err := runWave(m, searches)
 			if err != nil {
+				recycle()
 				return nil, err
 			}
 			res.Disclosed += d
-			mismatches = 0
 			for _, b := range bits {
 				work.Flip(b)
 				res.Flips++
+				flips.Set(b, 1)
 			}
-			for i := range masks {
-				for _, b := range bits {
-					if masks[i].Get(b) == 1 {
-						diff[i] ^= 1
-					}
-				}
+			nz = flips.NonzeroWords(nz[:0])
+			mismatches = 0
+			for i := range subs {
+				diff[i] ^= flips.ParityMaskedAt(subs[i].mask, nz)
 				mismatches += diff[i]
 			}
+			fw := flips.Words()
+			for _, w := range nz {
+				fw[w] = 0
+			}
 		}
+		recycle()
 		if err := sendMsg(m, msgRoundDone, []byte{0}); err != nil {
 			return nil, err
 		}

@@ -58,16 +58,18 @@ func (c *Classic) blockSize1(n int) int {
 	return k
 }
 
-// permFor derives the pass permutation: pass 0 is the identity, later
-// passes are Fisher-Yates shuffles of the given seed.
+// permFor derives the pass permutation: pass 0 is the identity
+// (returned as nil so consumers can take word-parallel fast paths),
+// later passes are Fisher-Yates shuffles of the given seed.
 func permFor(pass int, seed uint64, n int) []int {
+	if pass == 0 {
+		return nil
+	}
 	perm := make([]int, n)
 	for i := range perm {
 		perm[i] = i
 	}
-	if pass > 0 {
-		rng.NewSplitMix64(seed).Shuffle(perm)
-	}
+	rng.NewSplitMix64(seed).Shuffle(perm)
 	return perm
 }
 
@@ -99,11 +101,13 @@ func (c *Classic) RunReference(m Messenger, key *bitarray.BitArray) (int, error)
 		return 0, err
 	}
 
-	// Precompute permutations for parity answering.
-	perms := make([][]int, c.Passes)
-	perms[0] = permFor(0, 0, n)
+	// Precompute per-pass prefix parities over the (static) key: every
+	// block parity and every dichotomic query then answers in O(1) from
+	// two packed prefix bits.
+	prefixes := make([]*bitarray.PrefixParity, c.Passes)
+	prefixes[0] = key.PrefixParities(nil, nil)
 	for p := 1; p < c.Passes; p++ {
-		perms[p] = permFor(p, seeds[p-1], n)
+		prefixes[p] = key.PrefixParities(permFor(p, seeds[p-1], n), nil)
 	}
 
 	disclosed := 0
@@ -120,7 +124,7 @@ func (c *Classic) RunReference(m Messenger, key *bitarray.BitArray) (int, error)
 			if hi > n {
 				hi = n
 			}
-			if parityAt(key, perms[pass], lo, hi) == 1 {
+			if prefixes[pass].Range(lo, hi) == 1 {
 				par.Set(b, 1)
 			}
 		}
@@ -134,7 +138,7 @@ func (c *Classic) RunReference(m Messenger, key *bitarray.BitArray) (int, error)
 			if int(qp) > cur || lo < 0 || hi > n || lo >= hi {
 				return 0, fmt.Errorf("%w: classic query out of range", errProtocol)
 			}
-			return parityAt(key, perms[qp], lo, hi), nil
+			return prefixes[qp].Range(lo, hi), nil
 		})
 		disclosed += d
 		if err != nil {
@@ -150,12 +154,24 @@ func (c *Classic) RunReference(m Messenger, key *bitarray.BitArray) (int, error)
 	return disclosed, fmt.Errorf("cascade: classic reference ran past final pass")
 }
 
-// passState is the corrector's bookkeeping for one started pass.
+// passState is the corrector's bookkeeping for one started pass. perm
+// and invPerm are nil for pass 0 (the identity); pp caches the pass's
+// prefix-parity index, rebuilt whenever a wave needs it against a fresh
+// work snapshot.
 type passState struct {
 	perm    []int
 	invPerm []int
 	k       int
 	diff    []int // per block: our parity XOR reference parity
+	pp      *bitarray.PrefixParity
+}
+
+// member maps a pass rank to its absolute bit index.
+func (st *passState) member(r int) int {
+	if st.perm == nil {
+		return r
+	}
+	return st.perm[r]
 }
 
 // RunCorrect implements Protocol.
@@ -192,7 +208,10 @@ func (c *Classic) RunCorrect(m Messenger, key *bitarray.BitArray) (*Result, erro
 		work.Flip(realIdx)
 		res.Flips++
 		for p, st := range states {
-			pos := st.invPerm[realIdx]
+			pos := realIdx
+			if st.invPerm != nil {
+				pos = st.invPerm[realIdx]
+			}
 			b := pos / st.k
 			st.diff[b] ^= 1
 			if st.diff[b] == 1 {
@@ -204,10 +223,13 @@ func (c *Classic) RunCorrect(m Messenger, key *bitarray.BitArray) (*Result, erro
 	// process drains the queue in waves: every mismatched block's
 	// search runs in parallel against the un-flipped work string, then
 	// the located errors are applied and their cascading consequences
-	// enqueued.
+	// enqueued. Each wave rebuilds the prefix-parity index of every
+	// pass it touches against the current work snapshot, so queries
+	// inside runWave are O(1) lookups.
 	process := func() error {
 		for len(queue) > 0 {
 			seen := make(map[pb]bool)
+			rebound := make(map[int]bool)
 			var searches []*searchState
 			for _, item := range queue {
 				st := states[item.pass]
@@ -215,20 +237,26 @@ func (c *Classic) RunCorrect(m Messenger, key *bitarray.BitArray) (*Result, erro
 					continue
 				}
 				seen[item] = true
+				if !rebound[item.pass] {
+					st.pp = work.PrefixParities(st.perm, st.pp)
+					rebound[item.pass] = true
+				}
 				lo := item.block * st.k
 				hi := lo + st.k
 				if hi > n {
 					hi = n
 				}
 				searches = append(searches, &searchState{
-					key: uint32(item.pass), seq: st.perm, lo: lo, hi: hi,
+					key: uint32(item.pass), lo: lo, hi: hi,
+					parity: st.pp.Range,
+					member: st.member,
 				})
 			}
 			queue = queue[:0]
 			if len(searches) == 0 {
 				return nil
 			}
-			bits, d, err := runWave(m, work, searches)
+			bits, d, err := runWave(m, searches)
 			if err != nil {
 				return err
 			}
@@ -251,9 +279,12 @@ func (c *Classic) RunCorrect(m Messenger, key *bitarray.BitArray) (*Result, erro
 			seed = seeds[pass-1]
 		}
 		perm := permFor(pass, seed, n)
-		inv := make([]int, n)
-		for pos, r := range perm {
-			inv[r] = pos
+		var inv []int
+		if perm != nil {
+			inv = make([]int, n)
+			for pos, r := range perm {
+				inv[r] = pos
+			}
 		}
 		blocks := (n + k - 1) / k
 		st := &passState{perm: perm, invPerm: inv, k: k, diff: make([]int, blocks)}
@@ -269,12 +300,13 @@ func (c *Classic) RunCorrect(m Messenger, key *bitarray.BitArray) (*Result, erro
 				errProtocol, refPar.Len(), blocks)
 		}
 		res.Disclosed += blocks
+		st.pp = work.PrefixParities(perm, nil)
 		for b := 0; b < blocks; b++ {
 			lo, hi := b*k, (b+1)*k
 			if hi > n {
 				hi = n
 			}
-			st.diff[b] = parityAt(work, perm, lo, hi) ^ refPar.Get(b)
+			st.diff[b] = st.pp.Range(lo, hi) ^ refPar.Get(b)
 			if st.diff[b] == 1 {
 				queue = append(queue, pb{pass, b})
 			}

@@ -1,0 +1,125 @@
+package cascade
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"testing"
+
+	"qkd/internal/bitarray"
+)
+
+// Wire-transcript pinning: the word-parallel fast paths (rank-indexed
+// parity queries, batched LFSR masks, pooled buffers) are pure
+// implementation detail — every byte both sides put on the public
+// channel must be identical to the original bit-serial engine. These
+// hashes were recorded from that engine (with runWave's deterministic
+// flip ordering) and must never change without a protocol version bump.
+
+// recordingMessenger wraps a Messenger, folding every message (tagged
+// with its direction) into a running SHA-256.
+type recordingMessenger struct {
+	inner Messenger
+	h     interface{ Write(p []byte) (int, error) }
+	tag   byte
+}
+
+func (r *recordingMessenger) Send(p []byte) error {
+	r.h.Write([]byte{r.tag, 0})
+	r.h.Write(p)
+	return r.inner.Send(p)
+}
+
+func (r *recordingMessenger) Recv() ([]byte, error) {
+	p, err := r.inner.Recv()
+	if err == nil {
+		r.h.Write([]byte{r.tag, 1})
+		r.h.Write(p)
+	}
+	return p, err
+}
+
+// transcriptHash runs p end to end over an in-memory link and returns
+// the hex SHA-256 of the corrector side's send/receive transcript (the
+// reference sees the same bytes mirrored, so one side pins both).
+func transcriptHash(t *testing.T, p Protocol, ref, noisy *bitarray.BitArray) (string, *Result) {
+	t.Helper()
+	ma, mb := memPair()
+	h := sha256.New()
+	rec := &recordingMessenger{inner: mb, h: h, tag: 'C'}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := p.RunReference(ma, ref)
+		errCh <- err
+	}()
+	res, err := p.RunCorrect(rec, noisy)
+	refErr := <-errCh
+	if err != nil {
+		t.Fatalf("%s corrector: %v", p.Name(), err)
+	}
+	if refErr != nil {
+		t.Fatalf("%s reference: %v", p.Name(), refErr)
+	}
+	return hex.EncodeToString(h.Sum(nil)), res
+}
+
+// transcriptCase pins one protocol/seed/error-burden combination.
+type transcriptCase struct {
+	name  string
+	proto func() Protocol
+	seed  uint64
+	n     int
+	errs  int
+	hash  string // recorded from the bit-serial engine
+}
+
+var transcriptCases = []transcriptCase{
+	{"bbn-clean", func() Protocol { return NewBBN(41) }, 1001, 4096, 0,
+		"128e8a232276177fd2faa3cfa65f0a67f5d66a01ce947066cc32f79a625c6396"},
+	{"bbn-5pct", func() Protocol { return NewBBN(42) }, 1002, 4096, 204,
+		"318e85a50e89e179e9a4a184468689ee878fe4b15dd9c4684714d559891c775d"},
+	{"bbn-short", func() Protocol { return NewBBN(43) }, 1003, 1536, 31,
+		"315d445b68401d26508e57532a8f812035ca1c2f20eb278b1374cc92ba478d5f"},
+	{"classic-5pct", func() Protocol { return NewClassic(0.05, 44) }, 1004, 4096, 204,
+		"33dd8687f2c993257b0153ac6744075b914751fbd872ae1f18300ccca57d5d54"},
+	{"classic-underest", func() Protocol { return NewClassic(0.01, 45) }, 1005, 2048, 120,
+		"d97f7916d5240f72638f390d97e39e1c939cfed68c7f9e9abac8fb822a8e2e38"},
+	{"block-parity", func() Protocol { return NewBlockParity(64) }, 1006, 2048, 19,
+		"076b090e5b936134b6f138c8703534d34d53b9e56f612945abff85bc5877b1d7"},
+}
+
+func TestWireTranscriptsPinned(t *testing.T) {
+	for _, tc := range transcriptCases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, noisy := noisyPair(tc.seed, tc.n, tc.errs)
+			got, res := transcriptHash(t, tc.proto(), ref, noisy)
+			if !res.Corrected.Equal(ref) {
+				if tc.name != "block-parity" { // baseline may leave paired errors
+					t.Errorf("correction failed: %d residual", res.Corrected.HammingDistance(ref))
+				}
+			}
+			if got != tc.hash {
+				t.Errorf("wire transcript changed:\n got  %s\n want %s\n"+
+					"(the fast path must be bit-identical on the wire)", got, tc.hash)
+			}
+		})
+	}
+}
+
+// TestWireTranscriptDeterministic guards the normalization that makes
+// the pins meaningful: two runs with identical seeds must produce
+// identical bytes (flip application order is sorted, so map iteration
+// order cannot leak into Classic's cascade queue).
+func TestWireTranscriptDeterministic(t *testing.T) {
+	for _, mk := range []func() Protocol{
+		func() Protocol { return NewBBN(7) },
+		func() Protocol { return NewClassic(0.05, 7) },
+	} {
+		ref, noisy := noisyPair(555, 4096, 204)
+		h1, _ := transcriptHash(t, mk(), ref, noisy.Clone())
+		h2, _ := transcriptHash(t, mk(), ref, noisy.Clone())
+		if h1 != h2 {
+			t.Errorf("%s: transcript differs between identical runs", mk().Name())
+		}
+	}
+}

@@ -3,6 +3,7 @@ package cascade
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"qkd/internal/bitarray"
 )
@@ -98,26 +99,31 @@ func serveRound(m Messenger, answer answerFunc) (disclosed int, finished bool, e
 }
 
 // searchState is one in-flight dichotomic search on the corrector side:
-// the parity of work over seq[lo:hi) is known to differ from the
-// reference, so the half-open window homes in on a genuinely erroneous
-// bit.
+// the parity of the corrector's snapshot over member ranks [lo, hi) is
+// known to differ from the reference, so the half-open window homes in
+// on a genuinely erroneous bit. Parities and rank-to-index mapping come
+// from closures over the protocol's rank/prefix indexes, bound to the
+// work string as it stood when the wave began (work is not modified
+// while a wave runs, so the snapshot stays truthful).
 type searchState struct {
 	key    uint32
-	seq    []int
 	lo, hi int
+	// parity returns the snapshot's parity over member ranks [lo, hi).
+	parity func(lo, hi int) int
+	// member maps a member rank to its absolute bit index.
+	member func(r int) int
 }
 
 // runWave drives a set of parallel searches to completion, one batched
 // query message per bisection level. Flips are NOT applied; the caller
 // receives the deduplicated set of erroneous bit indices (every index
-// is a true disagreement between work and the reference, because work
-// is not modified while the wave runs).
-func runWave(m Messenger, work *bitarray.BitArray, searches []*searchState) (bits []int, disclosed int, err error) {
+// is a true disagreement between work and the reference).
+func runWave(m Messenger, searches []*searchState) (bits []int, disclosed int, err error) {
 	found := make(map[int]bool)
 	active := make([]*searchState, 0, len(searches))
 	for _, s := range searches {
 		if s.hi-s.lo == 1 {
-			found[s.seq[s.lo]] = true
+			found[s.member(s.lo)] = true
 		} else if s.hi > s.lo {
 			active = append(active, s)
 		}
@@ -143,13 +149,13 @@ func runWave(m Messenger, work *bitarray.BitArray, searches []*searchState) (bit
 		next := active[:0]
 		for i, s := range active {
 			mid := (s.lo + s.hi) / 2
-			if parityAt(work, s.seq, s.lo, mid) != bitmap.Get(i) {
+			if s.parity(s.lo, mid) != bitmap.Get(i) {
 				s.hi = mid
 			} else {
 				s.lo = mid
 			}
 			if s.hi-s.lo == 1 {
-				found[s.seq[s.lo]] = true
+				found[s.member(s.lo)] = true
 			} else {
 				next = append(next, s)
 			}
@@ -160,5 +166,9 @@ func runWave(m Messenger, work *bitarray.BitArray, searches []*searchState) (bit
 	for b := range found {
 		bits = append(bits, b)
 	}
+	// Deterministic order: Classic's cascading back-correction enqueues
+	// follow-up searches in flip order, so map iteration order would
+	// otherwise leak into the wire transcript.
+	sort.Ints(bits)
 	return bits, disclosed, nil
 }

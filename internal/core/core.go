@@ -20,6 +20,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"qkd/internal/bitarray"
 	"qkd/internal/cascade"
@@ -173,6 +174,25 @@ type batchState struct {
 	pulses int // transmitted pulses contributing to this batch (Alice)
 }
 
+// batchPool recycles the buffers the distillation loop carves batches
+// into. BatchBits is fixed per link, so after warmup every carve (and,
+// downstream, every Cascade mask and rank table sized to it — see
+// package cascade's subset pool) lands in a right-sized buffer with no
+// allocation.
+var batchPool = sync.Pool{New: func() interface{} { return bitarray.New(0) }}
+
+// carveBatch copies bits [from, to) of src into a pooled buffer.
+func carveBatch(src *bitarray.BitArray, from, to int) *bitarray.BitArray {
+	b := batchPool.Get().(*bitarray.BitArray)
+	b.CopyRange(src, from, to)
+	return b
+}
+
+// releaseBatch returns a carved batch to the pool. Callers must not
+// retain references (the distillation output is a fresh array, so none
+// escape the distill call).
+func releaseBatch(b *bitarray.BitArray) { batchPool.Put(b) }
+
 // engineCommon holds state shared by Alice and Bob engines.
 type engineCommon struct {
 	cfg      Config
@@ -321,7 +341,8 @@ func (a *Alice) HandleFrame(tx *qframe.TxFrame) error {
 func (a *Alice) distill() error {
 	carve := a.cfg.BatchBits
 	total := a.batch.bits.Len()
-	bits := a.batch.bits.Slice(0, carve)
+	bits := carveBatch(a.batch.bits, 0, carve)
+	defer releaseBatch(bits)
 	// Attribute transmitted pulses pro rata to the carved batch; the
 	// remainder rides along with the leftover sifted bits.
 	pulses := a.batch.pulses * carve / total
@@ -457,7 +478,8 @@ func (b *Bob) HandleFrame(rx *qframe.RxFrame) error {
 // same sifted lengths, so they carve identically without coordination).
 func (b *Bob) distill() error {
 	carve := b.cfg.BatchBits
-	bits := b.batch.bits.Slice(0, carve)
+	bits := carveBatch(b.batch.bits, 0, carve)
+	defer releaseBatch(bits)
 	b.batch = batchState{bits: b.batch.bits.Slice(carve, b.batch.bits.Len())}
 
 	proto := b.corrector()

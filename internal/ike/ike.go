@@ -109,12 +109,13 @@ var (
 
 // message kinds inside TIKE payloads.
 const (
-	kindPh1Init = 1
-	kindPh1Resp = 2
-	kindPh2Req  = 3
-	kindPh2Resp = 4
-	kindPh2Nack = 5
-	kindDelete  = 6 // reserved: SA delete notification (wire space held)
+	kindPh1Init   = 1
+	kindPh1Resp   = 2
+	kindPh2Req    = 3
+	kindPh2Resp   = 4
+	kindPh2Nack   = 5
+	kindDelete    = 6 // reserved: SA delete notification (wire space held)
+	kindPh2Cancel = 7 // initiator -> responder: abandon a pending exchange
 )
 
 // Daemon is one gateway's IKE process.
@@ -129,13 +130,15 @@ type Daemon struct {
 
 	rand *rng.SplitMix64
 
-	mu      sync.Mutex
-	skeyid  []byte
-	nextSPI uint32
-	nextMsg uint32
-	pending map[uint32]chan []byte
-	stopped chan struct{}
-	negMu   sync.Mutex // serializes Phase 2 negotiations
+	mu         sync.Mutex
+	skeyid     []byte
+	nextSPI    uint32
+	nextMsg    uint32
+	pending    map[uint32]chan []byte
+	respCancel map[uint32]chan struct{} // responder: live exchanges' abort channels
+	stopped    chan struct{}
+	negMu      sync.Mutex // serializes Phase 2 negotiations (initiator)
+	respMu     sync.Mutex // serializes Phase 2 responses (responder)
 
 	stats Stats
 }
@@ -161,17 +164,18 @@ func NewDaemon(role Role, conn channel.Conn, gw *ipsec.Gateway, pool *keypool.Re
 		base = 0x02000000
 	}
 	return &Daemon{
-		role:    role,
-		conn:    conn,
-		gw:      gw,
-		pool:    pool,
-		psk:     append([]byte(nil), psk...),
-		cfg:     cfg,
-		logw:    logw,
-		rand:    rng.NewSplitMix64(cfg.Seed ^ uint64(role+1)*0x9E3779B97F4A7C15),
-		nextSPI: base,
-		pending: make(map[uint32]chan []byte),
-		stopped: make(chan struct{}),
+		role:       role,
+		conn:       conn,
+		gw:         gw,
+		pool:       pool,
+		psk:        append([]byte(nil), psk...),
+		cfg:        cfg,
+		logw:       logw,
+		rand:       rng.NewSplitMix64(cfg.Seed ^ uint64(role+1)*0x9E3779B97F4A7C15),
+		nextSPI:    base,
+		pending:    make(map[uint32]chan []byte),
+		respCancel: make(map[uint32]chan struct{}),
+		stopped:    make(chan struct{}),
 	}
 }
 
@@ -258,13 +262,18 @@ func (d *Daemon) setSkeyid(ni, nr []byte) {
 	d.skeyid = prf(d.psk, append(append([]byte(nil), ni...), nr...))
 }
 
-// Stop shuts the daemon down; in-flight negotiations fail.
+// Stop shuts the daemon down; in-flight negotiations fail, and any
+// pending responder-side key withdrawals are canceled.
 func (d *Daemon) Stop() {
 	d.mu.Lock()
 	select {
 	case <-d.stopped:
 	default:
 		close(d.stopped)
+	}
+	for id, ch := range d.respCancel {
+		delete(d.respCancel, id)
+		close(ch)
 	}
 	d.mu.Unlock()
 	d.conn.Close()
@@ -330,7 +339,68 @@ func (d *Daemon) run() {
 		msgID := binary.BigEndian.Uint32(body[1:5])
 		switch kind {
 		case kindPh2Req:
-			d.handlePhase2(msgID, body[5:])
+			// Served off the receive loop so a blocking key withdrawal
+			// cannot deafen the daemon to a cancel for that very
+			// exchange; respMu keeps negotiations serialized (and the
+			// mirrored reservoirs consumed in lockstep). The abort
+			// channel is registered HERE, synchronously, before the
+			// handler goroutine exists: the channel delivers messages in
+			// order, so every cancel for this msgID is guaranteed to
+			// find the registration even while the handler is still
+			// queued behind an earlier blocked negotiation.
+			cancel := make(chan struct{})
+			d.mu.Lock()
+			skip := false
+			select {
+			case <-d.stopped:
+				skip = true
+			default:
+				// A msgID already registered means that exchange is
+				// live (a replayed request, since the initiator never
+				// reuses ids): serving it again would double-consume
+				// key and clobber the live exchange's abort channel.
+				if _, exists := d.respCancel[msgID]; exists {
+					skip = true
+				} else {
+					d.respCancel[msgID] = cancel
+				}
+			}
+			d.mu.Unlock()
+			if skip {
+				continue
+			}
+			payload := append([]byte(nil), body[5:]...)
+			go func() {
+				d.respMu.Lock()
+				defer d.respMu.Unlock()
+				defer func() {
+					// Deregister only our own channel: a cancel may
+					// have removed it already, and another exchange
+					// could have registered this id since.
+					d.mu.Lock()
+					if d.respCancel[msgID] == cancel {
+						delete(d.respCancel, msgID)
+					}
+					d.mu.Unlock()
+				}()
+				d.handlePhase2(msgID, payload, cancel)
+			}()
+		case kindPh2Cancel:
+			// The initiator abandoned the exchange (its timeout is
+			// otherwise invisible here): release any withdrawal still
+			// blocked on the reservoir — or still queued — so key
+			// deposited afterwards feeds the retry, not the corpse. A
+			// miss means the exchange already completed; nothing to do.
+			d.mu.Lock()
+			ch, ok := d.respCancel[msgID]
+			if ok {
+				delete(d.respCancel, msgID)
+			}
+			d.mu.Unlock()
+			if ok {
+				d.logf("INFO: isakmp.c:xxxx: peer abandoned phase 2 msgid %d, canceling pending withdrawal", msgID)
+				close(ch)
+			}
 		case kindPh2Resp, kindPh2Nack:
 			d.mu.Lock()
 			ch := d.pending[msgID]

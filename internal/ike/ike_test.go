@@ -27,10 +27,18 @@ type harness struct {
 func newHarness(t *testing.T, suite ipsec.CipherSuite, life ipsec.Lifetime, cfg Config, keyBits int) *harness {
 	t.Helper()
 	connA, connB := channel.MemPair(64)
-	return newHarnessConns(t, suite, life, cfg, keyBits, connA, connB)
+	return newHarnessConns(t, suite, life, cfg, cfg, keyBits, connA, connB)
 }
 
-func newHarnessConns(t *testing.T, suite ipsec.CipherSuite, life ipsec.Lifetime, cfg Config, keyBits int, connA, connB channel.Conn) *harness {
+// newHarnessAsym builds a harness whose two daemons use different
+// configurations (e.g. distinct Phase2Timeouts).
+func newHarnessAsym(t *testing.T, suite ipsec.CipherSuite, life ipsec.Lifetime, cfgA, cfgB Config, keyBits int) *harness {
+	t.Helper()
+	connA, connB := channel.MemPair(64)
+	return newHarnessConns(t, suite, life, cfgA, cfgB, keyBits, connA, connB)
+}
+
+func newHarnessConns(t *testing.T, suite ipsec.CipherSuite, life ipsec.Lifetime, cfgA, cfgB Config, keyBits int, connA, connB channel.Conn) *harness {
 	t.Helper()
 	h := &harness{}
 	h.polAB = &ipsec.Policy{Name: "a-to-b", Action: ipsec.Protect, Suite: suite,
@@ -51,8 +59,8 @@ func newHarnessConns(t *testing.T, suite ipsec.CipherSuite, life ipsec.Lifetime,
 	h.poolB.Deposit(material)
 
 	psk := []byte("prepositioned-secret")
-	h.dA = NewDaemon(Initiator, connA, h.gwA, h.poolA, psk, cfg, &h.logA)
-	h.dB = NewDaemon(Responder, connB, h.gwB, h.poolB, psk, cfg, &h.logB)
+	h.dA = NewDaemon(Initiator, connA, h.gwA, h.poolA, psk, cfgA, &h.logA)
+	h.dB = NewDaemon(Responder, connB, h.gwB, h.poolB, psk, cfgB, &h.logB)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- h.dB.Start() }()
@@ -293,6 +301,7 @@ func TestEveBlockingIKEIsDoS(t *testing.T) {
 	_ = connA
 	_ = connB
 	h := newHarnessConns(t, ipsec.SuiteAES128CTR, ipsec.Lifetime{},
+		Config{Phase2Timeout: 150 * time.Millisecond},
 		Config{Phase2Timeout: 150 * time.Millisecond}, 65536, connA2, connB2)
 	err := h.dA.Negotiate(h.polAB, "b-to-a")
 	if !errors.Is(err, ErrTimeout) {
@@ -317,6 +326,7 @@ func TestForgedIKEMessagesRejected(t *testing.T) {
 		return m, false
 	})
 	h := newHarnessConns(t, ipsec.SuiteAES128CTR, ipsec.Lifetime{},
+		Config{Phase2Timeout: 150 * time.Millisecond},
 		Config{Phase2Timeout: 150 * time.Millisecond}, 65536, connA, connB)
 	err := h.dA.Negotiate(h.polAB, "b-to-a")
 	if !errors.Is(err, ErrTimeout) {
@@ -413,9 +423,16 @@ func TestFailedOTPNegotiationLeavesPoolsSynced(t *testing.T) {
 	// Regression: a failed OTP negotiation (enough key for one pad but
 	// not two) must not consume from one reservoir without the other —
 	// a partial withdrawal silently poisons every later SA.
+	//
+	// The responder's own Phase2Timeout is deliberately much longer
+	// than the initiator's: the only way its withdrawal can end inside
+	// this test's window is the initiator's phase 2 cancel, so the
+	// poll below genuinely pins the cancel path (a responder-side
+	// timeout would take 5 s and fail the test).
 	const phase2Timeout = 100 * time.Millisecond
-	h := newHarness(t, ipsec.SuiteOTP, ipsec.Lifetime{},
-		Config{Phase2Timeout: phase2Timeout}, 0)
+	h := newHarnessAsym(t, ipsec.SuiteOTP, ipsec.Lifetime{},
+		Config{Phase2Timeout: phase2Timeout},
+		Config{Phase2Timeout: 5 * time.Second}, 0)
 	// One pad's worth plus change: the atomic 2x withdrawal must fail.
 	material := rng.NewSplitMix64(5).Bits(4096 + 512)
 	h.poolA.Deposit(material.Clone())
@@ -428,13 +445,21 @@ func TestFailedOTPNegotiationLeavesPoolsSynced(t *testing.T) {
 		t.Fatalf("pools desynced after failed negotiation: %d vs %d",
 			h.poolA.Available(), h.poolB.Available())
 	}
-	// The responder's blocking pad withdrawal from the failed exchange
-	// may still be pending for up to its own Phase2Timeout; key
-	// deposited inside that window would feed the stale negotiation
-	// instead of the retry (a known product-level wrinkle — see
-	// ROADMAP.md). Wait out the responder's window before refilling,
-	// with slack for race-instrumented runs.
-	time.Sleep(phase2Timeout + phase2Timeout/2)
+	// The initiator's timeout sends a phase 2 cancel, which tears down
+	// the responder's still-blocking pad withdrawal (recorded as a
+	// failed negotiation on the responder). Wait for that event — NOT
+	// for the responder's full Phase2Timeout window, which is the leak
+	// this regression test used to have to sleep out.
+	// Generous deadline for loaded/race-instrumented runners; it still
+	// sits well under the responder's 5 s timeout, so only the cancel
+	// path can satisfy it, and the loop exits the moment it does.
+	deadline := time.Now().Add(2 * time.Second)
+	for h.dB.Stats().Phase2Failed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("responder never canceled its pending withdrawal")
+		}
+		time.Sleep(time.Millisecond)
+	}
 	// Top both up and confirm a clean tunnel comes up.
 	topup := rng.NewSplitMix64(6).Bits(2 * 4096)
 	h.poolA.Deposit(topup.Clone())

@@ -153,6 +153,17 @@ func (d *Daemon) Negotiate(pol *ipsec.Policy, reversePolicy string) error {
 		delete(d.pending, msgID)
 		d.stats.Phase2Failed++
 		d.mu.Unlock()
+		// Tell the responder the exchange is dead: its key withdrawal
+		// may still be blocking on the reservoir, and without the
+		// cancel it would eat key deposited for our retry (the paper's
+		// IKE has no such notion — its mismatched-pool failures simply
+		// persist until rekey; see ROADMAP).
+		cancel := make([]byte, 5)
+		cancel[0] = kindPh2Cancel
+		binary.BigEndian.PutUint32(cancel[1:5], msgID)
+		if err := d.sendAuthed(cancel); err != nil {
+			d.logf("ERROR: isakmp.c:xxxx: phase 2 cancel failed: %v", err)
+		}
 		return ErrTimeout
 	case <-d.stopped:
 		return ErrStopped
@@ -174,8 +185,12 @@ func (d *Daemon) Negotiate(pol *ipsec.Policy, reversePolicy string) error {
 	return d.installSAs(prop, spiR, nonceR, true)
 }
 
-// handlePhase2 serves one inbound quick-mode request.
-func (d *Daemon) handlePhase2(msgID uint32, payload []byte) {
+// handlePhase2 serves one inbound quick-mode request. cancel is the
+// exchange's abort channel, registered by the receive loop before this
+// handler was spawned; it fires if the initiator abandons the exchange
+// (or the daemon stops) while the handler is queued or blocked on the
+// key reservoir.
+func (d *Daemon) handlePhase2(msgID uint32, payload []byte, cancel <-chan struct{}) {
 	prop, err := decodeProposal(payload)
 	if err != nil {
 		d.logf("ERROR: isakmp.c:xxxx: malformed phase 2 proposal: %v", err)
@@ -209,7 +224,19 @@ func (d *Daemon) handlePhase2(msgID uint32, payload []byte) {
 	binary.BigEndian.PutUint32(resp[5:9], spiR)
 	copy(resp[9:25], nonceR[:])
 
-	if err := d.installSAs(prop, spiR, nonceR, false); err != nil {
+	// The exchange may already have been abandoned (or the daemon
+	// stopped) while this handler was queued behind another blocked
+	// negotiation; the receive loop registered cancel before spawning
+	// us, so the check is race-free.
+	select {
+	case <-cancel:
+		d.logf("INFO: isakmp.c:xxxx: phase 2 msgid %d was abandoned before processing began", msgID)
+		d.nack(msgID)
+		return
+	default:
+	}
+
+	if err := d.installSAsCancelable(prop, spiR, nonceR, false, cancel); err != nil {
 		d.logf("ERROR: bbn-qkd-qpd.c:1101:qke_create_reply(): %v", err)
 		d.nack(msgID)
 		return
@@ -249,6 +276,13 @@ func (d *Daemon) findPolicy(name string) *ipsec.Policy {
 // directions' SAs. The initiator's outbound direction is always keyed
 // first so both reservoirs are consumed in the same order.
 func (d *Daemon) installSAs(prop *phase2Proposal, spiR uint32, nonceR [16]byte, isInitiator bool) error {
+	return d.installSAsCancelable(prop, spiR, nonceR, isInitiator, nil)
+}
+
+// installSAsCancelable is installSAs with an abort channel threaded
+// into the blocking key withdrawals (responder side: the exchange may
+// die while the reservoir fills).
+func (d *Daemon) installSAsCancelable(prop *phase2Proposal, spiR uint32, nonceR [16]byte, isInitiator bool, cancel <-chan struct{}) error {
 	life := ipsec.Lifetime{
 		Duration: time.Duration(prop.LifeSeconds) * time.Second,
 		Bytes:    prop.LifeBytes,
@@ -261,7 +295,7 @@ func (d *Daemon) installSAs(prop *phase2Proposal, spiR uint32, nonceR [16]byte, 
 		// partial withdrawal on a failed negotiation would silently
 		// desynchronize the two ends' mirrored reservoirs, poisoning
 		// every subsequent SA.
-		pads, err := d.pool.Consume(2*int(prop.OTPBits), d.cfg.Phase2Timeout)
+		pads, err := d.pool.ConsumeCancelable(2*int(prop.OTPBits), d.cfg.Phase2Timeout, cancel)
 		if err != nil {
 			return fmt.Errorf("withdrawing OTP pads: %w", err)
 		}
@@ -277,7 +311,7 @@ func (d *Daemon) installSAs(prop *phase2Proposal, spiR uint32, nonceR [16]byte, 
 			return err
 		}
 	} else {
-		qbits, err := d.pool.Consume(int(prop.Qblocks)*QblockBits, d.cfg.Phase2Timeout)
+		qbits, err := d.pool.ConsumeCancelable(int(prop.Qblocks)*QblockBits, d.cfg.Phase2Timeout, cancel)
 		if err != nil {
 			return fmt.Errorf("withdrawing %d Qblocks: %w", prop.Qblocks, err)
 		}

@@ -30,6 +30,9 @@ var (
 	ErrTimeout = errors.New("keypool: timed out waiting for key material")
 	// ErrClosed is returned once the reservoir is shut down.
 	ErrClosed = errors.New("keypool: closed")
+	// ErrCanceled is returned by ConsumeCancelable when the abort
+	// channel fires before the bits become available.
+	ErrCanceled = errors.New("keypool: withdrawal canceled")
 )
 
 // Reservoir is a thread-safe FIFO of secret bits.
@@ -96,6 +99,16 @@ func (r *Reservoir) TryConsume(n int) (*bitarray.BitArray, error) {
 // Consume removes exactly n bits, blocking until they are available or
 // the timeout elapses (timeout <= 0 blocks indefinitely).
 func (r *Reservoir) Consume(n int, timeout time.Duration) (*bitarray.BitArray, error) {
+	return r.ConsumeCancelable(n, timeout, nil)
+}
+
+// ConsumeCancelable is Consume with an abort channel: when cancel is
+// closed before the bits become available, the withdrawal returns
+// ErrCanceled without consuming anything. The IKE daemon uses this to
+// tear down a responder's pending blocking withdrawal when the exchange
+// that requested it dies — otherwise key deposited for the initiator's
+// retry would feed the stale negotiation instead.
+func (r *Reservoir) ConsumeCancelable(n int, timeout time.Duration, cancel <-chan struct{}) (*bitarray.BitArray, error) {
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
@@ -104,9 +117,35 @@ func (r *Reservoir) Consume(n int, timeout time.Duration) (*bitarray.BitArray, e
 		t := time.AfterFunc(timeout, func() { r.cond.Broadcast() })
 		defer t.Stop()
 	}
+	if cancel != nil {
+		// A watcher broadcast releases the waiter on cancellation. The
+		// lock acquisition orders the broadcast after the waiter has
+		// entered Wait (the waiter holds mu from its cancel check until
+		// Wait releases it), so the wakeup cannot be lost.
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-cancel:
+				r.mu.Lock()
+				r.mu.Unlock() //nolint:staticcheck // empty section orders the broadcast
+				r.cond.Broadcast()
+			case <-done:
+			}
+		}()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for {
+		// The cancel check precedes the take so a withdrawal whose
+		// exchange already died never races a fresh deposit to the bits.
+		if cancel != nil {
+			select {
+			case <-cancel:
+				return nil, ErrCanceled
+			default:
+			}
+		}
 		bits, err := r.takeLocked(n)
 		if err == nil {
 			return bits, nil

@@ -204,3 +204,54 @@ func BenchmarkDepositConsume(b *testing.B) {
 		}
 	}
 }
+
+func TestConsumeCancelable(t *testing.T) {
+	r := New()
+	cancel := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.ConsumeCancelable(128, time.Second, cancel)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let the consumer block
+	close(cancel)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("got %v, want ErrCanceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("canceled consumer did not return")
+	}
+	// The canceled withdrawal must not race a subsequent deposit: bits
+	// deposited after the cancel remain fully available.
+	r.Deposit(bitarray.New(256))
+	if got := r.Available(); got != 256 {
+		t.Fatalf("canceled consumer ate the deposit: %d bits left", got)
+	}
+}
+
+func TestConsumeCancelableAlreadyCanceled(t *testing.T) {
+	r := New()
+	r.Deposit(bitarray.New(128))
+	cancel := make(chan struct{})
+	close(cancel)
+	// A pre-canceled withdrawal must refuse even available bits.
+	if _, err := r.ConsumeCancelable(64, 0, cancel); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	if r.Available() != 128 {
+		t.Fatal("pre-canceled consume still took bits")
+	}
+}
+
+func TestConsumeNilCancelStillTimesOut(t *testing.T) {
+	r := New()
+	start := time.Now()
+	if _, err := r.ConsumeCancelable(64, 20*time.Millisecond, nil); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("got %v, want ErrTimeout", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("timeout wildly overshot")
+	}
+}

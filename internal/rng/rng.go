@@ -54,19 +54,71 @@ func (l *LFSR32) Next() int {
 // State returns the current register contents.
 func (l *LFSR32) State() uint32 { return l.state }
 
+// The Galois update is linear over GF(2), so eight steps collapse into
+// a table lookup: the next eight output bits and the eight-step state
+// transition both depend only on the low byte of the state (a bit at
+// position p >= 8 cannot reach the output tap, nor trigger feedback,
+// within eight shifts). lfsrOut[b] holds the eight output bits produced
+// from a state with low byte b; lfsrAdv[b] the feedback the eight steps
+// fold into the shifted state: F^8(s) = (s >> 8) ^ lfsrAdv[s & 0xff].
+var (
+	lfsrOut [256]uint8
+	lfsrAdv [256]uint32
+)
+
+func init() {
+	for b := 0; b < 256; b++ {
+		l := LFSR32{state: uint32(b)}
+		var out uint8
+		for i := 0; i < 8; i++ {
+			out |= uint8(l.Next()) << i
+		}
+		lfsrOut[b] = out
+		lfsrAdv[b] = l.state
+	}
+}
+
+// NextWord advances the register 64 steps and returns the 64 output
+// bits, LSB-first — the word-batched equivalent of 64 calls to Next.
+func (l *LFSR32) NextWord() uint64 {
+	s := l.state
+	var w uint64
+	for i := 0; i < 8; i++ {
+		b := s & 0xff
+		w |= uint64(lfsrOut[b]) << (8 * i)
+		s = s>>8 ^ lfsrAdv[b]
+	}
+	l.state = s
+	return w
+}
+
 // Mask generates an n-bit pseudo-random mask: bit i is the i-th output
 // of the LFSR. Two parties running NewLFSR32(seed).Mask(n) with the
 // same seed and n obtain identical masks, which is how the BBN Cascade
 // variant communicates subsets by seed alone.
 func Mask(seed uint32, n int) *bitarray.BitArray {
-	l := NewLFSR32(seed)
-	m := bitarray.New(n)
-	for i := 0; i < n; i++ {
-		if l.Next() == 1 {
-			m.Set(i, 1)
-		}
+	return bitarray.FromWords(MaskWords(seed, n, nil), n)
+}
+
+// MaskWords is Mask in raw word form, 64 bits per step: it fills (and
+// returns) dst with ceil(n/64) words of LFSR output, allocating only
+// when dst lacks capacity. Bits past n in the final word are zeroed.
+// Callers that recycle mask buffers across Cascade rounds use this to
+// keep subset generation allocation-free.
+func MaskWords(seed uint32, n int, dst []uint64) []uint64 {
+	words := (n + 63) / 64
+	if cap(dst) < words {
+		dst = make([]uint64, words)
 	}
-	return m
+	dst = dst[:words]
+	l := NewLFSR32(seed)
+	for i := range dst {
+		dst[i] = l.NextWord()
+	}
+	if r := uint(n) & 63; r != 0 && words > 0 {
+		dst[words-1] &= (1 << r) - 1
+	}
+	return dst
 }
 
 // SplitMix64 is a tiny, fast, well-distributed 64-bit PRNG

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"qkd/internal/bitarray"
 )
 
 func TestLFSRNonDegenerate(t *testing.T) {
@@ -291,5 +293,72 @@ func TestBinomialMoments(t *testing.T) {
 		if variance < 0.8*wantVar || variance > 1.2*wantVar {
 			t.Errorf("Binomial(%d, %g): variance %.2f, want ~%.2f", c.n, c.p, variance, wantVar)
 		}
+	}
+}
+
+// TestNextWordMatchesScalar pins the word-batched LFSR to the scalar
+// register: 64 bits per step, identical stream and identical state.
+func TestNextWordMatchesScalar(t *testing.T) {
+	for _, seed := range []uint32{1, 2, 0xDEADBEEF, 0x80000000, 12345} {
+		a := NewLFSR32(seed)
+		b := NewLFSR32(seed)
+		for step := 0; step < 16; step++ {
+			var want uint64
+			for i := 0; i < 64; i++ {
+				want |= uint64(a.Next()) << i
+			}
+			got := b.NextWord()
+			if got != want {
+				t.Fatalf("seed %#x step %d: NextWord %#x, scalar %#x", seed, step, got, want)
+			}
+			if a.State() != b.State() {
+				t.Fatalf("seed %#x step %d: state diverged %#x vs %#x", seed, step, a.State(), b.State())
+			}
+		}
+	}
+}
+
+// TestMaskWordsMatchesScalarMask pins MaskWords (and therefore Mask)
+// against a per-bit scalar construction at awkward lengths.
+func TestMaskWordsMatchesScalarMask(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 63, 64, 65, 127, 128, 1000, 4096} {
+		for _, seed := range []uint32{1, 99, 0xCAFEBABE} {
+			l := NewLFSR32(seed)
+			want := bitarray.New(n)
+			for i := 0; i < n; i++ {
+				if l.Next() == 1 {
+					want.Set(i, 1)
+				}
+			}
+			got := Mask(seed, n)
+			if !got.Equal(want) {
+				t.Fatalf("seed %#x n=%d: Mask mismatch", seed, n)
+			}
+			// Buffer-reuse path: dirty destination must not leak.
+			dirty := make([]uint64, (n+63)/64)
+			for i := range dirty {
+				dirty[i] = ^uint64(0)
+			}
+			w := MaskWords(seed, n, dirty)
+			if !bitarray.FromWords(w, n).Equal(want) {
+				t.Fatalf("seed %#x n=%d: MaskWords(dst) mismatch", seed, n)
+			}
+		}
+	}
+}
+
+// TestMaskWordsTailZero confirms bits past n are cleared so word-level
+// consumers (ParityMasked, popcounts) never see stale garbage.
+func TestMaskWordsTailZero(t *testing.T) {
+	w := MaskWords(77, 70, []uint64{^uint64(0), ^uint64(0)})
+	if top := w[1] >> 6; top != 0 {
+		t.Errorf("bits past n survive: %#x", top)
+	}
+}
+
+func BenchmarkMaskWords4096(b *testing.B) {
+	buf := make([]uint64, 64)
+	for i := 0; i < b.N; i++ {
+		MaskWords(uint32(i)+1, 4096, buf)
 	}
 }
