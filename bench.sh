@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
-# bench.sh — run the distillation fast-path headline benchmarks and
-# emit BENCH_distill.json, so the perf trajectory is tracked PR over PR.
+# bench.sh — run the headline benchmark groups and emit one JSON report
+# per group, so the perf trajectory is tracked PR over PR.
 #
 # Usage:
 #   ./bench.sh            # full run (stable numbers, ~a minute)
 #   ./bench.sh --smoke    # CI smoke: one short iteration set, asserts
 #                         # the benchmarks still run, not their speed
 #
-# The headline set covers each layer the distillation pipeline crosses
-# (every row of the DESIGN.md §7 / README perf tables):
-#   BenchmarkMul4096 / BenchmarkMul1024  GF(2^n) windowed-comb multiply
-#   BenchmarkMask4096                    word-batched LFSR subsets
-#   BenchmarkBBN4096QBER5                rank-indexed BBN Cascade, 5% QBER
-#   BenchmarkApply4096to2048             privacy amplification end to end
-#   BenchmarkPipeline_DistillPerFrame    full sift->EC->entropy->PA frame
+# Groups:
+#   distill -> BENCH_distill.json   the distillation fast path, one row
+#                                   per layer it crosses (DESIGN.md §7)
+#     BenchmarkMul4096 / BenchmarkMul1024  GF(2^n) windowed-comb multiply
+#     BenchmarkMask4096                    word-batched LFSR subsets
+#     BenchmarkBBN4096QBER5                rank-indexed BBN Cascade, 5% QBER
+#     BenchmarkApply4096to2048             privacy amplification end to end
+#     BenchmarkPipeline_DistillPerFrame    full sift->EC->entropy->PA frame
+#   kms     -> BENCH_kms.json       key delivery service concurrent
+#                                   withdrawals (throughput + sampled p99
+#                                   latency) at 1/64/1024 consumers, plus
+#                                   the single-stripe serialization
+#                                   baseline (DESIGN.md §8)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -30,36 +36,48 @@ run() { # pkg, regex
     go test -run '^$' -bench "$2" -benchtime "$BENCHTIME" -count "$COUNT" -benchmem "$1" | tee -a "$out"
 }
 
+# Fold the accumulated benchmark lines into a JSON report. Keys are
+# benchmark names; values ns/op plus allocation counters and custom
+# metrics (MB/s throughput, sampled p99-ns latency) when present.
+emit() { # json_path
+    python3 - "$out" "$1" <<'EOF'
+import json, re, sys
+
+rows = {}
+pat = re.compile(r'^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$')
+for line in open(sys.argv[1]):
+    m = pat.match(line.strip())
+    if not m:
+        continue
+    name, iters, ns, rest = m.groups()
+    row = {"iterations": int(iters), "ns_per_op": float(ns)}
+    if (t := re.search(r'([\d.]+) MB/s', rest)):
+        row["mb_per_s"] = float(t.group(1))
+    if (t := re.search(r'([\d.]+) p99-ns', rest)):
+        row["p99_ns"] = float(t.group(1))
+    if (t := re.search(r'([\d.]+) B/op\s+([\d.]+) allocs/op', rest)):
+        row["bytes_per_op"] = float(t.group(1))
+        row["allocs_per_op"] = float(t.group(2))
+    rows[name] = row
+
+with open(sys.argv[2], "w") as f:
+    json.dump(rows, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {sys.argv[2]} ({len(rows)} benchmarks)")
+if not rows:
+    sys.exit("no benchmark output parsed")
+EOF
+    : > "$out"
+}
+
+# --- distill group ----------------------------------------------------
 run ./internal/gf2/     'BenchmarkMul4096$|BenchmarkMul1024$'
 run ./internal/rng/     'BenchmarkMask4096$'
 run ./internal/cascade/ 'BenchmarkBBN4096QBER5$'
 run ./internal/privacy/ 'BenchmarkApply4096to2048$'
 run .                   'BenchmarkPipeline_DistillPerFrame$'
+emit BENCH_distill.json
 
-# Fold the benchmark lines into a JSON report. Keys are benchmark
-# names; values ns/op plus allocation counters when present.
-python3 - "$out" <<'EOF'
-import json, re, sys
-
-rows = {}
-pat = re.compile(
-    r'^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op'
-    r'(?:.*?\s([\d.]+) B/op\s+([\d.]+) allocs/op)?')
-for line in open(sys.argv[1]):
-    m = pat.match(line.strip())
-    if not m:
-        continue
-    name, iters, ns, bop, allocs = m.groups()
-    row = {"iterations": int(iters), "ns_per_op": float(ns)}
-    if bop is not None:
-        row["bytes_per_op"] = float(bop)
-        row["allocs_per_op"] = float(allocs)
-    rows[name] = row
-
-with open("BENCH_distill.json", "w") as f:
-    json.dump(rows, f, indent=2, sort_keys=True)
-    f.write("\n")
-print(f"wrote BENCH_distill.json ({len(rows)} benchmarks)")
-if not rows:
-    sys.exit("no benchmark output parsed")
-EOF
+# --- kms group --------------------------------------------------------
+run . 'BenchmarkKMS_Withdraw(1|64|1024|1024Serial)$'
+emit BENCH_kms.json

@@ -59,13 +59,14 @@ func init() {
 // one.
 type MAC struct {
 	key  uint64
-	pool *keypool.Reservoir
+	pool keypool.Source
 }
 
 // NewMAC draws a 64-bit hash key from the pool and returns the MAC.
 // Both ends must construct their MACs in the same order so they draw
-// identical keys.
-func NewMAC(pool *keypool.Reservoir) (*MAC, error) {
+// identical keys. The pool is any keypool.Source — a raw reservoir or
+// a QoS-classed handle of the key delivery service (internal/kms).
+func NewMAC(pool keypool.Source) (*MAC, error) {
 	bits, err := pool.TryConsume(64)
 	if err != nil {
 		return nil, fmt.Errorf("auth: drawing hash key: %w", err)
@@ -149,7 +150,7 @@ type Conn struct {
 // recvPool verifies incoming ones; the peer must wrap its end with the
 // two pools swapped. Each pool must hold at least 64 bits for the hash
 // keys.
-func Wrap(conn channel.Conn, sendPool, recvPool *keypool.Reservoir) (*Conn, error) {
+func Wrap(conn channel.Conn, sendPool, recvPool keypool.Source) (*Conn, error) {
 	s, err := NewMAC(sendPool)
 	if err != nil {
 		return nil, err

@@ -197,16 +197,16 @@ func releaseBatch(b *bitarray.BitArray) { batchPool.Put(b) }
 type engineCommon struct {
 	cfg      Config
 	conn     channel.Conn
-	pool     *keypool.Reservoir
-	sendPads *keypool.Reservoir // auth pad pools, optional
-	recvPads *keypool.Reservoir
+	pool     keypool.Pool
+	sendPads keypool.Pool // auth pad pools, optional
+	recvPads keypool.Pool
 	rand     *rng.SplitMix64
 	batch    batchState
 	metrics  Metrics
 	qberEst  float64
 }
 
-func newCommon(conn channel.Conn, pool *keypool.Reservoir, cfg Config) engineCommon {
+func newCommon(conn channel.Conn, pool keypool.Pool, cfg Config) engineCommon {
 	cfg = cfg.withDefaults()
 	return engineCommon{
 		cfg:     cfg,
@@ -223,7 +223,7 @@ func newCommon(conn channel.Conn, pool *keypool.Reservoir, cfg Config) engineCom
 // then the receive-direction pool — both ends must register theirs so
 // mirrored streams stay aligned: Alice's send pool is Bob's receive
 // pool).
-func (e *engineCommon) SetAuthPools(send, recv *keypool.Reservoir) {
+func (e *engineCommon) SetAuthPools(send, recv keypool.Pool) {
 	e.sendPads = send
 	e.recvPads = recv
 }
@@ -231,8 +231,10 @@ func (e *engineCommon) SetAuthPools(send, recv *keypool.Reservoir) {
 // Metrics returns a snapshot.
 func (e *engineCommon) Metrics() Metrics { return e.metrics }
 
-// Pool returns the distilled-key reservoir.
-func (e *engineCommon) Pool() *keypool.Reservoir { return e.pool }
+// Pool returns the distilled-key supply the engine deposits into — a
+// raw reservoir by default, or the site's key delivery service when
+// one is wired in (vpn.Config.KDS).
+func (e *engineCommon) Pool() keypool.Pool { return e.pool }
 
 // corrector instantiates the configured EC protocol with the current
 // error estimate. The seed travels inside protocol messages, so the two
@@ -292,7 +294,7 @@ type Alice struct {
 }
 
 // NewAlice builds the transmitter engine.
-func NewAlice(conn channel.Conn, pool *keypool.Reservoir, cfg Config) *Alice {
+func NewAlice(conn channel.Conn, pool keypool.Pool, cfg Config) *Alice {
 	return &Alice{engineCommon: newCommon(conn, pool, cfg)}
 }
 
@@ -437,7 +439,7 @@ type Bob struct {
 }
 
 // NewBob builds the receiver engine.
-func NewBob(conn channel.Conn, pool *keypool.Reservoir, cfg Config) *Bob {
+func NewBob(conn channel.Conn, pool keypool.Pool, cfg Config) *Bob {
 	return &Bob{engineCommon: newCommon(conn, pool, cfg)}
 }
 

@@ -36,6 +36,14 @@ const FrameSlotsDefault = 10000
 // channel, engines, and per-end key reservoirs (reachable via
 // Session.Alice.Pool() / Session.Bob.Pool()).
 func NewSession(params photonics.Params, cfg Config, frameSlots int, seed uint64) *Session {
+	return NewSessionWithPools(params, cfg, frameSlots, seed, keypool.New(), keypool.New())
+}
+
+// NewSessionWithPools is NewSession with caller-supplied key supplies:
+// the engines deposit distilled batches into aPool/bPool instead of
+// fresh reservoirs. The VPN layer uses this to route distillation
+// straight into each site's key delivery service.
+func NewSessionWithPools(params photonics.Params, cfg Config, frameSlots int, seed uint64, aPool, bPool keypool.Pool) *Session {
 	if frameSlots <= 0 {
 		frameSlots = FrameSlotsDefault
 	}
@@ -52,8 +60,8 @@ func NewSession(params photonics.Params, cfg Config, frameSlots int, seed uint64
 	}
 	return &Session{
 		Link:       link,
-		Alice:      NewAlice(ca, keypool.New(), cfgA),
-		Bob:        NewBob(cb, keypool.New(), cfgB),
+		Alice:      NewAlice(ca, aPool, cfgA),
+		Bob:        NewBob(cb, bPool, cfgB),
 		aliceConn:  ca,
 		bobConn:    cb,
 		frameSlots: frameSlots,

@@ -1,5 +1,7 @@
 // Package experiments regenerates every quantitative claim, operating
-// point, table and figure of the paper's evaluation. Each experiment
+// point, table and figure of the paper's evaluation (E1-E12), plus the
+// scaling experiments the reproduction adds on top (E13: the key
+// delivery service under 1000+ concurrent consumers). Each experiment
 // Exx function runs a workload and returns a Report whose rows mirror
 // what the paper states; cmd/qkdexp prints them and the repository's
 // bench_test.go wraps each in a testing.B benchmark. EXPERIMENTS.md
@@ -66,6 +68,7 @@ func All(seed uint64, quick bool) ([]*Report, error) {
 		E10Switches,
 		E11Auth,
 		E12Transcript,
+		E13KDS,
 	}
 	var out []*Report
 	for i, run := range runs {

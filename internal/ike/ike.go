@@ -41,6 +41,7 @@ import (
 	"qkd/internal/channel"
 	"qkd/internal/ipsec"
 	"qkd/internal/keypool"
+	"qkd/internal/kms"
 	"qkd/internal/rng"
 )
 
@@ -123,10 +124,19 @@ type Daemon struct {
 	role Role
 	conn channel.Conn
 	gw   *ipsec.Gateway
-	pool *keypool.Reservoir
+	pool keypool.Source
 	psk  []byte
 	cfg  Config
 	logw io.Writer
+
+	// Key delivery streams (optional, via SetKeyStreams). When set,
+	// quick mode withdraws key as (stream, sequence) tickets from the
+	// key delivery service instead of relying on lockstep pool
+	// withdrawal order: the initiator allocates a ticket under the QoS
+	// scheduler, carries it in the proposal, and both ends claim the
+	// identical ledger range.
+	qbStream  *kms.Stream
+	otpStream *kms.Stream
 
 	rand *rng.SplitMix64
 
@@ -154,10 +164,11 @@ type Stats struct {
 }
 
 // NewDaemon builds a daemon over the given control channel. pool is the
-// gateway's distilled-key reservoir (mirrored with the peer's by the
-// QKD layer); psk is the prepositioned Phase 1 secret; logw (may be
-// nil) receives racoon-style log lines.
-func NewDaemon(role Role, conn channel.Conn, gw *ipsec.Gateway, pool *keypool.Reservoir, psk []byte, cfg Config, logw io.Writer) *Daemon {
+// gateway's distilled-key supply — a raw reservoir (mirrored with the
+// peer's by the QKD layer) or a QoS handle of the key delivery service;
+// psk is the prepositioned Phase 1 secret; logw (may be nil) receives
+// racoon-style log lines.
+func NewDaemon(role Role, conn channel.Conn, gw *ipsec.Gateway, pool keypool.Source, psk []byte, cfg Config, logw io.Writer) *Daemon {
 	cfg = cfg.withDefaults()
 	base := uint32(0x01000000)
 	if role == Responder {
@@ -177,6 +188,25 @@ func NewDaemon(role Role, conn channel.Conn, gw *ipsec.Gateway, pool *keypool.Re
 		respCancel: make(map[uint32]chan struct{}),
 		stopped:    make(chan struct{}),
 	}
+}
+
+// SetKeyStreams switches quick-mode key withdrawal to the key delivery
+// service: conventional suites draw Qblocks from qblocks, one-time-pad
+// suites draw pads from otp. Both daemons of a link must be configured
+// with mirrored streams (same names and block sizes on their respective
+// KDS instances). Call before Start.
+func (d *Daemon) SetKeyStreams(qblocks, otp *kms.Stream) {
+	d.qbStream = qblocks
+	d.otpStream = otp
+}
+
+// streamFor maps a negotiated suite to its delivery stream (nil when
+// the daemon runs in legacy lockstep-pool mode).
+func (d *Daemon) streamFor(suite ipsec.CipherSuite) *kms.Stream {
+	if suite == ipsec.SuiteOTP {
+		return d.otpStream
+	}
+	return d.qbStream
 }
 
 // Stats returns a snapshot.

@@ -11,6 +11,7 @@ import (
 	"qkd/internal/channel"
 	"qkd/internal/ipsec"
 	"qkd/internal/keypool"
+	"qkd/internal/kms"
 	"qkd/internal/rng"
 )
 
@@ -469,5 +470,100 @@ func TestFailedOTPNegotiationLeavesPoolsSynced(t *testing.T) {
 	}
 	if err := h.ping(1); err != nil {
 		t.Fatalf("traffic over post-failure tunnel: %v", err)
+	}
+}
+
+func TestProposalTicketRoundTrip(t *testing.T) {
+	// The phase-2 wire format carries the KDS ticket intact; legacy
+	// proposals round-trip with the flag clear.
+	p := &phase2Proposal{
+		PolicyName:    "a-to-b",
+		ReversePolicy: "b-to-a",
+		Suite:         ipsec.SuiteOTP,
+		LifeSeconds:   600,
+		LifeBytes:     1 << 20,
+		OTPBits:       16384,
+		SPI:           0x01000007,
+		HasTicket:     true,
+		TicketSeq:     42,
+		TicketOff:     987654321,
+		TicketBits:    32768,
+	}
+	got, err := decodeProposal(p.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *p {
+		t.Fatalf("round trip mangled the proposal:\n got %+v\nwant %+v", got, p)
+	}
+	p.HasTicket = false
+	p.TicketSeq, p.TicketOff, p.TicketBits = 0, 0, 0
+	if got, err = decodeProposal(p.encode()); err != nil {
+		t.Fatal(err)
+	}
+	if got.HasTicket {
+		t.Fatal("legacy proposal decoded with a ticket")
+	}
+}
+
+func TestNegotiateOverKeyStreams(t *testing.T) {
+	// Daemons wired to mirrored KDS instances agree on SAs through
+	// (stream, sequence) tickets even though neither pool sees a
+	// lockstep withdrawal.
+	h := newHarness(t, ipsec.SuiteAES128CTR, ipsec.Lifetime{}, Config{Phase2Timeout: 2 * time.Second}, 64)
+	kA, kB := kms.New(kms.Config{}), kms.New(kms.Config{})
+	defer kA.Close()
+	defer kB.Close()
+	qbA, _ := kA.NewStream("ike/qblocks", QblockBits, kms.ClassRekey)
+	qbB, _ := kB.NewStream("ike/qblocks", QblockBits, kms.ClassRekey)
+	h.dA.SetKeyStreams(qbA, nil)
+	h.dB.SetKeyStreams(qbB, nil)
+	key := rng.NewSplitMix64(9).Bits(4 * QblockBits)
+	kA.Ingest(key.Clone())
+	kB.Ingest(key)
+	if err := h.dA.Negotiate(h.polAB, "b-to-a"); err != nil {
+		t.Fatalf("ticketed negotiation: %v", err)
+	}
+	if err := h.ping(1); err != nil {
+		t.Fatalf("traffic over ticketed SAs: %v", err)
+	}
+	// The lockstep pools were never touched.
+	if _, ca := h.poolA.Stats(); ca != 0 {
+		t.Fatalf("initiator pool consumed %d bits in stream mode", ca)
+	}
+	if st := kB.Stats(); st.ClaimedBits != QblockBits {
+		t.Fatalf("responder claimed %d bits, want %d", st.ClaimedBits, QblockBits)
+	}
+}
+
+func TestRejectedTicketedProposalReleasesRange(t *testing.T) {
+	// A ticketed negotiation the responder rejects (unknown reverse
+	// policy) must release the claimed ledger range on the responder,
+	// or its claim frontier stalls behind the hole forever.
+	h := newHarness(t, ipsec.SuiteAES128CTR, ipsec.Lifetime{}, Config{Phase2Timeout: 2 * time.Second}, 64)
+	kA, kB := kms.New(kms.Config{}), kms.New(kms.Config{})
+	defer kA.Close()
+	defer kB.Close()
+	qbA, _ := kA.NewStream("ike/qblocks", QblockBits, kms.ClassRekey)
+	qbB, _ := kB.NewStream("ike/qblocks", QblockBits, kms.ClassRekey)
+	h.dA.SetKeyStreams(qbA, nil)
+	h.dB.SetKeyStreams(qbB, nil)
+	key := rng.NewSplitMix64(9).Bits(4 * QblockBits)
+	kA.Ingest(key.Clone())
+	kB.Ingest(key)
+	if err := h.dA.Negotiate(h.polAB, "no-such-policy"); !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for kB.Stats().ReleasedBits != QblockBits {
+		if time.Now().After(deadline) {
+			t.Fatalf("responder released %d bits, want %d (frontier leak)",
+				kB.Stats().ReleasedBits, QblockBits)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The next (valid) ticketed negotiation still works on both ends.
+	if err := h.dA.Negotiate(h.polAB, "b-to-a"); err != nil {
+		t.Fatalf("negotiation after rejected ticket: %v", err)
 	}
 }

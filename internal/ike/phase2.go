@@ -2,11 +2,14 @@ package ike
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"time"
 
+	"qkd/internal/bitarray"
 	"qkd/internal/ipsec"
 	"qkd/internal/keypool"
+	"qkd/internal/kms"
 )
 
 // phase2Proposal is the initiator's quick-mode offer.
@@ -20,6 +23,15 @@ type phase2Proposal struct {
 	OTPBits       uint64 // OTP suite: pad bits per direction
 	SPI           uint32 // initiator's inbound SPI
 	Nonce         [16]byte
+
+	// KDS ticket (HasTicket set): the (stream, sequence) key block the
+	// initiator allocated for this negotiation. The stream is implied
+	// by the suite; both ends claim the identical ledger range, so the
+	// mirrored reservoirs no longer need lockstep withdrawal order.
+	HasTicket  bool
+	TicketSeq  uint64
+	TicketOff  uint64
+	TicketBits uint32
 }
 
 func (p *phase2Proposal) encode() []byte {
@@ -33,6 +45,14 @@ func (p *phase2Proposal) encode() []byte {
 	buf = binary.BigEndian.AppendUint64(buf, p.OTPBits)
 	buf = binary.BigEndian.AppendUint32(buf, p.SPI)
 	buf = append(buf, p.Nonce[:]...)
+	if p.HasTicket {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.BigEndian.AppendUint64(buf, p.TicketSeq)
+	buf = binary.BigEndian.AppendUint64(buf, p.TicketOff)
+	buf = binary.BigEndian.AppendUint32(buf, p.TicketBits)
 	return buf
 }
 
@@ -45,7 +65,7 @@ func decodeProposal(b []byte) (*phase2Proposal, error) {
 	if p.ReversePolicy, b, err = takeString(b); err != nil {
 		return nil, err
 	}
-	if len(b) != 4+4+8+4+8+4+16 {
+	if len(b) != 4+4+8+4+8+4+16+1+8+8+4 {
 		return nil, fmt.Errorf("ike: bad proposal length %d", len(b))
 	}
 	p.Suite = ipsec.CipherSuite(binary.BigEndian.Uint32(b))
@@ -55,6 +75,10 @@ func decodeProposal(b []byte) (*phase2Proposal, error) {
 	p.OTPBits = binary.BigEndian.Uint64(b[20:])
 	p.SPI = binary.BigEndian.Uint32(b[28:])
 	copy(p.Nonce[:], b[32:48])
+	p.HasTicket = b[48] != 0
+	p.TicketSeq = binary.BigEndian.Uint64(b[49:])
+	p.TicketOff = binary.BigEndian.Uint64(b[57:])
+	p.TicketBits = binary.BigEndian.Uint32(b[65:])
 	return p, nil
 }
 
@@ -128,6 +152,38 @@ func (d *Daemon) Negotiate(pol *ipsec.Policy, reversePolicy string) error {
 		prop.Qblocks = uint32(d.cfg.Qblocks)
 	}
 
+	// With key delivery streams wired, allocate this negotiation's key
+	// block under the QoS scheduler up front and claim it; the ticket
+	// rides in the proposal so the responder claims the identical
+	// ledger range. The needed bits are rounded up to whole blocks
+	// (both ends slice off the same prefix).
+	var ticketKey *bitarray.BitArray
+	if st := d.streamFor(pol.Suite); st != nil {
+		needed := int(prop.Qblocks) * QblockBits
+		if pol.Suite == ipsec.SuiteOTP {
+			needed = 2 * int(prop.OTPBits)
+		}
+		blocks := (needed + st.BlockBits() - 1) / st.BlockBits()
+		tk, key, err := st.Next(blocks, d.cfg.Phase2Timeout, nil)
+		if err != nil {
+			d.mu.Lock()
+			d.stats.Phase2Failed++
+			d.mu.Unlock()
+			if errors.Is(err, kms.ErrOverload) {
+				return fmt.Errorf("ike: key delivery shed the rekey: %w", err)
+			}
+			if errors.Is(err, keypool.ErrTimeout) {
+				return ErrTimeout
+			}
+			return fmt.Errorf("ike: allocating key block: %w", err)
+		}
+		ticketKey = key
+		prop.HasTicket = true
+		prop.TicketSeq = tk.Seq
+		prop.TicketOff = tk.Offset
+		prop.TicketBits = uint32(tk.Bits)
+	}
+
 	msgID := d.allocMsgID()
 	d.logf("INFO: isakmp.c:939:isakmp_ph2begin_i(): initiate new phase 2 negotiation: %s[0]<=>%s[0]",
 		d.gw.Local, pol.PeerGW)
@@ -182,7 +238,7 @@ func (d *Daemon) Negotiate(pol *ipsec.Policy, reversePolicy string) error {
 	var nonceR [16]byte
 	copy(nonceR[:], resp[9:25])
 
-	return d.installSAs(prop, spiR, nonceR, true)
+	return d.installSAs(prop, spiR, nonceR, true, ticketKey)
 }
 
 // handlePhase2 serves one inbound quick-mode request. cancel is the
@@ -200,9 +256,17 @@ func (d *Daemon) handlePhase2(msgID uint32, payload []byte, cancel <-chan struct
 	d.stats.Phase2Responded++
 	d.mu.Unlock()
 
-	// Verify the named policies exist before consuming key material.
+	// Verify the named policies exist before consuming key material. A
+	// ticketed proposal still burned its ledger range on the initiator,
+	// so release the mirror range here or this side's claim frontier
+	// (and ledger pruning) stalls behind the hole forever.
 	rev := d.findPolicy(prop.ReversePolicy)
 	if rev == nil {
+		if prop.HasTicket {
+			if st := d.streamFor(prop.Suite); st != nil {
+				st.Release(d.ticketOf(prop, st))
+			}
+		}
 		d.nack(msgID)
 		return
 	}
@@ -231,12 +295,40 @@ func (d *Daemon) handlePhase2(msgID uint32, payload []byte, cancel <-chan struct
 	select {
 	case <-cancel:
 		d.logf("INFO: isakmp.c:xxxx: phase 2 msgid %d was abandoned before processing began", msgID)
+		if prop.HasTicket {
+			if st := d.streamFor(prop.Suite); st != nil {
+				st.Release(d.ticketOf(prop, st))
+			}
+		}
 		d.nack(msgID)
 		return
 	default:
 	}
 
-	if err := d.installSAsCancelable(prop, spiR, nonceR, false, cancel); err != nil {
+	// A ticketed proposal claims its (stream, sequence) block here —
+	// blocking until local distillation covers the range, bounded by
+	// the exchange's timeout and abortable by its cancel. Failure
+	// releases the range so both ends burn identical ledger.
+	var ticketKey *bitarray.BitArray
+	if prop.HasTicket {
+		st := d.streamFor(prop.Suite)
+		if st == nil {
+			d.logf("ERROR: bbn-qkd-qpd.c:xxxx: peer offered a KDS ticket but no delivery stream is configured")
+			d.nack(msgID)
+			return
+		}
+		tk := d.ticketOf(prop, st)
+		key, err := st.Claim(tk, d.cfg.Phase2Timeout, cancel)
+		if err != nil {
+			d.logf("ERROR: bbn-qkd-qpd.c:1101:qke_create_reply(): claiming (%s, %d): %v", tk.Stream, tk.Seq, err)
+			st.Release(tk)
+			d.nack(msgID)
+			return
+		}
+		ticketKey = key
+	}
+
+	if err := d.installSAsCancelable(prop, spiR, nonceR, false, cancel, ticketKey); err != nil {
 		d.logf("ERROR: bbn-qkd-qpd.c:1101:qke_create_reply(): %v", err)
 		d.nack(msgID)
 		return
@@ -272,22 +364,48 @@ func (d *Daemon) findPolicy(name string) *ipsec.Policy {
 	return nil
 }
 
+// ticketOf reconstructs the kms ticket a proposal carries.
+func (d *Daemon) ticketOf(prop *phase2Proposal, st *kms.Stream) kms.Ticket {
+	return kms.Ticket{
+		Stream: st.Name(),
+		Seq:    prop.TicketSeq,
+		Offset: prop.TicketOff,
+		Bits:   int(prop.TicketBits),
+	}
+}
+
 // installSAs derives KEYMAT (or withdraws pads) and installs both
 // directions' SAs. The initiator's outbound direction is always keyed
 // first so both reservoirs are consumed in the same order.
-func (d *Daemon) installSAs(prop *phase2Proposal, spiR uint32, nonceR [16]byte, isInitiator bool) error {
-	return d.installSAsCancelable(prop, spiR, nonceR, isInitiator, nil)
+func (d *Daemon) installSAs(prop *phase2Proposal, spiR uint32, nonceR [16]byte, isInitiator bool, ticketKey *bitarray.BitArray) error {
+	return d.installSAsCancelable(prop, spiR, nonceR, isInitiator, nil, ticketKey)
 }
 
 // installSAsCancelable is installSAs with an abort channel threaded
 // into the blocking key withdrawals (responder side: the exchange may
-// die while the reservoir fills).
-func (d *Daemon) installSAsCancelable(prop *phase2Proposal, spiR uint32, nonceR [16]byte, isInitiator bool, cancel <-chan struct{}) error {
+// die while the reservoir fills). ticketKey, when non-nil, is the
+// pre-claimed (stream, sequence) key block; otherwise the key is
+// withdrawn from the lockstep pool.
+func (d *Daemon) installSAsCancelable(prop *phase2Proposal, spiR uint32, nonceR [16]byte, isInitiator bool, cancel <-chan struct{}, ticketKey *bitarray.BitArray) error {
 	life := ipsec.Lifetime{
 		Duration: time.Duration(prop.LifeSeconds) * time.Second,
 		Bytes:    prop.LifeBytes,
 	}
 	seed := append(append([]byte(nil), prop.Nonce[:]...), nonceR[:]...)
+
+	// withdraw pulls n bits of key: from the pre-claimed ticket block
+	// when the negotiation rode the key delivery service (both ends
+	// slice the same prefix of the same ledger range), or from the
+	// lockstep pool otherwise.
+	withdraw := func(n int) (*bitarray.BitArray, error) {
+		if ticketKey != nil {
+			if ticketKey.Len() < n {
+				return nil, fmt.Errorf("ticket block of %d bits short of %d", ticketKey.Len(), n)
+			}
+			return ticketKey.Slice(0, n), nil
+		}
+		return d.pool.ConsumeCancelable(n, d.cfg.Phase2Timeout, cancel)
+	}
 
 	var saIR, saRI *ipsec.SA // initiator->responder keyed by spiR; reverse by prop.SPI
 	if prop.Suite == ipsec.SuiteOTP {
@@ -295,7 +413,7 @@ func (d *Daemon) installSAsCancelable(prop *phase2Proposal, spiR uint32, nonceR 
 		// partial withdrawal on a failed negotiation would silently
 		// desynchronize the two ends' mirrored reservoirs, poisoning
 		// every subsequent SA.
-		pads, err := d.pool.ConsumeCancelable(2*int(prop.OTPBits), d.cfg.Phase2Timeout, cancel)
+		pads, err := withdraw(2 * int(prop.OTPBits))
 		if err != nil {
 			return fmt.Errorf("withdrawing OTP pads: %w", err)
 		}
@@ -311,7 +429,7 @@ func (d *Daemon) installSAsCancelable(prop *phase2Proposal, spiR uint32, nonceR 
 			return err
 		}
 	} else {
-		qbits, err := d.pool.ConsumeCancelable(int(prop.Qblocks)*QblockBits, d.cfg.Phase2Timeout, cancel)
+		qbits, err := withdraw(int(prop.Qblocks) * QblockBits)
 		if err != nil {
 			return fmt.Errorf("withdrawing %d Qblocks: %w", prop.Qblocks, err)
 		}
@@ -367,9 +485,9 @@ func spiBytes(spi uint32) []byte {
 	return b
 }
 
-// WaitAvailable blocks until the reservoir holds at least bits, a
+// WaitAvailable blocks until the key supply holds at least bits, a
 // convenience for tests and experiments staging exhaustion.
-func WaitAvailable(pool *keypool.Reservoir, bits int, timeout time.Duration) error {
+func WaitAvailable(pool keypool.Source, bits int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for pool.Available() < bits {
 		if time.Now().After(deadline) {

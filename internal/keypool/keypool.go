@@ -11,6 +11,17 @@
 // the cryptographic workload. Consumers choose between failing fast
 // (TryConsume) and blocking with a deadline (Consume), which is how the
 // IKE timeout experiments exercise exhaustion.
+//
+// Blocked consumers hold FIFO tickets: they are served strictly in
+// arrival order, and a deposit wakes only the waiters it can satisfy.
+// A large withdrawal at the head of the queue therefore accumulates
+// deposits until it is whole instead of losing every deposit to
+// smaller, later arrivals (the thundering-herd starvation of a naive
+// condition-variable Broadcast).
+//
+// Consumers that should not see a concrete *Reservoir — because their
+// key really comes from the sharded, QoS-scheduled delivery service in
+// internal/kms — accept the Source/Sink/Pool interfaces instead.
 package keypool
 
 import (
@@ -35,26 +46,71 @@ var (
 	ErrCanceled = errors.New("keypool: withdrawal canceled")
 )
 
+// Source is the consumer-facing view of a key supply: everything IKE
+// daemons, OTP Security Associations, and Wegman-Carter MACs need.
+// *Reservoir implements it directly; the key delivery service
+// (internal/kms) hands out QoS-classed implementations.
+type Source interface {
+	// Available returns the number of bits on hand right now.
+	Available() int
+	// TryConsume removes exactly n bits or fails without removing any.
+	TryConsume(n int) (*bitarray.BitArray, error)
+	// Consume removes exactly n bits, blocking until available or the
+	// timeout elapses (timeout <= 0 blocks indefinitely).
+	Consume(n int, timeout time.Duration) (*bitarray.BitArray, error)
+	// ConsumeCancelable is Consume with an abort channel.
+	ConsumeCancelable(n int, timeout time.Duration, cancel <-chan struct{}) (*bitarray.BitArray, error)
+}
+
+// Sink is the producer-facing view: the distillation engines deposit
+// finished batches into one.
+type Sink interface {
+	Deposit(bits *bitarray.BitArray)
+}
+
+// Pool is the full two-sided view of a key supply.
+type Pool interface {
+	Source
+	Sink
+	// Stats returns lifetime deposit/consumption totals in bits.
+	Stats() (deposited, consumed uint64)
+}
+
+// waiter is one queued blocking withdrawal. It is served (bits and err
+// assigned, done closed) under the reservoir mutex, strictly in FIFO
+// order.
+type waiter struct {
+	n    int
+	bits *bitarray.BitArray
+	err  error
+	done chan struct{}
+}
+
 // Reservoir is a thread-safe FIFO of secret bits.
 type Reservoir struct {
 	mu     sync.Mutex
-	cond   *sync.Cond
 	buf    *bitarray.BitArray // bits [head, Len) are live
 	head   int
 	closed bool
+
+	// waiters is the FIFO ticket queue of blocked withdrawals.
+	waiters []*waiter
 
 	deposited uint64
 	consumed  uint64
 }
 
+var (
+	_ Pool = (*Reservoir)(nil)
+)
+
 // New returns an empty reservoir.
 func New() *Reservoir {
-	r := &Reservoir{buf: bitarray.New(0)}
-	r.cond = sync.NewCond(&r.mu)
-	return r
+	return &Reservoir{buf: bitarray.New(0)}
 }
 
-// Deposit appends bits to the reservoir and wakes blocked consumers.
+// Deposit appends bits to the reservoir and serves queued withdrawals
+// in arrival order; only waiters the new balance can satisfy wake.
 func (r *Reservoir) Deposit(bits *bitarray.BitArray) {
 	if bits.Len() == 0 {
 		return
@@ -67,7 +123,7 @@ func (r *Reservoir) Deposit(bits *bitarray.BitArray) {
 	r.compactLocked()
 	r.buf.AppendAll(bits)
 	r.deposited += uint64(bits.Len())
-	r.cond.Broadcast()
+	r.serveLocked()
 }
 
 // DepositBytes appends 8*len(p) bits.
@@ -89,10 +145,16 @@ func (r *Reservoir) Stats() (deposited, consumed uint64) {
 
 // TryConsume removes exactly n bits, or returns ErrExhausted without
 // removing anything. Key material is never partially consumed: a
-// consumer that can't be fully served must not burn the pool.
+// consumer that can't be fully served must not burn the pool. While
+// blocked withdrawals are queued, TryConsume always fails — jumping the
+// FIFO queue would reintroduce exactly the starvation the tickets
+// eliminate.
 func (r *Reservoir) TryConsume(n int) (*bitarray.BitArray, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if len(r.waiters) > 0 {
+		return nil, ErrExhausted
+	}
 	return r.takeLocked(n)
 }
 
@@ -108,56 +170,77 @@ func (r *Reservoir) Consume(n int, timeout time.Duration) (*bitarray.BitArray, e
 // tear down a responder's pending blocking withdrawal when the exchange
 // that requested it dies — otherwise key deposited for the initiator's
 // retry would feed the stale negotiation instead.
+//
+// Withdrawals are served in strict arrival order: the call enqueues a
+// ticket and deposits fill tickets from the head of the queue. If a
+// deposit has already filled the ticket when the deadline or cancel
+// fires, the bits are returned (they were consumed on this caller's
+// behalf; dropping them would desynchronize the mirrored peer pool).
 func (r *Reservoir) ConsumeCancelable(n int, timeout time.Duration, cancel <-chan struct{}) (*bitarray.BitArray, error) {
-	var deadline time.Time
-	if timeout > 0 {
-		deadline = time.Now().Add(timeout)
-		// A watchdog broadcast releases waiters at the deadline; cheap
-		// relative to key operations, and keeps Wait logic simple.
-		t := time.AfterFunc(timeout, func() { r.cond.Broadcast() })
-		defer t.Stop()
-	}
 	if cancel != nil {
-		// A watcher broadcast releases the waiter on cancellation. The
-		// lock acquisition orders the broadcast after the waiter has
-		// entered Wait (the waiter holds mu from its cancel check until
-		// Wait releases it), so the wakeup cannot be lost.
-		done := make(chan struct{})
-		defer close(done)
-		go func() {
-			select {
-			case <-cancel:
-				r.mu.Lock()
-				r.mu.Unlock() //nolint:staticcheck // empty section orders the broadcast
-				r.cond.Broadcast()
-			case <-done:
-			}
-		}()
+		// A withdrawal whose exchange already died must never race a
+		// fresh deposit to the bits.
+		select {
+		case <-cancel:
+			return nil, ErrCanceled
+		default:
+		}
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	for {
-		// The cancel check precedes the take so a withdrawal whose
-		// exchange already died never races a fresh deposit to the bits.
-		if cancel != nil {
-			select {
-			case <-cancel:
-				return nil, ErrCanceled
-			default:
-			}
-		}
-		bits, err := r.takeLocked(n)
-		if err == nil {
+	if n < 0 {
+		r.mu.Unlock()
+		return nil, errors.New("keypool: negative request")
+	}
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	// Fast path: empty queue and enough bits on hand.
+	if len(r.waiters) == 0 {
+		if bits, err := r.takeLocked(n); err == nil {
+			r.mu.Unlock()
 			return bits, nil
 		}
-		if errors.Is(err, ErrClosed) {
-			return nil, err
-		}
-		if !deadline.IsZero() && !time.Now().Before(deadline) {
-			return nil, ErrTimeout
-		}
-		r.cond.Wait()
 	}
+	w := &waiter{n: n, done: make(chan struct{})}
+	r.waiters = append(r.waiters, w)
+	r.mu.Unlock()
+
+	var deadlineC <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadlineC = t.C
+	}
+	select {
+	case <-w.done:
+		return w.bits, w.err
+	case <-deadlineC:
+		return r.abandon(w, ErrTimeout)
+	case <-cancel: // nil channel when cancel == nil: blocks forever
+		return r.abandon(w, ErrCanceled)
+	}
+}
+
+// abandon removes a waiter whose deadline or cancel fired. If a deposit
+// served the ticket first, the bits won the race and are returned.
+func (r *Reservoir) abandon(w *waiter, failErr error) (*bitarray.BitArray, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case <-w.done:
+		return w.bits, w.err
+	default:
+	}
+	for i, q := range r.waiters {
+		if q == w {
+			r.waiters = append(r.waiters[:i], r.waiters[i+1:]...)
+			break
+		}
+	}
+	// Removing a large head may unblock smaller tickets behind it.
+	r.serveLocked()
+	return nil, failErr
 }
 
 // Close shuts the reservoir; all blocked and future consumers fail with
@@ -169,7 +252,28 @@ func (r *Reservoir) Close() {
 	r.closed = true
 	r.buf = bitarray.New(0)
 	r.head = 0
-	r.cond.Broadcast()
+	for _, w := range r.waiters {
+		w.err = ErrClosed
+		close(w.done)
+	}
+	r.waiters = nil
+}
+
+// serveLocked fills queued tickets in FIFO order while the balance
+// allows. The head ticket blocks all later ones even when they are
+// smaller: that is the anti-starvation guarantee. Caller holds mu; the
+// reservoir is open.
+func (r *Reservoir) serveLocked() {
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		bits, err := r.takeLocked(w.n)
+		if err != nil {
+			return // head not yet satisfiable; later deposits retry
+		}
+		w.bits = bits
+		r.waiters = r.waiters[1:]
+		close(w.done)
+	}
 }
 
 // takeLocked removes n bits if possible. Caller holds mu.

@@ -255,3 +255,256 @@ func TestConsumeNilCancelStillTimesOut(t *testing.T) {
 		t.Fatal("timeout wildly overshot")
 	}
 }
+
+func TestFIFOFairnessLargeHeadNotStarved(t *testing.T) {
+	// A large withdrawal arrives first; a stream of small later
+	// arrivals must not steal its deposits (the thundering-herd
+	// starvation of the old Broadcast design).
+	r := New()
+	bigDone := make(chan *bitarray.BitArray, 1)
+	go func() {
+		bits, err := r.Consume(1024, 5*time.Second)
+		if err != nil {
+			t.Errorf("large consumer: %v", err)
+		}
+		bigDone <- bits
+	}()
+	// Wait until the large ticket is queued.
+	for {
+		r.mu.Lock()
+		queued := len(r.waiters) == 1
+		r.mu.Unlock()
+		if queued {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	const smalls = 16
+	smallErrs := make(chan error, smalls)
+	for i := 0; i < smalls; i++ {
+		go func() {
+			_, err := r.Consume(64, 5*time.Second)
+			smallErrs <- err
+		}()
+	}
+	// Trickle in deposits smaller than the large request but large
+	// enough for any small one. The large head must absorb them all.
+	for i := 0; i < 7; i++ {
+		r.Deposit(rng.NewSplitMix64(uint64(i)).Bits(128))
+		time.Sleep(2 * time.Millisecond)
+		select {
+		case <-bigDone:
+			t.Fatal("large consumer returned before enough bits were deposited")
+		default:
+		}
+	}
+	r.Deposit(rng.NewSplitMix64(7).Bits(128)) // 8th chunk completes the head
+	select {
+	case bits := <-bigDone:
+		if bits.Len() != 1024 {
+			t.Fatalf("large consumer got %d bits", bits.Len())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("large head starved: smaller later arrivals ate its deposits")
+	}
+	// Now feed the smalls.
+	r.Deposit(rng.NewSplitMix64(99).Bits(smalls * 64))
+	for i := 0; i < smalls; i++ {
+		if err := <-smallErrs; err != nil {
+			t.Fatalf("small consumer: %v", err)
+		}
+	}
+}
+
+func TestFIFOServiceOrder(t *testing.T) {
+	// Tickets are served in arrival order: with sequential deposits
+	// exactly matching each ticket, waiter i receives the i-th chunk.
+	r := New()
+	const n = 8
+	type res struct {
+		idx  int
+		bits *bitarray.BitArray
+	}
+	results := make(chan res, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			bits, err := r.Consume(64, 5*time.Second)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results <- res{i, bits}
+		}()
+		// Ensure waiter i is queued before launching i+1 so arrival
+		// order is deterministic.
+		for {
+			r.mu.Lock()
+			queued := len(r.waiters) == i+1
+			r.mu.Unlock()
+			if queued {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	src := rng.NewSplitMix64(7).Bits(n * 64)
+	r.Deposit(src)
+	got := make(map[int]*bitarray.BitArray)
+	for i := 0; i < n; i++ {
+		rr := <-results
+		got[rr.idx] = rr.bits
+	}
+	for i := 0; i < n; i++ {
+		want := src.Slice(i*64, (i+1)*64)
+		if got[i] == nil || !got[i].Equal(want) {
+			t.Fatalf("waiter %d did not receive the %d-th FIFO chunk", i, i)
+		}
+	}
+}
+
+func TestConcurrentConservationStress(t *testing.T) {
+	// Many mixed-size blocking consumers against many depositors, under
+	// -race: every deposited bit is consumed exactly once (exact
+	// conservation) and nobody starves.
+	r := New()
+	sizes := []int{16, 64, 256, 1024}
+	const perSize = 8
+	const rounds = 6
+	var want uint64
+	for _, sz := range sizes {
+		want += uint64(sz) * perSize * rounds
+	}
+	var got uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, sz := range sizes {
+		for w := 0; w < perSize; w++ {
+			wg.Add(1)
+			go func(sz int) {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					bits, err := r.Consume(sz, 30*time.Second)
+					if err != nil {
+						t.Errorf("consume %d: %v", sz, err)
+						return
+					}
+					mu.Lock()
+					got += uint64(bits.Len())
+					mu.Unlock()
+				}
+			}(sz)
+		}
+	}
+	// Depositors trickle the exact total in odd-sized chunks.
+	var dwg sync.WaitGroup
+	const depositors = 4
+	per := want / depositors
+	for d := 0; d < depositors; d++ {
+		dwg.Add(1)
+		go func(d int) {
+			defer dwg.Done()
+			gen := rng.NewSplitMix64(uint64(d) + 1)
+			left := int(per)
+			for left > 0 {
+				chunk := 100 + int(gen.Uint64()%400)
+				if chunk > left {
+					chunk = left
+				}
+				r.Deposit(gen.Bits(chunk))
+				left -= chunk
+			}
+		}(d)
+	}
+	dwg.Wait()
+	wg.Wait()
+	if got != want {
+		t.Fatalf("conservation violated: consumed %d of %d deposited bits", got, want)
+	}
+	dep, con := r.Stats()
+	if dep != want || con != want {
+		t.Fatalf("Stats = %d deposited / %d consumed, want %d / %d", dep, con, want, want)
+	}
+	if r.Available() != 0 {
+		t.Fatalf("leftover %d bits", r.Available())
+	}
+}
+
+func TestTryConsumeDefersToQueuedWaiters(t *testing.T) {
+	// While a blocked ticket is queued, TryConsume must not jump the
+	// FIFO queue even when the balance could satisfy it.
+	r := New()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := r.Consume(256, 5*time.Second); err != nil {
+			t.Errorf("queued consumer: %v", err)
+		}
+	}()
+	for {
+		r.mu.Lock()
+		queued := len(r.waiters) == 1
+		r.mu.Unlock()
+		if queued {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.Deposit(bitarray.New(64)) // not enough for the head
+	if _, err := r.TryConsume(64); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("TryConsume jumped the queue: %v", err)
+	}
+	r.Deposit(bitarray.New(192))
+	<-done
+	if _, err := r.TryConsume(0); err != nil {
+		t.Fatalf("empty queue TryConsume: %v", err)
+	}
+}
+
+func TestAbandonedHeadUnblocksTail(t *testing.T) {
+	// When a large head withdrawal times out, smaller tickets behind it
+	// must be served from the balance it was hoarding.
+	r := New()
+	headErr := make(chan error, 1)
+	go func() {
+		_, err := r.Consume(4096, 50*time.Millisecond)
+		headErr <- err
+	}()
+	for {
+		r.mu.Lock()
+		queued := len(r.waiters) == 1
+		r.mu.Unlock()
+		if queued {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tailBits := make(chan *bitarray.BitArray, 1)
+	go func() {
+		bits, err := r.Consume(128, 5*time.Second)
+		if err != nil {
+			t.Errorf("tail: %v", err)
+		}
+		tailBits <- bits
+	}()
+	for {
+		r.mu.Lock()
+		queued := len(r.waiters) == 2
+		r.mu.Unlock()
+		if queued {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.Deposit(bitarray.New(128)) // satisfies tail, not head
+	if err := <-headErr; !errors.Is(err, ErrTimeout) {
+		t.Fatalf("head: %v, want ErrTimeout", err)
+	}
+	select {
+	case bits := <-tailBits:
+		if bits.Len() != 128 {
+			t.Fatalf("tail got %d bits", bits.Len())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("tail not served after head abandoned")
+	}
+}

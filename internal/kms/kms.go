@@ -1,0 +1,546 @@
+// Package kms implements the Key Delivery Service (KDS): the layer the
+// paper's Section 2 demands but the 2003 system never had. Distilled
+// key is scarce (a 1 kbit/s-class link) while consumers are many — OTP
+// pad streams, IKE Qblock rekeys, Wegman-Carter pad replenishment, and
+// whole relay meshes feeding end-to-end key — so "sufficiently rapid
+// key delivery" is a scheduling problem, not just a pipe. A Service
+// sits between the distillation engines (and any other key source) and
+// every consumer, and provides:
+//
+//   - a sharded key store ([Store]) — striped reservoirs behind
+//     lock-free available counters, so thousands of concurrent
+//     withdrawals stripe across shard mutexes instead of serializing
+//     on one;
+//
+//   - named key streams ([Stream]) with synchronized block IDs: the
+//     two mirrored endpoints of a QKD link carve *identical* key
+//     blocks by (stream, sequence) ticket instead of relying on
+//     lockstep withdrawal order. Tickets address absolute offsets in a
+//     deposit-ordered ledger, so any claim order on either side yields
+//     bit-exact agreement;
+//
+//   - a QoS scheduler: allocation requests carry a class (OTP pad
+//     streams > IKE Qblock rekey > auth-pad replenishment), are served
+//     strictly by class priority and FIFO within a class (a large
+//     blocked request accumulates deposits instead of losing every one
+//     to smaller later arrivals), and pass adaptive admission control —
+//     when the measured deposit rate falls below demand, low-class
+//     requests are shed immediately (ErrOverload) rather than queued to
+//     certain timeout, the demand/capacity adaptation Elastic-TCP
+//     applies to high-BDP paths;
+//
+//   - multi-source aggregation ([Feed]): a Service accepts deposits
+//     from a direct QKD link and from relay-mesh end-to-end transport
+//     alike, with disruption-tolerant custody buffering across link
+//     outages — bits deposited while a source is down are buffered in
+//     arrival order and flushed intact on restore.
+//
+// The two mirrored Services of a link stay synchronized by the same
+// contract the raw reservoirs used: both ends ingest identical bits in
+// identical order. Everything above that — claim order, consumer
+// concurrency, QoS queueing — is free to differ per side, which is the
+// point.
+package kms
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qkd/internal/bitarray"
+	"qkd/internal/keypool"
+)
+
+// Class orders key delivery: lower values preempt higher ones.
+type Class int
+
+const (
+	// ClassOTP is one-time-pad material for running SAs: starving it
+	// stops traffic dead, so it outranks everything.
+	ClassOTP Class = iota
+	// ClassRekey is IKE Qblock withdrawal for SA rollover.
+	ClassRekey
+	// ClassAuth is Wegman-Carter pad replenishment: it defends future
+	// conversations, so it yields to both and is shed first under
+	// overload.
+	ClassAuth
+	// NumClasses bounds the class space.
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassOTP:
+		return "otp"
+	case ClassRekey:
+		return "rekey"
+	case ClassAuth:
+		return "auth"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Errors. The timeout/closed/canceled/exhausted values wrap their
+// keypool counterparts so consumers written against keypool.Source
+// (errors.Is(err, keypool.ErrTimeout) etc.) behave identically when
+// handed a KDS-backed source.
+var (
+	ErrTimeout   = fmt.Errorf("kms: timed out waiting for key delivery: %w", keypool.ErrTimeout)
+	ErrClosed    = fmt.Errorf("kms: service closed: %w", keypool.ErrClosed)
+	ErrCanceled  = fmt.Errorf("kms: request canceled: %w", keypool.ErrCanceled)
+	ErrExhausted = fmt.Errorf("kms: insufficient key on hand: %w", keypool.ErrExhausted)
+	// ErrOverload is returned by admission control: the measured
+	// deposit rate cannot clear the queued demand ahead of this request
+	// within its class's horizon, so it is shed instead of queued.
+	ErrOverload = errors.New("kms: admission control shed the request")
+	// ErrReclaimed rejects a (stream, sequence) ticket whose ledger
+	// range was already claimed or released on this side.
+	ErrReclaimed = errors.New("kms: ticket already claimed")
+	// ErrTicketRange rejects a ticket addressing ledger implausibly far
+	// beyond what has been deposited — a corrupted or misrouted ticket.
+	// Accepting it would poison the allocation cursor for good.
+	ErrTicketRange = errors.New("kms: ticket range implausibly beyond the ledger")
+	// ErrDuplicateStream rejects reusing a stream name.
+	ErrDuplicateStream = errors.New("kms: stream already exists")
+	// ErrDuplicateSource rejects reusing a source name.
+	ErrDuplicateSource = errors.New("kms: source already attached")
+)
+
+// Config tunes a Service.
+type Config struct {
+	// Shards is the stripe count of the bulk store (default 8).
+	Shards int
+	// StreamFraction is the fraction of every deposit routed to the
+	// synchronized stream ledger; the remainder feeds the sharded bulk
+	// store. The split is a pure function of cumulative deposits, so
+	// mirrored Services route identically. Default 1.0 (everything
+	// synchronized); 0 < StreamFraction <= 1.
+	StreamFraction float64
+	// ShedDelay is the admission-control horizon: a ClassAuth request
+	// whose projected queue wait exceeds it is shed with ErrOverload
+	// (ClassRekey gets 8x the horizon; ClassOTP is never shed).
+	// Default 250 ms.
+	ShedDelay time.Duration
+	// RateHalfLife is the EWMA horizon of the deposit-rate estimator
+	// driving admission control. Default 250 ms.
+	RateHalfLife time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.StreamFraction <= 0 || c.StreamFraction > 1 {
+		c.StreamFraction = 1
+	}
+	if c.ShedDelay <= 0 {
+		c.ShedDelay = 250 * time.Millisecond
+	}
+	if c.RateHalfLife <= 0 {
+		c.RateHalfLife = 250 * time.Millisecond
+	}
+	return c
+}
+
+// shedHorizon returns the projected-wait bound beyond which a request
+// of class c is shed; 0 means never shed.
+func (c Config) shedHorizon(cl Class) time.Duration {
+	switch cl {
+	case ClassRekey:
+		return 8 * c.ShedDelay
+	case ClassAuth:
+		return c.ShedDelay
+	}
+	return 0
+}
+
+// Stats is a Service activity snapshot.
+type Stats struct {
+	DepositedBits uint64 // total ingested
+	LedgerBits    uint64 // routed to the synchronized stream ledger
+	StoreBits     uint64 // routed to the sharded bulk store
+	ClaimedBits   uint64 // delivered through stream claims
+	ReleasedBits  uint64 // tickets spent without retrieval
+	BufferedBits  uint64 // held in DTN custody across source outages
+
+	// Per-class scheduler counters.
+	Granted     [NumClasses]uint64 // allocation requests granted
+	GrantedBits [NumClasses]uint64
+	Shed        [NumClasses]uint64 // rejected by admission control
+	Expired     [NumClasses]uint64 // timed out or canceled while queued
+}
+
+// Service is one endpoint's key delivery service.
+type Service struct {
+	cfg   Config
+	store *Store
+
+	mu     sync.Mutex
+	closed bool
+
+	// The synchronized ledger: every bit routed here has an absolute
+	// offset (identical on the mirrored peer), and stream tickets
+	// address ranges of it.
+	ledger     *bitarray.BitArray
+	ledgerBase uint64        // absolute offset of ledger bit 0
+	ledgerEnd  atomic.Uint64 // absolute end of deposited ledger bits
+	granted    atomic.Uint64 // allocation cursor (absolute); written under mu
+	deposited  uint64        // total bits ingested (ledger + store)
+
+	streams map[string]*Stream
+	sources map[string]*Feed
+
+	// Claim bookkeeping: reserved/served ranges above the prune
+	// frontier, and claims waiting for ledger coverage.
+	ranges       []*claimRange
+	frontier     uint64
+	claimWaiters []*claimWaiter
+
+	// QoS scheduler state: per-class FIFO allocation queues.
+	queues     [NumClasses][]*allocWaiter
+	queuedBits [NumClasses]uint64
+	rate       rateEstimator
+
+	stats Stats
+}
+
+// New builds a Service.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:     cfg,
+		store:   NewStore(cfg.Shards),
+		ledger:  bitarray.New(0),
+		streams: make(map[string]*Stream),
+		sources: make(map[string]*Feed),
+		rate:    rateEstimator{halfLife: cfg.RateHalfLife.Seconds()},
+	}
+}
+
+// Ingest deposits distilled bits from the default (direct-link) source.
+// The deposit is split between the synchronized stream ledger and the
+// sharded bulk store by a pure function of cumulative deposits, so the
+// mirrored peer Service splits identically.
+func (s *Service) Ingest(bits *bitarray.BitArray) {
+	n := bits.Len()
+	if n == 0 {
+		return
+	}
+	var storePart *bitarray.BitArray
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.deposited += uint64(n)
+	s.stats.DepositedBits += uint64(n)
+	target := uint64(float64(s.deposited) * s.cfg.StreamFraction)
+	end := s.ledgerEnd.Load()
+	take := 0
+	if target > end {
+		take = int(target - end)
+		if take > n {
+			take = n
+		}
+	}
+	if take > 0 {
+		if take == n {
+			s.ledger.AppendAll(bits)
+		} else {
+			s.ledger.AppendAll(bits.Slice(0, take))
+		}
+		s.ledgerEnd.Store(end + uint64(take))
+		s.stats.LedgerBits += uint64(take)
+	}
+	if take < n {
+		storePart = bits.Slice(take, n)
+		s.stats.StoreBits += uint64(n - take)
+	}
+	// Admission control projects queue waits against the rate the
+	// scheduler actually grants from — the ledger share only, or a
+	// split deposit stream would make it overestimate capacity by
+	// 1/StreamFraction and admit requests doomed to time out.
+	s.rate.observe(take, time.Now())
+	s.serveClaimsLocked()
+	s.dispatchLocked()
+	s.mu.Unlock()
+	if storePart != nil {
+		s.store.Deposit(storePart)
+	}
+}
+
+// Store returns the sharded bulk store: the high-concurrency lane for
+// consumers that do not need cross-endpoint block identity.
+func (s *Service) Store() *Store { return s.store }
+
+// Available returns the bits on hand across the ledger (unallocated)
+// and the bulk store, without taking the service lock.
+func (s *Service) Available() int {
+	ledger := int64(s.ledgerEnd.Load()) - int64(s.granted.Load())
+	if ledger < 0 {
+		ledger = 0
+	}
+	return int(ledger) + s.store.Available()
+}
+
+// Stats returns a snapshot. Feed custody is summed outside the service
+// lock: feeds hold their own mutex across Ingest (which takes s.mu), so
+// the two locks must never be taken in the s.mu -> f.mu order.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	st := s.stats
+	feeds := make([]*Feed, 0, len(s.sources))
+	for _, f := range s.sources {
+		feeds = append(feeds, f)
+	}
+	s.mu.Unlock()
+	for _, f := range feeds {
+		st.BufferedBits += uint64(f.Buffered())
+	}
+	return st
+}
+
+// Close shuts the service down: queued allocations and pending claims
+// fail with ErrClosed, as do all future requests. Remaining key is
+// discarded.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for c := range s.queues {
+		for _, w := range s.queues[c] {
+			w.err = ErrClosed
+			close(w.done)
+		}
+		s.queues[c] = nil
+		s.queuedBits[c] = 0
+	}
+	for _, w := range s.claimWaiters {
+		w.err = ErrClosed
+		close(w.done)
+	}
+	s.claimWaiters = nil
+	s.ledger = bitarray.New(0)
+	s.mu.Unlock()
+	s.store.Close()
+}
+
+// ---------------------------------------------------------------------
+// QoS scheduler: class-priority, FIFO-ticket allocation over the ledger
+// ---------------------------------------------------------------------
+
+// allocWaiter is one queued allocation request.
+type allocWaiter struct {
+	st    *Stream
+	bits  int
+	class Class
+	tk    Ticket
+	err   error
+	done  chan struct{}
+}
+
+// allocBits grants `bits` of ledger to the stream, queueing behind
+// same-or-higher-class requests and subject to admission control.
+func (s *Service) allocBits(st *Stream, bits int, timeout time.Duration, cancel <-chan struct{}) (Ticket, error) {
+	if bits <= 0 {
+		return Ticket{}, errors.New("kms: non-positive allocation")
+	}
+	if cancel != nil {
+		select {
+		case <-cancel:
+			return Ticket{}, ErrCanceled
+		default:
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Ticket{}, ErrClosed
+	}
+	if s.queueEmptyForLocked(st.class) && s.coveredLocked(bits) {
+		tk := s.grantLocked(st, bits)
+		s.mu.Unlock()
+		return tk, nil
+	}
+	if err := s.admitLocked(st.class, bits); err != nil {
+		s.stats.Shed[st.class]++
+		s.mu.Unlock()
+		return Ticket{}, err
+	}
+	w := &allocWaiter{st: st, bits: bits, class: st.class, done: make(chan struct{})}
+	s.queues[st.class] = append(s.queues[st.class], w)
+	s.queuedBits[st.class] += uint64(bits)
+	s.mu.Unlock()
+
+	var deadlineC <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadlineC = t.C
+	}
+	select {
+	case <-w.done:
+		return w.tk, w.err
+	case <-deadlineC:
+		return s.abandonAlloc(w, ErrTimeout)
+	case <-cancel:
+		return s.abandonAlloc(w, ErrCanceled)
+	}
+}
+
+// tryAllocBits grants immediately or fails without queueing.
+func (s *Service) tryAllocBits(st *Stream, bits int) (Ticket, error) {
+	if bits <= 0 {
+		return Ticket{}, errors.New("kms: non-positive allocation")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Ticket{}, ErrClosed
+	}
+	if !s.queueEmptyForLocked(st.class) || !s.coveredLocked(bits) {
+		return Ticket{}, ErrExhausted
+	}
+	return s.grantLocked(st, bits), nil
+}
+
+// abandonAlloc removes a queued request whose deadline or cancel fired;
+// a grant that raced it wins (the ticket is already spent ledger).
+func (s *Service) abandonAlloc(w *allocWaiter, failErr error) (Ticket, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-w.done:
+		return w.tk, w.err
+	default:
+	}
+	q := s.queues[w.class]
+	for i, qw := range q {
+		if qw == w {
+			s.queues[w.class] = append(q[:i], q[i+1:]...)
+			s.queuedBits[w.class] -= uint64(w.bits)
+			break
+		}
+	}
+	s.stats.Expired[w.class]++
+	// Removing a large head may unblock requests behind it.
+	s.dispatchLocked()
+	return Ticket{}, failErr
+}
+
+// coveredLocked reports whether the deposited ledger covers `bits` more
+// of allocation.
+func (s *Service) coveredLocked(bits int) bool {
+	return s.granted.Load()+uint64(bits) <= s.ledgerEnd.Load()
+}
+
+// queueEmptyForLocked reports whether no request of class c or higher
+// priority is queued (in which case a new class-c request may be
+// granted immediately without jumping anyone it must yield to).
+func (s *Service) queueEmptyForLocked(c Class) bool {
+	for cc := Class(0); cc <= c; cc++ {
+		if len(s.queues[cc]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// grantLocked carves the next ledger range into a ticket.
+func (s *Service) grantLocked(st *Stream, bits int) Ticket {
+	off := s.granted.Load()
+	s.granted.Store(off + uint64(bits))
+	blocks := (bits + st.blockBits - 1) / st.blockBits
+	seq := st.nextSeq
+	st.nextSeq += uint64(blocks)
+	s.stats.Granted[st.class]++
+	s.stats.GrantedBits[st.class] += uint64(bits)
+	return Ticket{Stream: st.name, Seq: seq, Offset: off, Bits: bits}
+}
+
+// dispatchLocked serves queued allocation requests: strictly by class
+// priority, FIFO within a class, and only as far as deposited ledger
+// covers. The head of the highest non-empty class blocks everything
+// behind and below it — that is the starvation guarantee: the next
+// deposited bits belong to it, no matter how small a later request is.
+func (s *Service) dispatchLocked() {
+	for c := Class(0); c < NumClasses; c++ {
+		q := s.queues[c]
+		for len(q) > 0 {
+			w := q[0]
+			if !s.coveredLocked(w.bits) {
+				s.queues[c] = q
+				return
+			}
+			w.tk = s.grantLocked(w.st, w.bits)
+			s.queuedBits[c] -= uint64(w.bits)
+			q = q[1:]
+			close(w.done)
+		}
+		s.queues[c] = q
+	}
+}
+
+// admitLocked is the Elastic-style adaptive admission check: project
+// how long the queue ahead of a class-c request of `bits` would take to
+// clear at the measured deposit rate, and shed the request when that
+// exceeds the class's horizon. High-priority classes are never shed.
+func (s *Service) admitLocked(c Class, bits int) error {
+	horizon := s.cfg.shedHorizon(c)
+	if horizon <= 0 {
+		return nil
+	}
+	backlog := int64(bits)
+	for cc := Class(0); cc <= c; cc++ {
+		backlog += int64(s.queuedBits[cc])
+	}
+	backlog -= int64(s.ledgerEnd.Load()) - int64(s.granted.Load())
+	if backlog <= 0 {
+		return nil
+	}
+	rate := s.rate.perSecond()
+	if rate <= 0 {
+		// No deposit observed yet: admit optimistically; the deadline
+		// still bounds the wait.
+		return nil
+	}
+	wait := time.Duration(float64(backlog) / rate * float64(time.Second))
+	if wait > horizon {
+		return ErrOverload
+	}
+	return nil
+}
+
+// rateEstimator tracks the deposit rate as an exponentially weighted
+// moving average, adapting over roughly halfLife seconds — the capacity
+// half of the demand/capacity ratio admission control steers by.
+type rateEstimator struct {
+	halfLife float64
+	rate     float64 // bits per second
+	last     time.Time
+	primed   bool
+}
+
+func (r *rateEstimator) observe(bits int, now time.Time) {
+	if !r.primed {
+		r.primed = true
+		r.last = now
+		return
+	}
+	dt := now.Sub(r.last).Seconds()
+	if dt < 1e-6 {
+		dt = 1e-6
+	}
+	inst := float64(bits) / dt
+	alpha := 1 - math.Exp(-dt/r.halfLife)
+	r.rate += alpha * (inst - r.rate)
+	r.last = now
+}
+
+func (r *rateEstimator) perSecond() float64 { return r.rate }

@@ -1,0 +1,125 @@
+package kms
+
+import (
+	"fmt"
+	"sync"
+
+	"qkd/internal/bitarray"
+	"qkd/internal/keypool"
+)
+
+// Feed is one named key source of a Service — a direct QKD link, a
+// relay-mesh end-to-end transport, a trunk from another KDS — with
+// disruption-tolerant custody buffering: while the feed is down,
+// deposits accumulate in arrival order instead of being lost, and are
+// flushed intact into the service when the feed comes back up. That is
+// the DTN store-and-forward discipline applied to key delivery: an
+// outage delays custody transfer, it does not destroy the bundle.
+//
+// Mirrored Services must observe the same merged ingest order, so an
+// outage must be modeled symmetrically on both ends (it is a property
+// of the shared path, not of one endpoint).
+type Feed struct {
+	svc  *Service
+	name string
+
+	mu        sync.Mutex
+	down      bool
+	buffer    *bitarray.BitArray
+	deposited uint64
+	buffered  uint64
+	flushed   uint64
+}
+
+var _ keypool.Sink = (*Feed)(nil)
+
+// AttachSource registers a named feed, initially up.
+func (s *Service) AttachSource(name string) (*Feed, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := s.sources[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateSource, name)
+	}
+	f := &Feed{svc: s, name: name, buffer: bitarray.New(0)}
+	s.sources[name] = f
+	return f, nil
+}
+
+// Source returns a registered feed, or nil.
+func (s *Service) Source(name string) *Feed {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sources[name]
+}
+
+// Name returns the feed name.
+func (f *Feed) Name() string { return f.name }
+
+// Deposit ingests bits through the feed, taking custody of them while
+// the feed is down. The feed mutex is held across the ingest so a
+// deposit can never overtake a concurrent restore's custody flush —
+// older buffered bits always reach the ledger first, on both mirrored
+// endpoints.
+func (f *Feed) Deposit(bits *bitarray.BitArray) {
+	if bits.Len() == 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.deposited += uint64(bits.Len())
+	if f.down {
+		f.buffer.AppendAll(bits)
+		f.buffered += uint64(bits.Len())
+		return
+	}
+	f.svc.Ingest(bits)
+}
+
+// SetUp transitions the feed; coming back up flushes the custody
+// buffer into the service in arrival order, atomically with the
+// transition (a racing Deposit serializes behind the flush).
+func (f *Feed) SetUp(up bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if up == !f.down {
+		return
+	}
+	f.down = !up
+	if up && f.buffer.Len() > 0 {
+		flush := f.buffer
+		f.buffer = bitarray.New(0)
+		f.flushed += uint64(flush.Len())
+		f.svc.Ingest(flush)
+	}
+}
+
+// Up reports whether the feed is passing deposits through.
+func (f *Feed) Up() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return !f.down
+}
+
+// Buffered returns the bits currently held in custody.
+func (f *Feed) Buffered() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.buffer.Len()
+}
+
+// FeedStats summarizes a feed's lifetime activity.
+type FeedStats struct {
+	DepositedBits uint64 // total offered to the feed
+	BufferedBits  uint64 // total that passed through custody
+	FlushedBits   uint64 // custody bits delivered on restore
+}
+
+// Stats returns a snapshot.
+func (f *Feed) Stats() FeedStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FeedStats{DepositedBits: f.deposited, BufferedBits: f.buffered, FlushedBits: f.flushed}
+}

@@ -1,0 +1,173 @@
+package kms
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"qkd/internal/bitarray"
+)
+
+// Store is the sharded bulk lane of the key delivery service: key bits
+// striped across independently locked shards behind a lock-free
+// available counter, so thousands of concurrent withdrawals contend on
+// shard stripes (and scale with the shard count) instead of
+// serializing on a single reservoir mutex.
+//
+// The price of the concurrency is FIFO identity: which bits a
+// withdrawal receives depends on scheduling, so mirrored endpoints
+// must not expect lockstep withdrawals from their Stores to agree —
+// consumers that need cross-endpoint agreement use Streams. The Store
+// serves everything else: load generators, local pad caches, relay
+// link pools, and the E13 bulk classes.
+type Store struct {
+	shards []*storeShard
+
+	// avail is the lock-free balance. Withdrawals reserve from it with
+	// a CAS before touching any shard, which both rejects exhausted
+	// requests without locking and guarantees exact conservation: bits
+	// reserved are owned, so the gather below cannot be cheated by a
+	// concurrent withdrawal.
+	avail atomic.Int64
+
+	depositCursor  atomic.Uint64
+	withdrawCursor atomic.Uint64
+	closed         atomic.Bool
+
+	deposited atomic.Uint64
+	consumed  atomic.Uint64
+}
+
+type storeShard struct {
+	mu   sync.Mutex
+	buf  *bitarray.BitArray
+	head int
+}
+
+// NewStore builds a store striped over `shards` reservoirs.
+func NewStore(shards int) *Store {
+	if shards <= 0 {
+		shards = 8
+	}
+	s := &Store{shards: make([]*storeShard, shards)}
+	for i := range s.shards {
+		s.shards[i] = &storeShard{buf: bitarray.New(0)}
+	}
+	return s
+}
+
+// Shards returns the stripe count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// Available returns the balance without locking.
+func (s *Store) Available() int { return int(s.avail.Load()) }
+
+// Stats returns lifetime totals.
+func (s *Store) Stats() (deposited, consumed uint64) {
+	return s.deposited.Load(), s.consumed.Load()
+}
+
+// Deposit appends bits to one shard (round-robin) and publishes them.
+func (s *Store) Deposit(bits *bitarray.BitArray) {
+	n := bits.Len()
+	if n == 0 || s.closed.Load() {
+		return
+	}
+	sh := s.shards[s.depositCursor.Add(1)%uint64(len(s.shards))]
+	sh.mu.Lock()
+	if s.closed.Load() {
+		sh.mu.Unlock()
+		return
+	}
+	sh.compactLocked()
+	sh.buf.AppendAll(bits)
+	sh.mu.Unlock()
+	s.deposited.Add(uint64(n))
+	s.avail.Add(int64(n))
+}
+
+// TryConsume removes exactly n bits, or fails with ErrExhausted
+// without removing anything. The reservation happens on the lock-free
+// counter; the gather then walks shards starting at a rotating cursor,
+// so concurrent withdrawals start on different stripes.
+func (s *Store) TryConsume(n int) (*bitarray.BitArray, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if n < 0 {
+		return nil, ErrExhausted
+	}
+	if n == 0 {
+		return bitarray.New(0), nil
+	}
+	for {
+		cur := s.avail.Load()
+		if cur < int64(n) {
+			return nil, ErrExhausted
+		}
+		if s.avail.CompareAndSwap(cur, cur-int64(n)) {
+			break
+		}
+	}
+	var out *bitarray.BitArray
+	need := n
+	start := s.withdrawCursor.Add(1)
+	for spin := 0; need > 0; spin++ {
+		sh := s.shards[(start+uint64(spin))%uint64(len(s.shards))]
+		sh.mu.Lock()
+		if have := sh.buf.Len() - sh.head; have > 0 {
+			take := have
+			if take > need {
+				take = need
+			}
+			part := sh.buf.Slice(sh.head, sh.head+take)
+			sh.head += take
+			sh.compactLocked()
+			need -= take
+			sh.mu.Unlock()
+			if out == nil && need == 0 {
+				// Whole withdrawal served by one stripe: the slice copy
+				// is the only allocation.
+				s.consumed.Add(uint64(n))
+				return part, nil
+			}
+			if out == nil {
+				out = bitarray.New(0)
+			}
+			out.AppendAll(part)
+			continue
+		}
+		sh.mu.Unlock()
+		if need > 0 && (spin+1)%len(s.shards) == 0 {
+			// The reservation guarantees the bits exist, but a racing
+			// Deposit may still be between its counter publish and its
+			// shard append; yield and rescan.
+			if s.closed.Load() {
+				return nil, ErrClosed
+			}
+			runtime.Gosched()
+		}
+	}
+	s.consumed.Add(uint64(n))
+	return out, nil
+}
+
+// Close discards all key; subsequent deposits are dropped and
+// withdrawals fail with ErrClosed.
+func (s *Store) Close() {
+	s.closed.Store(true)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.buf = bitarray.New(0)
+		sh.head = 0
+		sh.mu.Unlock()
+	}
+	s.avail.Store(0)
+}
+
+func (sh *storeShard) compactLocked() {
+	if sh.head > 4096 && sh.head*2 > sh.buf.Len() {
+		sh.buf = sh.buf.Slice(sh.head, sh.buf.Len())
+		sh.head = 0
+	}
+}

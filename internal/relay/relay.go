@@ -86,8 +86,20 @@ func (l *Link) State() LinkState {
 	return l.state
 }
 
+// Pool returns the link's pairwise-key reservoir. While the link is
+// down (cut or eavesdropped) the reservoir is closed, so blocked
+// withdrawals fail fast with keypool.ErrClosed instead of sitting out
+// their timeouts; Restore installs a fresh reservoir. Callers that
+// block on a link must therefore re-fetch the pool per withdrawal
+// rather than caching it across outages.
+func (l *Link) Pool() *keypool.Reservoir {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pool
+}
+
 // KeyAvailable returns the pairwise key on hand.
-func (l *Link) KeyAvailable() int { return l.pool.Available() }
+func (l *Link) KeyAvailable() int { return l.Pool().Available() }
 
 // Network is the relay mesh.
 type Network struct {
@@ -200,7 +212,10 @@ func (n *Network) randBits(bits int) *bitarray.BitArray {
 	return n.rand.Bits(bits)
 }
 
-// Cut severs a link's fiber.
+// Cut severs a link's fiber. The pairwise pool is closed so consumers
+// blocked on it fail fast with keypool.ErrClosed (and late arrivals
+// fail immediately) instead of waiting out their timeouts on a link
+// that will never replenish.
 func (n *Network) Cut(a, b string) error {
 	l := n.Link(a, b)
 	if l == nil {
@@ -209,6 +224,7 @@ func (n *Network) Cut(a, b string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.state = LinkCut
+	l.pool.Close()
 	return nil
 }
 
@@ -223,13 +239,19 @@ func (n *Network) Eavesdrop(a, b string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.state = LinkEavesdropped
+	// Closing discards the compromised key and releases every blocked
+	// waiter with keypool.ErrClosed. The closed pool stays installed
+	// while the link is abandoned so later consumers also fail fast
+	// (a fresh open pool here would block them until timeout on a link
+	// that is never replenished).
 	l.pool.Close()
-	l.pool = keypool.New() // empty; no longer replenished
 	return nil
 }
 
 // Restore repairs a link (new fiber / Eve gone); its pool restarts
-// empty.
+// empty. The old pool is closed first so any waiter still blocked from
+// before the outage fails fast instead of silently re-attaching to a
+// reservoir that no longer exists.
 func (n *Network) Restore(a, b string) error {
 	l := n.Link(a, b)
 	if l == nil {
@@ -238,6 +260,7 @@ func (n *Network) Restore(a, b string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.state = LinkUp
+	l.pool.Close()
 	l.pool = keypool.New()
 	return nil
 }
@@ -273,7 +296,7 @@ func (n *Network) TransportKey(src, dst string, nbits int) (*Delivery, error) {
 	current := key.Clone()
 	for i := 0; i+1 < len(path); i++ {
 		l := n.Link(path[i], path[i+1])
-		pad, err := l.pool.TryConsume(nbits)
+		pad, err := l.Pool().TryConsume(nbits)
 		if err != nil {
 			// Raced with another transport; treat as routing failure.
 			n.mu.Lock()
@@ -414,7 +437,7 @@ func (n *Network) TransportMessage(src, dst string, payload []byte) (*MessageDel
 	used := 0
 	for i := 0; i+1 < len(path); i++ {
 		l := n.Link(path[i], path[i+1])
-		pad, err := l.pool.TryConsume(nbits)
+		pad, err := l.Pool().TryConsume(nbits)
 		if err != nil {
 			n.mu.Lock()
 			n.stats.DeliveryFailed++

@@ -3,6 +3,9 @@ package relay
 import (
 	"errors"
 	"testing"
+	"time"
+
+	"qkd/internal/keypool"
 )
 
 // ring builds A-B-C-D-A with a chord A-C.
@@ -281,5 +284,100 @@ func TestTransportMessageConsumesPerHop(t *testing.T) {
 		if l.KeyAvailable() != 4096-800 {
 			t.Errorf("link %s-%s has %d bits, want %d", l.A, l.B, l.KeyAvailable(), 4096-800)
 		}
+	}
+}
+
+// blockedConsumer parks a blocking withdrawal on the link's pool and
+// reports the error it eventually returns.
+func blockedConsumer(l *Link, nbits int, timeout time.Duration) chan error {
+	errC := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		_, err := l.Pool().Consume(nbits, timeout)
+		errC <- err
+	}()
+	<-started
+	time.Sleep(5 * time.Millisecond) // let the consumer enqueue
+	return errC
+}
+
+func TestCutReleasesBlockedWaitersFast(t *testing.T) {
+	// Regression: tearing a link down used to leave blocked consumers
+	// waiting out their full timeout; they must now fail fast with
+	// keypool.ErrClosed.
+	n := ring(t)
+	l := n.Link("A", "B")
+	errC := blockedConsumer(l, 1<<20, 30*time.Second)
+	start := time.Now()
+	if err := n.Cut("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errC:
+		if !errors.Is(err, keypool.ErrClosed) {
+			t.Fatalf("blocked waiter got %v, want keypool.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked waiter leaked: still waiting after the cut")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("waiter released but not promptly")
+	}
+	// Late arrivals on the dead link fail immediately too.
+	if _, err := l.Pool().Consume(64, 30*time.Second); !errors.Is(err, keypool.ErrClosed) {
+		t.Fatalf("late consumer on cut link: %v", err)
+	}
+}
+
+func TestEavesdropReleasesBlockedWaitersFast(t *testing.T) {
+	n := ring(t)
+	l := n.Link("A", "C")
+	errC := blockedConsumer(l, 1<<20, 30*time.Second)
+	if err := n.Eavesdrop("A", "C"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errC:
+		if !errors.Is(err, keypool.ErrClosed) {
+			t.Fatalf("blocked waiter got %v, want keypool.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked waiter leaked across eavesdrop teardown")
+	}
+	// The abandoned link keeps failing fast until restored...
+	if _, err := l.Pool().TryConsume(1); !errors.Is(err, keypool.ErrClosed) {
+		t.Fatalf("abandoned link pool: %v", err)
+	}
+	// ...and Restore brings up a fresh, usable pool.
+	if err := n.Restore("A", "C"); err != nil {
+		t.Fatal(err)
+	}
+	n.Tick()
+	if got := l.KeyAvailable(); got != 4096 {
+		t.Fatalf("restored link holds %d bits, want 4096", got)
+	}
+	if _, err := l.Pool().TryConsume(64); err != nil {
+		t.Fatalf("restored link unusable: %v", err)
+	}
+}
+
+func TestRestoreReleasesPreOutageWaiters(t *testing.T) {
+	// A waiter that somehow blocked between outage and restore must not
+	// stay attached to the discarded pool.
+	n := ring(t)
+	l := n.Link("A", "B")
+	n.Cut("A", "B")
+	// Grab the (closed) pool handle as a stale consumer would.
+	stale := l.Pool()
+	if err := n.Restore("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stale.Consume(64, 30*time.Second); !errors.Is(err, keypool.ErrClosed) {
+		t.Fatalf("stale pool handle: %v", err)
+	}
+	n.Tick()
+	if _, err := l.Pool().TryConsume(64); err != nil {
+		t.Fatalf("fresh pool after restore: %v", err)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"qkd/internal/ike"
 	"qkd/internal/ipsec"
 	"qkd/internal/keypool"
+	"qkd/internal/kms"
 	"qkd/internal/photonics"
 )
 
@@ -43,6 +44,14 @@ type Config struct {
 	FrameSlots int
 	// Seed drives all simulation randomness.
 	Seed uint64
+	// KDS routes all key delivery through a per-site kms.Service: the
+	// distillation engines deposit into the KDS, and the IKE daemons
+	// withdraw Qblocks and OTP pads as (stream, sequence) ticket claims
+	// under the QoS scheduler instead of lockstep pool withdrawals.
+	KDS bool
+	// KDSConfig tunes the services when KDS is set (zero value = kms
+	// defaults with a fully synchronized ledger).
+	KDSConfig kms.Config
 	// IKELogA / IKELogB, when non-nil, receive each daemon's
 	// racoon-style log lines (Fig. 12).
 	IKELogA io.Writer
@@ -51,9 +60,13 @@ type Config struct {
 
 // Site is one end of the VPN: gateway plus its control-plane pieces.
 type Site struct {
-	GW   *ipsec.Gateway
-	IKE  *ike.Daemon
-	Pool *keypool.Reservoir
+	GW  *ipsec.Gateway
+	IKE *ike.Daemon
+	// Pool is the site's distilled-key supply: a raw reservoir, or the
+	// KDS-backed view when Config.KDS is set.
+	Pool keypool.Pool
+	// KDS is the site's key delivery service (nil unless Config.KDS).
+	KDS *kms.Service
 }
 
 // Network is the assembled two-site system.
@@ -90,7 +103,36 @@ func New(cfg Config) (*Network, error) {
 		cfg.OTPBits = 64 * 1024
 	}
 
-	session := core.NewSession(cfg.Photonics, cfg.QKD, cfg.FrameSlots, cfg.Seed)
+	// With a KDS per site, distillation deposits into the service and
+	// quick mode draws (stream, sequence) blocks: "ike/qblocks" for
+	// conventional rekeys at ClassRekey, "ike/otp" for pad withdrawal
+	// at ClassOTP. Both sites register mirrored streams.
+	var kdsA, kdsB *kms.Service
+	var qbA, otpA, qbB, otpB *kms.Stream
+	poolA, poolB := keypool.Pool(keypool.New()), keypool.Pool(keypool.New())
+	if cfg.KDS {
+		// kms defaults an unset StreamFraction to 1, so every distilled
+		// bit is addressable by ticket unless the caller says otherwise.
+		kdsA, kdsB = kms.New(cfg.KDSConfig), kms.New(cfg.KDSConfig)
+		var err error
+		mk := func(svc *kms.Service) (qb, otp *kms.Stream) {
+			if err != nil {
+				return nil, nil
+			}
+			if qb, err = svc.NewStream("ike/qblocks", ike.QblockBits, kms.ClassRekey); err != nil {
+				return nil, nil
+			}
+			otp, err = svc.NewStream("ike/otp", 1024, kms.ClassOTP)
+			return qb, otp
+		}
+		qbA, otpA = mk(kdsA)
+		qbB, otpB = mk(kdsB)
+		if err != nil {
+			return nil, fmt.Errorf("vpn: building KDS streams: %w", err)
+		}
+		poolA, poolB = kdsA.PoolView(kms.ClassRekey), kdsB.PoolView(kms.ClassRekey)
+	}
+	session := core.NewSessionWithPools(cfg.Photonics, cfg.QKD, cfg.FrameSlots, cfg.Seed, poolA, poolB)
 
 	polAB := &ipsec.Policy{
 		Name: "a-to-b", Action: ipsec.Protect, Suite: cfg.Suite,
@@ -113,10 +155,14 @@ func New(cfg Config) (*Network, error) {
 	cfgR := cfg.IKE
 	cfgR.Seed = cfg.Seed ^ 0x2CE
 	dB := ike.NewDaemon(ike.Responder, ikeConnB, gwB, session.Bob.Pool(), psk, cfgR, cfg.IKELogB)
+	if cfg.KDS {
+		dA.SetKeyStreams(qbA, otpA)
+		dB.SetKeyStreams(qbB, otpB)
+	}
 
 	n := &Network{
-		A:       &Site{GW: gwA, IKE: dA, Pool: session.Alice.Pool()},
-		B:       &Site{GW: gwB, IKE: dB, Pool: session.Bob.Pool()},
+		A:       &Site{GW: gwA, IKE: dA, Pool: session.Alice.Pool(), KDS: kdsA},
+		B:       &Site{GW: gwB, IKE: dB, Pool: session.Bob.Pool(), KDS: kdsB},
 		Session: session,
 		polAB:   polAB,
 		polBA:   polBA,
@@ -154,6 +200,12 @@ func (n *Network) Renegotiate() error {
 func (n *Network) Close() {
 	n.A.IKE.Stop()
 	n.B.IKE.Stop()
+	if n.A.KDS != nil {
+		n.A.KDS.Close()
+	}
+	if n.B.KDS != nil {
+		n.B.KDS.Close()
+	}
 }
 
 // Stats reports delivered/dropped user packets.
@@ -281,8 +333,8 @@ func (n *Network) RunKeyRace(rounds, qkdFrames, packets, payloadBytes int) (KeyR
 	return res, nil
 }
 
-// WaitPool blocks until the named site's reservoir holds bits or the
+// WaitPool blocks until the named site's key supply holds bits or the
 // timeout passes.
-func WaitPool(pool *keypool.Reservoir, bits int, timeout time.Duration) error {
+func WaitPool(pool keypool.Source, bits int, timeout time.Duration) error {
 	return ike.WaitAvailable(pool, bits, timeout)
 }

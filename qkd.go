@@ -40,6 +40,7 @@ import (
 	"qkd/internal/ike"
 	"qkd/internal/ipsec"
 	"qkd/internal/keypool"
+	"qkd/internal/kms"
 	"qkd/internal/optical"
 	"qkd/internal/photonics"
 	"qkd/internal/relay"
@@ -141,6 +142,43 @@ func NewAuthenticatedSession(p LinkParams, cfg Config, frameSlots int, seed uint
 
 // KeyReservoir is the distilled-key FIFO shared with consumers.
 type KeyReservoir = keypool.Reservoir
+
+// KeySource and KeyPool are the consumer- and two-sided views of a key
+// supply: satisfied by *KeyReservoir and by KDS handles alike.
+type (
+	KeySource = keypool.Source
+	KeyPool   = keypool.Pool
+)
+
+// ---------------------------------------------------------------------
+// Key delivery service (KDS)
+// ---------------------------------------------------------------------
+
+// KDS is the sharded, QoS-aware key delivery service that sits between
+// distillation and every consumer: named key streams with synchronized
+// (stream, sequence) block tickets, class-priority FIFO scheduling with
+// adaptive admission control, a sharded bulk store, and DTN-buffered
+// multi-source aggregation. See DESIGN.md §8.
+type (
+	KDS       = kms.Service
+	KDSConfig = kms.Config
+	KDSClass  = kms.Class
+	KeyStream = kms.Stream
+	KeyTicket = kms.Ticket
+	KeyFeed   = kms.Feed
+)
+
+// KDS delivery classes, highest priority first.
+const (
+	KDSClassOTP   = kms.ClassOTP
+	KDSClassRekey = kms.ClassRekey
+	KDSClassAuth  = kms.ClassAuth
+)
+
+// NewKDS builds a key delivery service endpoint. Mirrored endpoints of
+// a link must ingest identical deposits in identical order (the same
+// contract raw mirrored reservoirs relied on).
+func NewKDS(cfg KDSConfig) *KDS { return kms.New(cfg) }
 
 // ErrorCorrector is one interactive reconciliation protocol.
 type ErrorCorrector = cascade.Protocol
