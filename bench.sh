@@ -20,6 +20,11 @@
 #                                   latency) at 1/64/1024 consumers, plus
 #                                   the single-stripe serialization
 #                                   baseline (DESIGN.md §8)
+#   qnet    -> BENCH_qnet.json      unified QKD network layer: one
+#                                   end-to-end striped transport (route,
+#                                   reserve, per-hop OTP, reconstruct)
+#                                   at k = 1/2/3 disjoint paths
+#                                   (DESIGN.md §9)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -81,3 +86,7 @@ emit BENCH_distill.json
 # --- kms group --------------------------------------------------------
 run . 'BenchmarkKMS_Withdraw(1|64|1024|1024Serial)$'
 emit BENCH_kms.json
+
+# --- qnet group -------------------------------------------------------
+run ./internal/qnet/ 'BenchmarkQnet_Stripe(1|2|3)Path$'
+emit BENCH_qnet.json

@@ -114,7 +114,8 @@ func BenchmarkVPN_Tunnel1KB(b *testing.B) {
 	}
 }
 
-func BenchmarkE13_KDS(b *testing.B) { benchExperiment(b, experiments.E13KDS) }
+func BenchmarkE13_KDS(b *testing.B)      { benchExperiment(b, experiments.E13KDS) }
+func BenchmarkE14_Striping(b *testing.B) { benchExperiment(b, experiments.E14Striping) }
 
 // ---------------------------------------------------------------------
 // Key delivery service: concurrent withdrawal path

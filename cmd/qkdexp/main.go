@@ -1,6 +1,6 @@
 // Command qkdexp regenerates the paper's evaluation: every table,
 // figure and quantitative claim indexed in DESIGN.md (E1-E12), plus
-// the reproduction's scaling experiments (E13: key delivery service),
+// the reproduction's scaling experiments (E13: key delivery service, E14: disjoint-path striping),
 // printed as formatted reports.
 //
 // Usage:
@@ -34,12 +34,13 @@ var registry = map[string]func(uint64, bool) (*experiments.Report, error){
 	"e11": experiments.E11Auth,
 	"e12": experiments.E12Transcript,
 	"e13": experiments.E13KDS,
+	"e14": experiments.E14Striping,
 }
 
-var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"}
+var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"}
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e13) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e14) or 'all'")
 	quick := flag.Bool("quick", false, "reduced Monte Carlo sizes")
 	seed := flag.Uint64("seed", 2003, "simulation seed")
 	flag.Parse()
@@ -53,7 +54,7 @@ func main() {
 		id = strings.TrimSpace(id)
 		run, ok := registry[id]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want e1..e13)\n", id)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want e1..e14)\n", id)
 			os.Exit(2)
 		}
 		report, err := run(*seed, *quick)

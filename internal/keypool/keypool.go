@@ -96,8 +96,13 @@ type Reservoir struct {
 	// waiters is the FIFO ticket queue of blocked withdrawals.
 	waiters []*waiter
 
+	// outstanding reservations, voided when the reservoir closes (the
+	// set-aside bits may be compromised along with the pool).
+	reservations []*Reservation
+
 	deposited uint64
 	consumed  uint64
+	refunded  uint64
 }
 
 var (
@@ -245,7 +250,10 @@ func (r *Reservoir) abandon(w *waiter, failErr error) (*bitarray.BitArray, error
 
 // Close shuts the reservoir; all blocked and future consumers fail with
 // ErrClosed. Remaining bits are discarded (they are secrets; callers
-// that want them must drain first).
+// that want them must drain first), and outstanding reservations are
+// voided — set-aside pairwise key dies with the pool it came from, so a
+// link teardown (cut, eavesdropping alarm) reaches key a transport
+// reserved but has not yet put on the wire.
 func (r *Reservoir) Close() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -257,6 +265,10 @@ func (r *Reservoir) Close() {
 		close(w.done)
 	}
 	r.waiters = nil
+	for _, rv := range r.reservations {
+		rv.void = true
+	}
+	r.reservations = nil
 }
 
 // serveLocked fills queued tickets in FIFO order while the balance
@@ -276,8 +288,19 @@ func (r *Reservoir) serveLocked() {
 	}
 }
 
-// takeLocked removes n bits if possible. Caller holds mu.
+// takeLocked removes n bits if possible, counting them consumed.
+// Caller holds mu.
 func (r *Reservoir) takeLocked(n int) (*bitarray.BitArray, error) {
+	out, err := r.takeRawLocked(n)
+	if err == nil {
+		r.consumed += uint64(n)
+	}
+	return out, err
+}
+
+// takeRawLocked removes n bits without stats accounting. Caller holds
+// mu.
+func (r *Reservoir) takeRawLocked(n int) (*bitarray.BitArray, error) {
 	if r.closed {
 		return nil, ErrClosed
 	}
@@ -289,9 +312,139 @@ func (r *Reservoir) takeLocked(n int) (*bitarray.BitArray, error) {
 	}
 	out := r.buf.Slice(r.head, r.head+n)
 	r.head += n
-	r.consumed += uint64(n)
 	r.compactLocked()
 	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Reservations
+// ---------------------------------------------------------------------
+
+// Reservation is key set aside from a reservoir ahead of use: the bits
+// leave Available() immediately (no concurrent consumer can double-book
+// them) but count as consumed only as they are drawn with Consume. The
+// unconsumed remainder can be refunded with Release — the
+// all-or-nothing discipline multi-hop transports need: reserve every
+// hop of the path first, and a hop that cannot be reserved costs the
+// earlier hops nothing.
+//
+// Closing the reservoir voids its outstanding reservations: the
+// set-aside bits are discarded with the pool (they may be known to the
+// same adversary), and further Consume calls fail with ErrClosed.
+type Reservation struct {
+	r    *Reservoir
+	bits *bitarray.BitArray
+	off  int // bits [off, Len) remain undrawn
+	void bool
+}
+
+// Reserve sets n bits aside, or fails with ErrExhausted without taking
+// anything. Like TryConsume it refuses while blocked withdrawals are
+// queued: a reservation must not jump the FIFO ticket queue.
+func (r *Reservoir) Reserve(n int) (*Reservation, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.waiters) > 0 {
+		return nil, ErrExhausted
+	}
+	bits, err := r.takeRawLocked(n)
+	if err != nil {
+		return nil, err
+	}
+	rv := &Reservation{r: r, bits: bits}
+	r.reservations = append(r.reservations, rv)
+	return rv, nil
+}
+
+// Reserved returns the bits currently set aside across all outstanding
+// reservations.
+func (r *Reservoir) Reserved() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := 0
+	for _, rv := range r.reservations {
+		total += rv.bits.Len() - rv.off
+	}
+	return total
+}
+
+// Refunded returns the lifetime bits returned to the reservoir by
+// reservation releases.
+func (r *Reservoir) Refunded() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.refunded
+}
+
+// Remaining returns the undrawn bits left in the reservation (0 once
+// voided).
+func (rv *Reservation) Remaining() int {
+	rv.r.mu.Lock()
+	defer rv.r.mu.Unlock()
+	if rv.void {
+		return 0
+	}
+	return rv.bits.Len() - rv.off
+}
+
+// Consume draws exactly n bits from the reservation. It fails with
+// ErrClosed once the reservoir shut down underneath it (the set-aside
+// key is gone) and ErrExhausted if fewer than n bits remain.
+func (rv *Reservation) Consume(n int) (*bitarray.BitArray, error) {
+	rv.r.mu.Lock()
+	defer rv.r.mu.Unlock()
+	if rv.void {
+		return nil, ErrClosed
+	}
+	if n < 0 {
+		return nil, errors.New("keypool: negative request")
+	}
+	if rv.bits.Len()-rv.off < n {
+		return nil, ErrExhausted
+	}
+	out := rv.bits.Slice(rv.off, rv.off+n)
+	rv.off += n
+	rv.r.consumed += uint64(n)
+	if rv.off == rv.bits.Len() {
+		rv.r.dropReservationLocked(rv)
+	}
+	return out, nil
+}
+
+// Release refunds the undrawn remainder to the front of the reservoir —
+// the next consumer sees the same bits the reservation would have — and
+// wakes any withdrawals the refund satisfies. Releasing a voided or
+// empty reservation is a no-op; the reservation is dead afterwards.
+func (rv *Reservation) Release() {
+	rv.r.mu.Lock()
+	defer rv.r.mu.Unlock()
+	if rv.void || rv.r.closed {
+		rv.void = true
+		return
+	}
+	rv.r.dropReservationLocked(rv)
+	rem := rv.bits.Len() - rv.off
+	rv.void = true
+	if rem == 0 {
+		return
+	}
+	refund := rv.bits.Slice(rv.off, rv.bits.Len())
+	refund.AppendAll(rv.r.buf.Slice(rv.r.head, rv.r.buf.Len()))
+	rv.r.buf = refund
+	rv.r.head = 0
+	rv.r.refunded += uint64(rem)
+	rv.r.serveLocked()
+}
+
+// dropReservationLocked removes a finished reservation from the
+// outstanding list. Caller holds mu.
+func (r *Reservoir) dropReservationLocked(rv *Reservation) {
+	for i, q := range r.reservations {
+		if q == rv {
+			r.reservations = append(r.reservations[:i], r.reservations[i+1:]...)
+			return
+		}
+	}
 }
 
 // compactLocked drops consumed head bits once they dominate the buffer,

@@ -508,3 +508,163 @@ func TestAbandonedHeadUnblocksTail(t *testing.T) {
 		t.Fatal("tail not served after head abandoned")
 	}
 }
+
+// ---------------------------------------------------------------------
+// Reservations
+// ---------------------------------------------------------------------
+
+func TestReserveConsumeRelease(t *testing.T) {
+	r := New()
+	src := rng.NewSplitMix64(9).Bits(1024)
+	r.Deposit(src)
+	rv, err := r.Reserve(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Available(); got != 512 {
+		t.Errorf("Available = %d after reserving 512 of 1024", got)
+	}
+	if got := r.Reserved(); got != 512 {
+		t.Errorf("Reserved = %d, want 512", got)
+	}
+	// Draw half, refund the rest.
+	bits, err := rv.Consume(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bits.Equal(src.Slice(0, 256)) {
+		t.Error("reservation served out of FIFO order")
+	}
+	if rem := rv.Remaining(); rem != 256 {
+		t.Errorf("Remaining = %d, want 256", rem)
+	}
+	rv.Release()
+	if got := r.Available(); got != 768 {
+		t.Errorf("Available = %d after refund, want 768", got)
+	}
+	if got := r.Refunded(); got != 256 {
+		t.Errorf("Refunded = %d, want 256", got)
+	}
+	// The refund lands at the *front*: the next consumer sees exactly
+	// the bits the reservation would have.
+	next, err := r.TryConsume(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !next.Equal(src.Slice(256, 512)) {
+		t.Error("refund did not return to the front of the reservoir")
+	}
+	if _, c := r.Stats(); c != 512 {
+		t.Errorf("consumed = %d, want only the 256 drawn + 256 TryConsumed", c)
+	}
+}
+
+func TestReserveFailsWithoutDraining(t *testing.T) {
+	r := New()
+	r.Deposit(rng.NewSplitMix64(3).Bits(100))
+	if _, err := r.Reserve(101); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	if got := r.Available(); got != 100 {
+		t.Errorf("failed Reserve drained the pool to %d", got)
+	}
+}
+
+func TestReserveDefersToQueuedWaiters(t *testing.T) {
+	r := New()
+	r.Deposit(rng.NewSplitMix64(4).Bits(256))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.Consume(1024, 5*time.Second) // blocks: only 256 on hand
+	}()
+	for {
+		r.mu.Lock()
+		queued := len(r.waiters) == 1
+		r.mu.Unlock()
+		if queued {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := r.Reserve(64); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("Reserve jumped the waiter queue: %v", err)
+	}
+	r.Deposit(rng.NewSplitMix64(5).Bits(768))
+	<-done
+}
+
+func TestReleaseWakesWaiters(t *testing.T) {
+	r := New()
+	r.Deposit(rng.NewSplitMix64(6).Bits(512))
+	rv, err := r.Reserve(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan *bitarray.BitArray, 1)
+	go func() {
+		bits, err := r.Consume(512, 5*time.Second)
+		if err != nil {
+			t.Errorf("waiter: %v", err)
+		}
+		got <- bits
+	}()
+	for {
+		r.mu.Lock()
+		queued := len(r.waiters) == 1
+		r.mu.Unlock()
+		if queued {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rv.Release()
+	select {
+	case bits := <-got:
+		if bits.Len() != 512 {
+			t.Errorf("waiter got %d bits", bits.Len())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("refund did not wake the blocked waiter")
+	}
+}
+
+func TestCloseVoidsReservations(t *testing.T) {
+	r := New()
+	r.Deposit(rng.NewSplitMix64(7).Bits(512))
+	rv, err := r.Reserve(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if _, err := rv.Consume(128); !errors.Is(err, ErrClosed) {
+		t.Fatalf("consume from voided reservation: %v, want ErrClosed", err)
+	}
+	if rem := rv.Remaining(); rem != 0 {
+		t.Errorf("voided reservation still reports %d bits", rem)
+	}
+	rv.Release() // must not resurrect bits into the closed pool
+	if got := r.Available(); got != 0 {
+		t.Errorf("release into closed pool left %d bits", got)
+	}
+}
+
+func TestReservationOverdraw(t *testing.T) {
+	r := New()
+	r.Deposit(rng.NewSplitMix64(8).Bits(128))
+	rv, err := r.Reserve(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rv.Consume(129); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("overdraw: %v, want ErrExhausted", err)
+	}
+	if _, err := rv.Consume(128); err != nil {
+		t.Fatalf("full draw after failed overdraw: %v", err)
+	}
+	// Fully drawn: release is a no-op.
+	rv.Release()
+	if got := r.Available(); got != 0 {
+		t.Errorf("Available = %d after full draw", got)
+	}
+}

@@ -1,0 +1,120 @@
+package qnet
+
+import (
+	"errors"
+	"testing"
+)
+
+// bareEdges builds unregistered edges for pure algorithm tests.
+func bareEdges(pairs [][2]string) []*Edge {
+	out := make([]*Edge, len(pairs))
+	for i, p := range pairs {
+		out[i] = &Edge{A: p[0], B: p[1]}
+	}
+	return out
+}
+
+func unit(*Edge) float64 { return 1 }
+
+// interiors collects each route's interior nodes and fails on overlap.
+func assertVertexDisjoint(t *testing.T, routes []Route) {
+	t.Helper()
+	seen := map[string]int{}
+	for i, r := range routes {
+		for _, v := range r.Nodes[1 : len(r.Nodes)-1] {
+			if j, dup := seen[v]; dup {
+				t.Errorf("routes %d and %d share interior node %s", j, i, v)
+			}
+			seen[v] = i
+		}
+	}
+}
+
+func TestDisjointParallelPaths(t *testing.T) {
+	// gwA -r{0,1,2}- gwB: three clean 2-hop paths.
+	edges := bareEdges([][2]string{
+		{"gwA", "r0"}, {"r0", "gwB"},
+		{"gwA", "r1"}, {"r1", "gwB"},
+		{"gwA", "r2"}, {"r2", "gwB"},
+	})
+	routes, err := kDisjointPaths(edges, unit, "gwA", "gwB", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 3 {
+		t.Fatalf("got %d routes", len(routes))
+	}
+	for _, r := range routes {
+		if len(r.Nodes) != 3 || r.Nodes[0] != "gwA" || r.Nodes[2] != "gwB" {
+			t.Errorf("route %v", r.Nodes)
+		}
+	}
+	assertVertexDisjoint(t, routes)
+}
+
+func TestDisjointTrapGraph(t *testing.T) {
+	// The classic Bhandari trap: the single shortest path S-1-2-T uses
+	// both interior nodes, so a greedy second shortest has nowhere to
+	// go. The optimal disjoint pair is S-1-T and S-2-T, which only the
+	// reversal step finds.
+	edges := bareEdges([][2]string{
+		{"S", "1"}, {"1", "2"}, {"2", "T"}, {"S", "2"}, {"1", "T"},
+	})
+	w := map[string]float64{
+		"S|1": 1, "1|2": 1, "2|T": 1, "S|2": 3, "1|T": 3,
+	}
+	weight := func(e *Edge) float64 {
+		a, b := e.A, e.B
+		if a > b {
+			a, b = b, a
+		}
+		return w[a+"|"+b]
+	}
+	routes, err := kDisjointPaths(edges, weight, "S", "T", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertVertexDisjoint(t, routes)
+	for _, r := range routes {
+		if len(r.Nodes) != 3 {
+			t.Errorf("trap not untangled: route %v", r.Nodes)
+		}
+	}
+}
+
+func TestDisjointSharedRelayRejected(t *testing.T) {
+	// Both 2-hop paths run through the same relay: no vertex-disjoint
+	// pair exists even though two edge-disjoint paths do.
+	edges := bareEdges([][2]string{
+		{"S", "m"}, {"m", "T"},
+		{"S", "m2"}, {"m2", "m"}, // second approach still funnels via m? no: S-m2-m-T
+	})
+	if _, err := kDisjointPaths(edges, unit, "S", "T", 2); !errors.Is(err, ErrDisjoint) {
+		t.Fatalf("err = %v, want ErrDisjoint", err)
+	}
+}
+
+func TestDisjointParallelEdges(t *testing.T) {
+	// Two parallel direct edges (a trusted link and a light path, say)
+	// are distinct and may carry one stripe each.
+	edges := []*Edge{
+		{A: "S", B: "T", Kind: Trusted},
+		{A: "S", B: "T", Kind: Untrusted},
+	}
+	routes, err := kDisjointPaths(edges, unit, "S", "T", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routes[0].hops[0] == routes[1].hops[0] {
+		t.Error("both routes took the same parallel edge")
+	}
+}
+
+func TestDisjointCountExceedsCapacity(t *testing.T) {
+	edges := bareEdges([][2]string{
+		{"S", "a"}, {"a", "T"}, {"S", "b"}, {"b", "T"},
+	})
+	if _, err := kDisjointPaths(edges, unit, "S", "T", 3); !errors.Is(err, ErrDisjoint) {
+		t.Fatalf("err = %v, want ErrDisjoint", err)
+	}
+}

@@ -1,0 +1,435 @@
+// Package qnet unifies the paper's Section 8 network architectures
+// into one QKD network layer. The real DARPA network was to be a *mix*:
+// trusted relays where reach demands them, untrusted photonic switches
+// where trust demands them — yet a relay mesh alone exposes the whole
+// end-to-end key inside every intermediate relay, and a switch fabric
+// alone cannot out-reach its insertion loss. qnet registers both — every
+// `relay.Network` link and whole `optical.Mesh` light paths — as edges
+// of one annotated topology graph and adds what neither island has:
+//
+//   - k vertex-disjoint routing (Bhandari's successive shortest paths
+//     with node splitting), so an end-to-end key can be XOR-striped
+//     into k shares, one per disjoint path. Every share alone is
+//     uniform noise: a compromise of the relays on any k-1 paths
+//     reveals nothing, and no single relay ever holds the key;
+//
+//   - a per-edge health monitor blending the QKD loss signal (an EWMA
+//     of observed QBER, demoting an edge past the threshold where
+//     eavesdropping is indistinguishable from noise) with a congestion
+//     signal (pairwise-pad depletion) into the routing weight — the
+//     loss/congestion blend Elastic-TCP applies to its window, applied
+//     to route choice;
+//
+//   - disruption-tolerant transport: a striped transport pre-reserves
+//     pairwise pads on every hop of every stripe before consuming any
+//     (the all-or-nothing discipline that fixes the relay pad-burn
+//     leak), delivers in chunks, and when a mid-transport cut or QBER
+//     alarm kills a stripe, fails over to a fresh disjoint path and
+//     resumes where it stopped. Delivered key drains through
+//     `kms.Feed` custody, so KDS consumers observe a delay, never the
+//     switch.
+package qnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"qkd/internal/bitarray"
+	"qkd/internal/keypool"
+	"qkd/internal/optical"
+	"qkd/internal/photonics"
+	"qkd/internal/relay"
+	"qkd/internal/rng"
+)
+
+// Errors.
+var (
+	ErrUnknownNode = errors.New("qnet: unknown node")
+	ErrDisjoint    = errors.New("qnet: cannot find the requested vertex-disjoint paths")
+	ErrIncomplete  = errors.New("qnet: transport has undelivered chunks")
+	ErrFailed      = errors.New("qnet: transport failed")
+)
+
+// EdgeKind distinguishes the two Section 8 architectures an edge may
+// come from.
+type EdgeKind int
+
+const (
+	// Trusted is a point-to-point trusted-relay QKD link: pairwise key
+	// exists at both endpoints, and anything relayed through an
+	// endpoint is in the clear there.
+	Trusted EdgeKind = iota
+	// Untrusted is an all-optical light path through photonic switches:
+	// the interior switches never see key material, at the price of
+	// their accumulated insertion loss.
+	Untrusted
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case Trusted:
+		return "trusted"
+	case Untrusted:
+		return "untrusted"
+	}
+	return fmt.Sprintf("EdgeKind(%d)", int(k))
+}
+
+// Config tunes a Network.
+type Config struct {
+	// QBERThreshold demotes an edge whose QBER estimate exceeds it
+	// (default 0.11 — past ~11% error correction cannot outpace the
+	// information an eavesdropper may hold). A demoted edge re-promotes
+	// only when the estimate decays below half the threshold.
+	QBERThreshold float64
+	// EWMAWeight is the per-observation blend weight of the QBER
+	// estimator (default 0.3).
+	EWMAWeight float64
+	// QBERWeight scales the health (loss) signal's contribution to an
+	// edge's routing weight (default 4).
+	QBERWeight float64
+	// CongestionWeight scales the pad-depletion signal's contribution
+	// (default 1).
+	CongestionWeight float64
+	// TrustedQBER is the synthetic per-tick QBER observation of a
+	// healthy trusted link (default 0.02; jittered ±50%).
+	TrustedQBER float64
+	// Seed drives key generation and jitter.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.QBERThreshold <= 0 {
+		c.QBERThreshold = 0.11
+	}
+	if c.EWMAWeight <= 0 || c.EWMAWeight > 1 {
+		c.EWMAWeight = 0.3
+	}
+	if c.QBERWeight <= 0 {
+		c.QBERWeight = 4
+	}
+	if c.CongestionWeight <= 0 {
+		c.CongestionWeight = 1
+	}
+	if c.TrustedQBER <= 0 {
+		c.TrustedQBER = 0.02
+	}
+	return c
+}
+
+// Edge is one edge of the unified topology: a trusted relay link or an
+// untrusted light path, with a health monitor on top.
+type Edge struct {
+	A, B string
+	Kind EdgeKind
+
+	net  *Network
+	link *relay.Link   // Trusted
+	lp   *optical.Path // Untrusted
+
+	pool *keypool.Reservoir // Untrusted: the light path's pairwise pool
+	rate int                // Untrusted: distilled bits per Tick
+
+	baseQBER float64
+
+	mu      sync.Mutex
+	ewma    float64
+	primed  bool
+	demoted bool
+}
+
+// Name returns the canonical "a|b" edge name plus kind.
+func (e *Edge) Name() string {
+	a, b := e.A, e.B
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b + "(" + e.Kind.String() + ")"
+}
+
+// Pool returns the edge's pairwise-key reservoir. Trusted edges
+// re-fetch from the live link (a Restore installs a fresh pool).
+func (e *Edge) Pool() *keypool.Reservoir {
+	if e.Kind == Trusted {
+		return e.link.Pool()
+	}
+	return e.pool
+}
+
+// Available returns the pairwise key on hand.
+func (e *Edge) Available() int { return e.Pool().Available() }
+
+// Up reports whether the underlying medium is passing key: a trusted
+// link must be in LinkUp; a light path is always up (cutting its fiber
+// is modeled on the mesh it was established over).
+func (e *Edge) Up() bool {
+	if e.Kind == Trusted {
+		return e.link.State() == relay.LinkUp
+	}
+	return true
+}
+
+// QBER returns the current QBER estimate.
+func (e *Edge) QBER() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ewma
+}
+
+// Demoted reports whether the health monitor has taken the edge out of
+// routing.
+func (e *Edge) Demoted() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.demoted
+}
+
+// Usable reports whether the edge can carry nbits of transport now.
+func (e *Edge) Usable(nbits int) bool {
+	return e.Up() && !e.Demoted() && e.Available() >= nbits
+}
+
+// ObserveQBER feeds one QBER measurement (a distillation batch's error
+// estimate) into the edge's EWMA. Crossing the threshold demotes the
+// edge; a demoted edge re-promotes when the estimate decays below half
+// the threshold while the medium is up — hysteresis, so an edge
+// hovering at the line does not flap.
+func (e *Edge) ObserveQBER(q float64) {
+	up := e.Up()
+	e.mu.Lock()
+	if !e.primed {
+		e.primed = true
+		e.ewma = q
+	} else {
+		e.ewma += e.net.cfg.EWMAWeight * (q - e.ewma)
+	}
+	demote := !e.demoted && e.ewma > e.net.cfg.QBERThreshold
+	if demote {
+		e.demoted = true
+	} else if e.demoted && up && e.ewma < e.net.cfg.QBERThreshold/2 {
+		e.demoted = false
+	}
+	e.mu.Unlock()
+	if demote {
+		e.net.noteDemotion()
+	}
+}
+
+// weight is the edge's routing cost: one hop, plus the health signal
+// (QBER as a fraction of the demotion threshold), plus a congestion
+// signal that grows as the pad pool drops below 4x the transport size —
+// the loss/congestion blend steering route choice toward clean,
+// well-stocked edges.
+func (e *Edge) weight(nbits int) float64 {
+	w := 1.0 + e.net.cfg.QBERWeight*(e.QBER()/e.net.cfg.QBERThreshold)
+	if nbits > 0 {
+		if want := 4 * nbits; e.Available() < want {
+			w += e.net.cfg.CongestionWeight * (1 - float64(e.Available())/float64(want))
+		}
+	}
+	return w
+}
+
+// Network is the unified topology.
+type Network struct {
+	cfg Config
+
+	mu     sync.Mutex
+	nodes  map[string]bool
+	edges  []*Edge
+	relays []*relay.Network
+	rand   *rng.SplitMix64
+	stats  Stats
+}
+
+// Stats counts network activity.
+type Stats struct {
+	Transports       uint64 // striped transports completed
+	TransportsFailed uint64 // transports that could not start or aborted
+	BitsDelivered    uint64 // end-to-end key bits delivered
+	Failovers        uint64 // stripes re-routed mid-transport
+	Demotions        uint64 // health-monitor edge demotions
+}
+
+// NewNetwork returns an empty unified topology.
+func NewNetwork(cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	return &Network{
+		cfg:   cfg,
+		nodes: make(map[string]bool),
+		rand:  rng.NewSplitMix64(cfg.Seed ^ 0x9e3779b97f4a7c15),
+	}
+}
+
+// RegisterRelay adds every link of a trusted-relay mesh as a Trusted
+// edge (nodes are created as needed) and takes over ticking it. The
+// edges stay live: Cut/Eavesdrop/Restore on the relay network are
+// observed by the health monitor on the next Tick.
+func (n *Network) RegisterRelay(rn *relay.Network) int {
+	links := rn.Links()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.relays = append(n.relays, rn)
+	for _, l := range links {
+		n.nodes[l.A] = true
+		n.nodes[l.B] = true
+		n.edges = append(n.edges, &Edge{
+			A: l.A, B: l.B, Kind: Trusted,
+			net: n, link: l, baseQBER: n.cfg.TrustedQBER,
+		})
+	}
+	return len(links)
+}
+
+// RegisterLightPath establishes an all-optical path between two
+// endpoints of a switch fabric and adds it as a single Untrusted edge.
+// The interior switches collapse into the edge — they never hold key —
+// and the edge's pairwise pool replenishes each Tick at the rate the
+// path's analytic click probability and QBER support: roughly
+// clickProb * pulses * sift/2 * (1 - 2*h2(qber)) distilled bits,
+// the standard back-of-envelope for BB84 throughput after error
+// correction and privacy amplification.
+func (n *Network) RegisterLightPath(mesh *optical.Mesh, src, dst string, base photonics.Params, pulsesPerTick int) (*Edge, error) {
+	p, err := mesh.Establish(src, dst)
+	if err != nil {
+		return nil, fmt.Errorf("qnet: light path %s-%s: %w", src, dst, err)
+	}
+	qber := p.ExpectedQBER(base)
+	frac := 0.5 * (1 - 2*h2(qber)) // sift half, distill the rest
+	if frac < 0 {
+		frac = 0
+	}
+	rate := int(p.ExpectedClickProb(base) * float64(pulsesPerTick) * frac)
+	e := &Edge{
+		A: src, B: dst, Kind: Untrusted,
+		net: n, lp: p, pool: keypool.New(), rate: rate, baseQBER: qber,
+	}
+	n.mu.Lock()
+	n.nodes[src] = true
+	n.nodes[dst] = true
+	n.edges = append(n.edges, e)
+	n.mu.Unlock()
+	return e, nil
+}
+
+// Edges returns a snapshot of all registered edges, sorted by name.
+func (n *Network) Edges() []*Edge {
+	n.mu.Lock()
+	out := append([]*Edge(nil), n.edges...)
+	n.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Stats returns a snapshot.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+func (n *Network) noteDemotion() {
+	n.mu.Lock()
+	n.stats.Demotions++
+	n.mu.Unlock()
+}
+
+func (n *Network) noteFailover() {
+	n.mu.Lock()
+	n.stats.Failovers++
+	n.mu.Unlock()
+}
+
+// Tick advances the whole network one step: every registered relay
+// mesh runs its QKD processes, every light path distills its per-tick
+// key, and the health monitor ingests one QBER observation per edge —
+// healthy trusted links report their baseline (jittered), eavesdropped
+// links report the alarm-level error rate of an intercepted channel,
+// and light paths report their analytic QBER.
+func (n *Network) Tick() {
+	n.mu.Lock()
+	relays := append([]*relay.Network(nil), n.relays...)
+	edges := append([]*Edge(nil), n.edges...)
+	n.mu.Unlock()
+	for _, rn := range relays {
+		rn.Tick()
+	}
+	for _, e := range edges {
+		switch e.Kind {
+		case Untrusted:
+			if e.rate > 0 {
+				e.pool.Deposit(n.randBits(e.rate))
+			}
+			e.ObserveQBER(e.baseQBER)
+		case Trusted:
+			switch e.link.State() {
+			case relay.LinkUp:
+				e.ObserveQBER(e.baseQBER * (0.75 + 0.5*n.randFloat()))
+			case relay.LinkEavesdropped:
+				// The QBER alarm: an intercept-resend attacker pushes
+				// the error rate toward 25%; report it well past any
+				// threshold so the monitor demotes on the next
+				// estimate.
+				e.ObserveQBER(0.25)
+			case relay.LinkCut:
+				// Outage, not errors: no QBER signal flows. Up()
+				// already excludes the edge from routing.
+			}
+		}
+	}
+}
+
+func (n *Network) randBits(bits int) *bitarray.BitArray {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rand.Bits(bits)
+}
+
+func (n *Network) randFloat() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rand.Float64()
+}
+
+// usableEdges snapshots the edges that can carry nbits, excluding any
+// incident to a banned node.
+func (n *Network) usableEdges(nbits int, banned map[string]bool) []*Edge {
+	n.mu.Lock()
+	edges := append([]*Edge(nil), n.edges...)
+	n.mu.Unlock()
+	out := edges[:0]
+	for _, e := range edges {
+		if banned[e.A] || banned[e.B] {
+			continue
+		}
+		if e.Usable(nbits) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// DisjointPaths computes k vertex-disjoint paths between src and dst
+// over edges that are up, healthy, and hold at least nbits of pairwise
+// key, weighted by the blended health/congestion cost.
+func (n *Network) DisjointPaths(src, dst string, k, nbits int) ([]Route, error) {
+	n.mu.Lock()
+	known := n.nodes[src] && n.nodes[dst]
+	n.mu.Unlock()
+	if !known {
+		return nil, fmt.Errorf("%w: %s or %s", ErrUnknownNode, src, dst)
+	}
+	edges := n.usableEdges(nbits, nil)
+	return kDisjointPaths(edges, func(e *Edge) float64 { return e.weight(nbits) }, src, dst, k)
+}
+
+// h2 is the binary entropy function.
+func h2(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}

@@ -117,6 +117,9 @@ type Stats struct {
 	DeliveryFailed  uint64
 	BitsTransported uint64
 	Reroutes        uint64
+	// BitsRefunded counts pairwise key reserved for a transport that
+	// failed before using it — refunded to its pool instead of burned.
+	BitsRefunded uint64
 }
 
 // NewNetwork returns an empty mesh seeded for key generation.
@@ -276,9 +279,47 @@ type Delivery struct {
 	Exposed []string
 }
 
+// reservePath sets aside nbits of pairwise key on every hop of path
+// before any of it is used — all-or-nothing, so a hop that cannot be
+// reserved costs the earlier hops nothing (the pad-burn leak the old
+// consume-as-you-go transport had). On failure every reservation made
+// so far is refunded and the failure is accounted.
+func (n *Network) reservePath(path []string, nbits int) ([]*keypool.Reservation, error) {
+	resvs := make([]*keypool.Reservation, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		l := n.Link(path[i], path[i+1])
+		rv, err := l.Pool().Reserve(nbits)
+		if err != nil {
+			n.releaseAll(resvs)
+			n.mu.Lock()
+			n.stats.DeliveryFailed++
+			n.mu.Unlock()
+			return nil, fmt.Errorf("relay: pairwise key on %s-%s vanished: %w", l.A, l.B, err)
+		}
+		resvs = append(resvs, rv)
+	}
+	return resvs, nil
+}
+
+// releaseAll refunds the undrawn remainder of every reservation.
+func (n *Network) releaseAll(resvs []*keypool.Reservation) {
+	var refunded uint64
+	for _, rv := range resvs {
+		refunded += uint64(rv.Remaining())
+		rv.Release()
+	}
+	if refunded > 0 {
+		n.mu.Lock()
+		n.stats.BitsRefunded += refunded
+		n.mu.Unlock()
+	}
+}
+
 // TransportKey generates an nbits end-to-end key at src and relays it
 // hop-by-hop to dst, consuming nbits of pairwise key per hop. Paths
-// avoid unhealthy links and links with insufficient pairwise key.
+// avoid unhealthy links and links with insufficient pairwise key, and
+// every hop's pad is reserved before any is consumed: a transport that
+// cannot complete refunds the pools it touched.
 func (n *Network) TransportKey(src, dst string, nbits int) (*Delivery, error) {
 	path, err := n.findPath(src, dst, nbits)
 	if err != nil {
@@ -289,19 +330,33 @@ func (n *Network) TransportKey(src, dst string, nbits int) (*Delivery, error) {
 	}
 	// Generate the end-to-end key at the source.
 	key := n.randBits(nbits)
+	if len(path) < 2 {
+		// Self-transport: the key never leaves src — no hops, no pad
+		// consumption, nothing exposed.
+		n.mu.Lock()
+		n.stats.KeysDelivered++
+		n.mu.Unlock()
+		return &Delivery{Key: key, Path: path}, nil
+	}
+	resvs, err := n.reservePath(path, nbits)
+	if err != nil {
+		return nil, err
+	}
 
 	// Hop-by-hop one-time-pad transport: on the wire between u and v
 	// the key is key XOR pad_uv; inside each relay it is briefly in the
 	// clear.
 	current := key.Clone()
-	for i := 0; i+1 < len(path); i++ {
-		l := n.Link(path[i], path[i+1])
-		pad, err := l.Pool().TryConsume(nbits)
+	for i, rv := range resvs {
+		pad, err := rv.Consume(nbits)
 		if err != nil {
-			// Raced with another transport; treat as routing failure.
+			// The link was torn down between reservation and use; pads
+			// not yet on the wire go back to their pools.
+			n.releaseAll(resvs[i+1:])
 			n.mu.Lock()
 			n.stats.DeliveryFailed++
 			n.mu.Unlock()
+			l := n.Link(path[i], path[i+1])
 			return nil, fmt.Errorf("relay: pairwise key on %s-%s vanished: %w", l.A, l.B, err)
 		}
 		onWire := current.Clone()
@@ -423,7 +478,9 @@ type MessageDelivery struct {
 
 // TransportMessage carries payload hop-by-hop under per-link one-time
 // pads: each link consumes 8*len(payload) bits of pairwise key, and the
-// plaintext appears in the clear inside every intermediate relay.
+// plaintext appears in the clear inside every intermediate relay. Pads
+// are reserved on every hop before any is consumed, so a failed
+// delivery refunds the pools it touched.
 func (n *Network) TransportMessage(src, dst string, payload []byte) (*MessageDelivery, error) {
 	nbits := 8 * len(payload)
 	path, err := n.findPath(src, dst, nbits)
@@ -433,15 +490,27 @@ func (n *Network) TransportMessage(src, dst string, payload []byte) (*MessageDel
 		n.mu.Unlock()
 		return nil, err
 	}
+	if len(path) < 2 {
+		// Self-delivery: the payload never leaves src.
+		n.mu.Lock()
+		n.stats.KeysDelivered++
+		n.mu.Unlock()
+		return &MessageDelivery{Payload: append([]byte(nil), payload...), Path: path}, nil
+	}
+	resvs, err := n.reservePath(path, nbits)
+	if err != nil {
+		return nil, err
+	}
 	current := bitarray.FromBytes(payload)
 	used := 0
-	for i := 0; i+1 < len(path); i++ {
-		l := n.Link(path[i], path[i+1])
-		pad, err := l.Pool().TryConsume(nbits)
+	for i, rv := range resvs {
+		pad, err := rv.Consume(nbits)
 		if err != nil {
+			n.releaseAll(resvs[i+1:])
 			n.mu.Lock()
 			n.stats.DeliveryFailed++
 			n.mu.Unlock()
+			l := n.Link(path[i], path[i+1])
 			return nil, fmt.Errorf("relay: pairwise key on %s-%s vanished: %w", l.A, l.B, err)
 		}
 		used += nbits

@@ -381,3 +381,136 @@ func TestRestoreReleasesPreOutageWaiters(t *testing.T) {
 		t.Fatalf("fresh pool after restore: %v", err)
 	}
 }
+
+// ---------------------------------------------------------------------
+// Failure paths: self-transport, mid-path exhaustion, restore re-use
+// ---------------------------------------------------------------------
+
+func TestSelfTransportReturnsKeyWithoutPads(t *testing.T) {
+	// Regression: TransportKey(src, src, n) used to panic slicing
+	// Exposed out of the single-node path [src].
+	n := ring(t)
+	n.Tick()
+	before := n.Link("A", "B").KeyAvailable()
+	d, err := n.TransportKey("A", "A", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Key.Len() != 512 {
+		t.Errorf("key length %d, want 512", d.Key.Len())
+	}
+	if len(d.Path) != 1 || d.Path[0] != "A" {
+		t.Errorf("path %v, want [A]", d.Path)
+	}
+	if len(d.Exposed) != 0 {
+		t.Errorf("self-transport exposed %v", d.Exposed)
+	}
+	if after := n.Link("A", "B").KeyAvailable(); after != before {
+		t.Errorf("self-transport consumed %d pad bits", before-after)
+	}
+	if st := n.Stats(); st.KeysDelivered != 1 || st.BitsTransported != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSelfTransportMessage(t *testing.T) {
+	n := ring(t)
+	n.Tick()
+	msg := []byte("to myself")
+	d, err := n.TransportMessage("B", "B", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d.Payload) != string(msg) {
+		t.Errorf("payload %q", d.Payload)
+	}
+	if d.PadBitsUsed != 0 || len(d.Exposed) != 0 {
+		t.Errorf("self message used %d pad bits, exposed %v", d.PadBitsUsed, d.Exposed)
+	}
+}
+
+// line builds A-B-C, so every A<->C transport must cross B.
+func line(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork(2)
+	for _, name := range []string{"A", "B", "C"} {
+		n.AddNode(name)
+	}
+	for _, e := range [][2]string{{"A", "B"}, {"B", "C"}} {
+		if _, err := n.AddLink(e[0], e[1], 4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func TestMidPathExhaustionRefundsEarlierHops(t *testing.T) {
+	// Regression for the pad-burn leak: when a later hop cannot supply
+	// its pad, pads already taken on earlier hops used to be silently
+	// destroyed. With pre-reservation the failed transport must leave
+	// every traversed pool's balance exactly as it found it.
+	n := line(t)
+	n.Tick()
+	ab, bc := n.Link("A", "B"), n.Link("B", "C")
+	abBefore, bcBefore := ab.KeyAvailable(), bc.KeyAvailable()
+
+	// Park a blocked withdrawal on B-C: its balance still looks
+	// sufficient to the router, but reservations must queue behind the
+	// FIFO ticket, so the second hop fails after the first reserved.
+	blockedErr := blockedConsumer(bc, 1<<20, time.Second)
+
+	_, err := n.TransportKey("A", "C", 512)
+	if err == nil {
+		t.Fatal("transport succeeded past a blocked hop")
+	}
+	if got := ab.KeyAvailable(); got != abBefore {
+		t.Errorf("A-B drained to %d on failed delivery, want %d untouched", got, abBefore)
+	}
+	if got := bc.KeyAvailable(); got != bcBefore {
+		t.Errorf("B-C drained to %d on failed delivery, want %d untouched", got, bcBefore)
+	}
+	st := n.Stats()
+	if st.DeliveryFailed != 1 {
+		t.Errorf("DeliveryFailed = %d", st.DeliveryFailed)
+	}
+	if st.BitsRefunded != 512 {
+		t.Errorf("BitsRefunded = %d, want the 512 reserved on A-B", st.BitsRefunded)
+	}
+	if err := <-blockedErr; !errors.Is(err, keypool.ErrTimeout) {
+		t.Fatalf("parked consumer: %v", err)
+	}
+	// The refund kept the pool whole: the same transport succeeds now.
+	if _, err := n.TransportKey("A", "C", 512); err != nil {
+		t.Fatalf("transport after refund: %v", err)
+	}
+}
+
+func TestRestoreAfterEavesdropRetransports(t *testing.T) {
+	n := ring(t)
+	n.Tick()
+	if err := n.Eavesdrop("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	// While abandoned, transports route around the compromised link.
+	d, err := n.TransportKey("A", "B", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Path) == 2 {
+		t.Error("transport used the eavesdropped link")
+	}
+	if err := n.Restore("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	n.Tick() // fresh pairwise key on the repaired link
+	d, err = n.TransportKey("A", "B", 256)
+	if err != nil {
+		t.Fatalf("re-transport after restore: %v", err)
+	}
+	if len(d.Path) != 2 {
+		t.Errorf("restored direct link unused: path %v", d.Path)
+	}
+	if got := n.Link("A", "B").KeyAvailable(); got != 4096-256 {
+		t.Errorf("restored link balance %d, want %d", got, 4096-256)
+	}
+}

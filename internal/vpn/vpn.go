@@ -24,6 +24,7 @@ import (
 	"qkd/internal/keypool"
 	"qkd/internal/kms"
 	"qkd/internal/photonics"
+	"qkd/internal/qnet"
 )
 
 // Config assembles a network.
@@ -52,6 +53,17 @@ type Config struct {
 	// KDSConfig tunes the services when KDS is set (zero value = kms
 	// defaults with a fully synchronized ledger).
 	KDSConfig kms.Config
+	// QNet, when set alongside KDS, supplements the direct link with
+	// end-to-end key striped across the unified QKD network: PumpQNet
+	// transports key over QNetStripes vertex-disjoint paths and
+	// deposits it into both sites' services through mirrored "qnet"
+	// custody feeds. The two gateways must be registered in the QNet
+	// topology as QNetSrc and QNetDst.
+	QNet             *qnet.Network
+	QNetSrc, QNetDst string
+	// QNetStripes is the disjoint-path share count k (default 2: no
+	// single relay of the wider network ever holds a delivered key).
+	QNetStripes int
 	// IKELogA / IKELogB, when non-nil, receive each daemon's
 	// racoon-style log lines (Fig. 12).
 	IKELogA io.Writer
@@ -73,6 +85,12 @@ type Site struct {
 type Network struct {
 	A, B    *Site
 	Session *core.Session
+
+	qnet             *qnet.Network
+	qnetSrc, qnetDst string
+	qnetK            int
+	qnetFeedA        *kms.Feed
+	qnetFeedB        *kms.Feed
 
 	polAB *ipsec.Policy
 	polBA *ipsec.Policy
@@ -167,7 +185,51 @@ func New(cfg Config) (*Network, error) {
 		polAB:   polAB,
 		polBA:   polBA,
 	}
+	if cfg.KDS && cfg.QNet != nil {
+		if cfg.QNetStripes <= 0 {
+			cfg.QNetStripes = 2
+		}
+		fa, err := kdsA.AttachSource("qnet")
+		if err != nil {
+			return nil, fmt.Errorf("vpn: attaching qnet feed: %w", err)
+		}
+		fb, err := kdsB.AttachSource("qnet")
+		if err != nil {
+			return nil, fmt.Errorf("vpn: attaching qnet feed: %w", err)
+		}
+		n.qnet = cfg.QNet
+		n.qnetSrc, n.qnetDst = cfg.QNetSrc, cfg.QNetDst
+		n.qnetK = cfg.QNetStripes
+		n.qnetFeedA, n.qnetFeedB = fa, fb
+	}
 	return n, nil
+}
+
+// PumpQNet transports nbits of fresh end-to-end key across the unified
+// QKD network as Config.QNetStripes XOR shares over vertex-disjoint
+// paths and deposits it into both sites' key delivery services through
+// the mirrored "qnet" custody feeds — a second key source beside the
+// direct link, with no relay of the wider network ever holding the key.
+// Like any multi-source deposit, call it at quiescent points (between
+// distillation pumps): mirrored services must observe the same merged
+// ingest order.
+func (n *Network) PumpQNet(nbits int) error {
+	if n.qnet == nil {
+		return errors.New("vpn: no QNet configured (set Config.KDS and Config.QNet)")
+	}
+	tr, err := n.qnet.NewTransport(n.qnetSrc, n.qnetDst, nbits, n.qnetK, qnet.TransportOpts{
+		FeedA: n.qnetFeedA, FeedB: n.qnetFeedB,
+	})
+	if err != nil {
+		return fmt.Errorf("vpn: qnet transport: %w", err)
+	}
+	if err := tr.Run(64); err != nil {
+		return fmt.Errorf("vpn: qnet transport: %w", err)
+	}
+	if _, err := tr.Finish(); err != nil {
+		return fmt.Errorf("vpn: qnet transport: %w", err)
+	}
+	return nil
 }
 
 // DistillKeys pumps QKD frames until both reservoirs hold at least

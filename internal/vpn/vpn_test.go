@@ -9,6 +9,8 @@ import (
 	"qkd/internal/core"
 	"qkd/internal/ipsec"
 	"qkd/internal/photonics"
+	"qkd/internal/qnet"
+	"qkd/internal/relay"
 )
 
 // fastPhotonics is a lossless link so tests distill quickly.
@@ -339,5 +341,55 @@ func TestKDSModeOTPTickets(t *testing.T) {
 	aGr := n.A.KDS.Stats().Granted
 	if aGr[0] == 0 { // ClassOTP
 		t.Fatalf("no OTP-class grants on the initiator: %+v", aGr)
+	}
+}
+
+func TestPumpQNetFeedsBothSites(t *testing.T) {
+	// A small wider network: the two VPN gateways joined by two
+	// disjoint relay paths.
+	rn := relay.NewNetwork(9)
+	for _, v := range []string{"gwA", "gwB", "r0", "r1"} {
+		rn.AddNode(v)
+	}
+	for _, e := range [][2]string{{"gwA", "r0"}, {"r0", "gwB"}, {"gwA", "r1"}, {"r1", "gwB"}} {
+		if _, err := rn.AddLink(e[0], e[1], 1<<14); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qn := qnet.NewNetwork(qnet.Config{Seed: 13})
+	qn.RegisterRelay(rn)
+	qn.Tick()
+
+	cfg := fastConfig(ipsec.SuiteAES128CTR)
+	cfg.KDS = true
+	cfg.QNet = qn
+	cfg.QNetSrc, cfg.QNetDst = "gwA", "gwB"
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	beforeA, beforeB := n.A.KDS.Stats(), n.B.KDS.Stats()
+	if err := n.PumpQNet(2048); err != nil {
+		t.Fatal(err)
+	}
+	afterA, afterB := n.A.KDS.Stats(), n.B.KDS.Stats()
+	if got := afterA.DepositedBits - beforeA.DepositedBits; got != 2048 {
+		t.Errorf("site A ingested %d qnet bits, want 2048", got)
+	}
+	if got := afterB.DepositedBits - beforeB.DepositedBits; got != 2048 {
+		t.Errorf("site B ingested %d qnet bits, want 2048", got)
+	}
+	fs := n.A.KDS.Source("qnet").Stats()
+	if fs.DepositedBits != 2048 {
+		t.Errorf("qnet feed saw %d bits", fs.DepositedBits)
+	}
+	// Striped across 2 disjoint paths: neither relay could reconstruct
+	// any of it, and each path consumed the pads for its share.
+	for _, l := range rn.Links() {
+		if got := 1<<14 - l.KeyAvailable(); got != 2048 {
+			t.Errorf("link %s-%s consumed %d pad bits, want 2048", l.A, l.B, got)
+		}
 	}
 }
