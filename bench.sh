@@ -25,6 +25,11 @@
 #                                   reserve, per-hop OTP, reconstruct)
 #                                   at k = 1/2/3 disjoint paths
 #                                   (DESIGN.md §9)
+#   ipsec   -> BENCH_ipsec.json     gateway dataplane: outbound seal /
+#                                   inbound open through SPD+SAD on the
+#                                   cached key schedules (AES + OTP),
+#                                   plus 8 tunnels driven in parallel
+#                                   (DESIGN.md §10)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -90,3 +95,7 @@ emit BENCH_kms.json
 # --- qnet group -------------------------------------------------------
 run ./internal/qnet/ 'BenchmarkQnet_Stripe(1|2|3)Path$'
 emit BENCH_qnet.json
+
+# --- ipsec group ------------------------------------------------------
+run ./internal/ipsec/ 'BenchmarkGateway_(SealAES|OpenAES|SealOTP|Parallel)$'
+emit BENCH_ipsec.json

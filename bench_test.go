@@ -114,8 +114,9 @@ func BenchmarkVPN_Tunnel1KB(b *testing.B) {
 	}
 }
 
-func BenchmarkE13_KDS(b *testing.B)      { benchExperiment(b, experiments.E13KDS) }
-func BenchmarkE14_Striping(b *testing.B) { benchExperiment(b, experiments.E14Striping) }
+func BenchmarkE13_KDS(b *testing.B)       { benchExperiment(b, experiments.E13KDS) }
+func BenchmarkE14_Striping(b *testing.B)  { benchExperiment(b, experiments.E14Striping) }
+func BenchmarkE15_Dataplane(b *testing.B) { benchExperiment(b, experiments.E15Dataplane) }
 
 // ---------------------------------------------------------------------
 // Key delivery service: concurrent withdrawal path

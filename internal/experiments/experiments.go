@@ -2,7 +2,9 @@
 // point, table and figure of the paper's evaluation (E1-E12), plus the
 // scaling experiments the reproduction adds on top (E13: the key
 // delivery service under 1000+ concurrent consumers; E14: disjoint-path
-// XOR key striping with QBER-triggered failover). Each experiment
+// XOR key striping with QBER-triggered failover; E15: the concurrent
+// multi-tunnel IPsec dataplane under rollover load and a replay
+// storm). Each experiment
 // Exx function runs a workload and returns a Report whose rows mirror
 // what the paper states; cmd/qkdexp prints them and the repository's
 // bench_test.go wraps each in a testing.B benchmark. EXPERIMENTS.md
@@ -71,6 +73,7 @@ func All(seed uint64, quick bool) ([]*Report, error) {
 		E12Transcript,
 		E13KDS,
 		E14Striping,
+		E15Dataplane,
 	}
 	var out []*Report
 	for i, run := range runs {

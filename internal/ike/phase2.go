@@ -455,11 +455,15 @@ func (d *Daemon) installSAsCancelable(prop *phase2Proposal, spiR uint32, nonceR 
 		}
 	}
 
+	// Inbound SAs join the tunnel direction's rollover generation chain
+	// (keyed by the peer's outbound policy): the superseded generation
+	// drains in-flight traffic through its grace window and is then
+	// removed, so renegotiation no longer leaks undead inbound SAs.
 	if isInitiator {
 		d.gw.SAD.InstallOutbound(prop.PolicyName, saIR)
-		d.gw.SAD.InstallInbound(saRI)
+		d.gw.SAD.InstallInboundFor(prop.ReversePolicy, saRI)
 	} else {
-		d.gw.SAD.InstallInbound(saIR)
+		d.gw.SAD.InstallInboundFor(prop.PolicyName, saIR)
 		d.gw.SAD.InstallOutbound(prop.ReversePolicy, saRI)
 	}
 	d.mu.Lock()

@@ -1,73 +1,155 @@
 package ipsec
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
-// SAD is the Security Association Database: inbound SAs indexed by SPI,
-// outbound SAs indexed by the policy they serve.
+// sadShards stripes the inbound SPI index so concurrent tunnels hit
+// independent locks (the kms.Store pattern, sized for a gateway's SA
+// count rather than key bits).
+const sadShards = 16
+
+// SAD is the Security Association Database: inbound SAs indexed by SPI
+// (sharded, RWMutex per stripe — lookups are the per-packet hot path),
+// outbound SAs indexed by the policy they serve, and per-tunnel inbound
+// rollover generations so a superseded SA drains for a grace window and
+// is then removed instead of decrypting forever.
 type SAD struct {
-	mu       sync.Mutex
-	bySPI    map[uint32]*SA
+	shards [sadShards]sadShard
+
+	outMu    sync.RWMutex
 	outbound map[string]*SA
+
+	genMu sync.Mutex
+	gens  map[string]*saGenerations
+}
+
+type sadShard struct {
+	mu    sync.RWMutex
+	bySPI map[uint32]*SA
+}
+
+// saGenerations chains a tunnel direction's inbound SAs: cur decrypts
+// new traffic, prev drains in-flight packets until its grace deadline.
+type saGenerations struct {
+	cur  *SA
+	prev *SA
 }
 
 // NewSAD returns an empty database.
 func NewSAD() *SAD {
-	return &SAD{bySPI: make(map[uint32]*SA), outbound: make(map[string]*SA)}
+	d := &SAD{outbound: make(map[string]*SA), gens: make(map[string]*saGenerations)}
+	for i := range d.shards {
+		d.shards[i].bySPI = make(map[uint32]*SA)
+	}
+	return d
 }
 
-// InstallInbound registers an SA for decryption by SPI.
+func (d *SAD) shard(spi uint32) *sadShard { return &d.shards[spi%sadShards] }
+
+// InstallInbound registers an SA for decryption by SPI, outside any
+// generation chain (tests, manual keying).
 func (d *SAD) InstallInbound(sa *SA) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.bySPI[sa.SPI] = sa
+	sh := d.shard(sa.SPI)
+	sh.mu.Lock()
+	sh.bySPI[sa.SPI] = sa
+	sh.mu.Unlock()
+}
+
+// InstallInboundFor registers an inbound SA as the newest rollover
+// generation for a tunnel direction (keyed by the peer's outbound
+// policy name). The superseded predecessor keeps decrypting in-flight
+// traffic until the grace window closes; any generation older than that
+// is removed immediately, so the inbound index stays bounded by two
+// generations per tunnel no matter how often IKE renegotiates.
+func (d *SAD) InstallInboundFor(policyName string, sa *SA) {
+	d.InstallInbound(sa)
+	d.genMu.Lock()
+	g := d.gens[policyName]
+	if g == nil {
+		g = &saGenerations{}
+		d.gens[policyName] = g
+	}
+	if g.prev != nil && g.prev != sa {
+		d.RemoveInbound(g.prev.SPI)
+	}
+	if g.cur != nil && g.cur != sa {
+		g.cur.Supersede(g.cur.clockNow().Add(DefaultGrace))
+		g.prev = g.cur
+	}
+	g.cur = sa
+	d.genMu.Unlock()
+	d.Sweep()
+}
+
+// Sweep removes superseded generations whose grace window has closed.
+// Install paths call it; long-idle gateways may call it periodically.
+func (d *SAD) Sweep() {
+	d.genMu.Lock()
+	defer d.genMu.Unlock()
+	for _, g := range d.gens {
+		if g.prev != nil && g.prev.Retired() {
+			d.RemoveInbound(g.prev.SPI)
+			g.prev = nil
+		}
+	}
 }
 
 // InstallOutbound registers an SA to protect a policy's traffic,
 // replacing any previous SA (key rollover).
 func (d *SAD) InstallOutbound(policyName string, sa *SA) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.outMu.Lock()
 	d.outbound[policyName] = sa
+	d.outMu.Unlock()
 }
 
 // Outbound returns the SA serving a policy, or nil.
 func (d *SAD) Outbound(policyName string) *SA {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.outMu.RLock()
+	defer d.outMu.RUnlock()
 	return d.outbound[policyName]
 }
 
 // BySPI returns the inbound SA for spi, or nil.
 func (d *SAD) BySPI(spi uint32) *SA {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.bySPI[spi]
+	sh := d.shard(spi)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.bySPI[spi]
 }
 
 // RemoveOutbound clears a policy's outbound SA if it is the given one.
 func (d *SAD) RemoveOutbound(policyName string, sa *SA) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.outMu.Lock()
 	if d.outbound[policyName] == sa {
 		delete(d.outbound, policyName)
 	}
+	d.outMu.Unlock()
 }
 
 // RemoveInbound deletes an inbound SA by SPI.
 func (d *SAD) RemoveInbound(spi uint32) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	delete(d.bySPI, spi)
+	sh := d.shard(spi)
+	sh.mu.Lock()
+	delete(sh.bySPI, spi)
+	sh.mu.Unlock()
 }
 
 // Count returns (inbound, outbound) SA counts.
 func (d *SAD) Count() (in, out int) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.bySPI), len(d.outbound)
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.RLock()
+		in += len(sh.bySPI)
+		sh.mu.RUnlock()
+	}
+	d.outMu.RLock()
+	out = len(d.outbound)
+	d.outMu.RUnlock()
+	return in, out
 }
 
 // Stats counts gateway dataplane events.
@@ -80,10 +162,15 @@ type Stats struct {
 	Expired       uint64
 	ReplayDrops   uint64
 	IntegFailures uint64
+	// SoftRekeys counts rekey triggers fired by an SA crossing its
+	// soft-expiry threshold while traffic still flowed.
+	SoftRekeys uint64
 }
 
 // Gateway is the VPN dataplane of Fig. 10/11: an IP packet filter with
-// pattern matching against the SPD and crypto against the SAD.
+// pattern matching against the SPD and crypto against the SAD. All
+// counters are atomic and the SAD is sharded, so concurrent flows over
+// different tunnels never serialize on gateway-wide state.
 type Gateway struct {
 	// Local is this gateway's tunnel address.
 	Local Addr
@@ -93,11 +180,14 @@ type Gateway struct {
 	SAD *SAD
 
 	// OnMissingSA fires when a Protect policy has traffic but no
-	// (unexpired) SA — the trigger for IKE negotiation.
+	// (unexpired) SA — the trigger for IKE negotiation — and, softly,
+	// when a serving SA crosses its soft-expiry threshold so the
+	// rollover lands before the hard stop.
 	OnMissingSA func(*Policy)
 
-	mu    sync.Mutex
-	stats Stats
+	sealed, opened, bypassed, discarded    atomic.Uint64
+	noSA, expired, replayDrops, integFails atomic.Uint64
+	softRekeys                             atomic.Uint64
 }
 
 // NewGateway builds a gateway at the given tunnel address.
@@ -107,15 +197,17 @@ func NewGateway(local Addr, spd *SPD) *Gateway {
 
 // Stats returns a snapshot of the counters.
 func (g *Gateway) Stats() Stats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.stats
-}
-
-func (g *Gateway) count(f func(*Stats)) {
-	g.mu.Lock()
-	f(&g.stats)
-	g.mu.Unlock()
+	return Stats{
+		Sealed:        g.sealed.Load(),
+		Opened:        g.opened.Load(),
+		Bypassed:      g.bypassed.Load(),
+		Discarded:     g.discarded.Load(),
+		NoSA:          g.noSA.Load(),
+		Expired:       g.expired.Load(),
+		ReplayDrops:   g.replayDrops.Load(),
+		IntegFailures: g.integFails.Load(),
+		SoftRekeys:    g.softRekeys.Load(),
+	}
 }
 
 // ProcessOutbound applies policy to a packet leaving the enclave:
@@ -128,20 +220,20 @@ func (g *Gateway) ProcessOutbound(p *Packet) (*Packet, error) {
 	}
 	switch pol.Action {
 	case Bypass:
-		g.count(func(s *Stats) { s.Bypassed++ })
+		g.bypassed.Add(1)
 		return p, nil
 	case Discard:
-		g.count(func(s *Stats) { s.Discarded++ })
+		g.discarded.Add(1)
 		return nil, ErrDiscard
 	}
 	sa := g.SAD.Outbound(pol.Name)
 	if sa != nil && sa.Expired() {
 		g.SAD.RemoveOutbound(pol.Name, sa)
-		g.count(func(s *Stats) { s.Expired++ })
+		g.expired.Add(1)
 		sa = nil
 	}
 	if sa == nil {
-		g.count(func(s *Stats) { s.NoSA++ })
+		g.noSA.Add(1)
 		if g.OnMissingSA != nil {
 			g.OnMissingSA(pol)
 		}
@@ -149,16 +241,22 @@ func (g *Gateway) ProcessOutbound(p *Packet) (*Packet, error) {
 	}
 	blob, err := sa.Seal(p.Marshal())
 	if err != nil {
-		if err == ErrExpired || err == ErrPadExhaust {
+		if errors.Is(err, ErrExpired) || errors.Is(err, ErrPadExhaust) {
 			g.SAD.RemoveOutbound(pol.Name, sa)
-			g.count(func(s *Stats) { s.Expired++ })
+			g.expired.Add(1)
 			if g.OnMissingSA != nil {
 				g.OnMissingSA(pol)
 			}
 		}
 		return nil, err
 	}
-	g.count(func(s *Stats) { s.Sealed++ })
+	g.sealed.Add(1)
+	if sa.SoftExpiring() {
+		g.softRekeys.Add(1)
+		if g.OnMissingSA != nil {
+			g.OnMissingSA(pol)
+		}
+	}
 	return &Packet{Src: g.Local, Dst: pol.PeerGW, Proto: ProtoESP, ID: p.ID, Payload: blob}, nil
 }
 
@@ -180,11 +278,13 @@ func (g *Gateway) ProcessInbound(p *Packet) (*Packet, error) {
 		}
 		inner, err := sa.Open(p.Payload)
 		if err != nil {
-			switch err {
-			case ErrReplay:
-				g.count(func(s *Stats) { s.ReplayDrops++ })
-			case ErrIntegrity:
-				g.count(func(s *Stats) { s.IntegFailures++ })
+			switch {
+			case errors.Is(err, ErrReplay):
+				g.replayDrops.Add(1)
+			case errors.Is(err, ErrIntegrity):
+				g.integFails.Add(1)
+			case errors.Is(err, ErrExpired):
+				g.expired.Add(1)
 			}
 			return nil, err
 		}
@@ -192,15 +292,15 @@ func (g *Gateway) ProcessInbound(p *Packet) (*Packet, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ipsec: decapsulated garbage: %w", err)
 		}
-		g.count(func(s *Stats) { s.Opened++ })
+		g.opened.Add(1)
 		return pkt, nil
 	}
 	// Clear traffic: only deliverable if policy says bypass.
 	pol := g.SPD.Match(p)
 	if pol == nil || pol.Action != Bypass {
-		g.count(func(s *Stats) { s.Discarded++ })
+		g.discarded.Add(1)
 		return nil, ErrDiscard
 	}
-	g.count(func(s *Stats) { s.Bypassed++ })
+	g.bypassed.Add(1)
 	return p, nil
 }

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"sync"
 	"time"
 
@@ -88,6 +89,25 @@ var (
 const icvLen = 12 // HMAC-SHA1-96
 const otpTagLen = 8
 
+// Sequence-number lifecycle bounds. ESP sequence numbers are 32 bits
+// and must never wrap: seq 0 is the replay sentinel, so a wrapped
+// sender would have every subsequent packet dropped and the receiver
+// window poisoned at the far edge. Seal therefore hard-stops (with
+// ErrExpired, so the gateway treats it as any other lifetime expiry and
+// rekeys) at seqHardLimit, and the SA starts signalling for a rekey a
+// soft margin earlier so IKE can roll the tunnel over before the stop.
+const (
+	seqHardLimit  = ^uint32(0)
+	seqSoftMargin = 1 << 16
+	seqSoftLimit  = seqHardLimit - seqSoftMargin
+)
+
+// DefaultGrace is the supersession tolerance: how long a replaced or
+// expired inbound SA keeps decrypting in-flight traffic before Open
+// refuses it and the SAD drops it. Long enough for packets already on
+// the wire, short enough that an undead SA cannot serve stale key.
+const DefaultGrace = 2 * time.Second
+
 // field64 backs the OTP suite's Wegman-Carter tags.
 var field64 *gf2.Field
 
@@ -111,6 +131,19 @@ type SA struct {
 	authKey     []byte
 	seq         uint32
 	bytesSealed uint64
+	bytesOpened uint64
+
+	// Cached key schedules: the AES/3DES block cipher expansion and the
+	// HMAC state are built once at construction, not per packet.
+	block cipher.Block
+	mac   hash.Hash
+	icv   [sha1.Size]byte // scratch for mac.Sum
+
+	// Lifecycle: a rollover marks the superseded generation, which keeps
+	// decrypting in-flight traffic until retireAt and is then refused.
+	superseded bool
+	retireAt   time.Time
+	softFired  bool
 
 	// replay window state (receiver side)
 	maxSeq uint32
@@ -155,6 +188,18 @@ func NewSA(spi uint32, suite CipherSuite, key []byte, life Lifetime) (*SA, error
 		authKey: append([]byte(nil), key[encLen:]...),
 		now:     time.Now,
 	}
+	// Run the key schedules once; every Seal/Open reuses them.
+	var err error
+	switch suite {
+	case SuiteAES128CTR:
+		sa.block, err = aes.NewCipher(sa.encKey)
+	case Suite3DESCBC:
+		sa.block, err = des.NewTripleDESCipher(sa.encKey)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ipsec: key schedule: %w", err)
+	}
+	sa.mac = hmac.New(sha1.New, sa.authKey)
 	return sa, nil
 }
 
@@ -188,6 +233,13 @@ func (sa *SA) SetClock(now func() time.Time) {
 	sa.Created = now()
 }
 
+// clockNow reads the SA's (possibly injected) clock.
+func (sa *SA) clockNow() time.Time {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	return sa.now()
+}
+
 // Expired reports whether either lifetime bound has passed. Expired SAs
 // refuse to seal; IKE notices and negotiates a replacement ("key
 // rollover").
@@ -207,7 +259,71 @@ func (sa *SA) expiredLocked() bool {
 	if sa.Suite == SuiteOTP && sa.padUsed >= len(sa.pad) {
 		return true
 	}
+	if sa.seq >= seqHardLimit {
+		return true
+	}
 	return false
+}
+
+// Supersede marks this (inbound) SA as replaced by a newer rollover
+// generation: Open keeps serving in-flight traffic until retireAt and
+// refuses afterwards, so the tunnel drains gracefully instead of
+// keeping an undead SA decrypting forever.
+func (sa *SA) Supersede(retireAt time.Time) {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	if !sa.superseded {
+		sa.superseded = true
+		sa.retireAt = retireAt
+	}
+}
+
+// Superseded reports whether a rollover has replaced this SA.
+func (sa *SA) Superseded() bool {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	return sa.superseded
+}
+
+// Retired reports whether the SA must no longer decrypt: superseded
+// past its grace window, or hard-expired past grace on its time bound.
+func (sa *SA) Retired() bool {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	return sa.retiredLocked(sa.now())
+}
+
+func (sa *SA) retiredLocked(now time.Time) bool {
+	if sa.superseded && now.After(sa.retireAt) {
+		return true
+	}
+	if sa.Life.Duration > 0 && now.Sub(sa.Created) >= sa.Life.Duration+DefaultGrace {
+		return true
+	}
+	return false
+}
+
+// SoftExpiring latches once when the SA crosses its soft-expiry
+// threshold — the sequence space or byte lifetime is mostly consumed —
+// and the gateway fires the rekey trigger while traffic still flows,
+// so the replacement lands before the hard stop wedges the tunnel.
+func (sa *SA) SoftExpiring() bool {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	if sa.softFired {
+		return false
+	}
+	soft := sa.seq >= seqSoftLimit
+	if sa.Life.Bytes > 0 && sa.bytesSealed >= sa.Life.Bytes-sa.Life.Bytes/8 {
+		soft = true
+	}
+	if sa.Suite == SuiteOTP && sa.padUsed >= len(sa.pad)-len(sa.pad)/8 {
+		soft = true
+	}
+	if soft {
+		sa.softFired = true
+	}
+	return soft
 }
 
 // PadRemaining returns unconsumed OTP pad bytes (0 for other suites).
@@ -261,14 +377,24 @@ func (sa *SA) Seal(payload []byte) ([]byte, error) {
 	binary.BigEndian.PutUint32(out[4:], seq)
 	copy(out[8:], iv)
 	copy(out[8+len(iv):], ct)
-	mac := hmac.New(sha1.New, sa.authKey)
-	mac.Write(out[:8+len(iv)+len(ct)])
-	copy(out[8+len(iv)+len(ct):], mac.Sum(nil)[:icvLen])
+	copy(out[8+len(iv)+len(ct):], sa.icvLocked(out[:8+len(iv)+len(ct)]))
 	sa.bytesSealed += uint64(len(payload))
 	return out, nil
 }
 
-// Open verifies, replay-checks and decrypts a sealed blob.
+// icvLocked computes the HMAC-SHA1-96 tag with the cached MAC state.
+func (sa *SA) icvLocked(body []byte) []byte {
+	sa.mac.Reset()
+	sa.mac.Write(body)
+	return sa.mac.Sum(sa.icv[:0])[:icvLen]
+}
+
+// Open verifies, replay-checks and decrypts a sealed blob. An SA past
+// its lifetime refuses to decrypt, grace-tolerantly: a superseded or
+// time-expired SA keeps serving for its grace window (in-flight
+// packets), then returns ErrExpired; the byte lifetime mirrors the
+// sender's check-then-count order exactly, so legitimate traffic sealed
+// under the bound always opens.
 func (sa *SA) Open(blob []byte) ([]byte, error) {
 	sa.mu.Lock()
 	defer sa.mu.Unlock()
@@ -278,6 +404,12 @@ func (sa *SA) Open(blob []byte) ([]byte, error) {
 	spi := binary.BigEndian.Uint32(blob[0:])
 	if spi != sa.SPI {
 		return nil, fmt.Errorf("%w: %#x", ErrUnknownSPI, spi)
+	}
+	if sa.retiredLocked(sa.now()) {
+		return nil, ErrExpired
+	}
+	if sa.Life.Bytes > 0 && sa.bytesOpened >= sa.Life.Bytes {
+		return nil, ErrExpired
 	}
 	seq := binary.BigEndian.Uint32(blob[4:])
 
@@ -307,9 +439,7 @@ func (sa *SA) Open(blob []byte) ([]byte, error) {
 			return nil, fmt.Errorf("ipsec: ESP blob too short")
 		}
 		body := blob[:len(blob)-icvLen]
-		mac := hmac.New(sha1.New, sa.authKey)
-		mac.Write(body)
-		if !hmac.Equal(mac.Sum(nil)[:icvLen], blob[len(blob)-icvLen:]) {
+		if !hmac.Equal(sa.icvLocked(body), blob[len(blob)-icvLen:]) {
 			return nil, ErrIntegrity
 		}
 		iv := blob[8 : 8+ivLen]
@@ -326,6 +456,7 @@ func (sa *SA) Open(blob []byte) ([]byte, error) {
 	if err := sa.replayCheckLocked(seq); err != nil {
 		return nil, err
 	}
+	sa.bytesOpened += uint64(len(payload))
 	return payload, nil
 }
 
@@ -382,36 +513,29 @@ func (sa *SA) ivLocked(seq uint32) []byte {
 	return iv
 }
 
-// crypt runs the conventional cipher in the indicated direction.
+// crypt runs the conventional cipher in the indicated direction, on the
+// key schedule cached at construction.
 func (sa *SA) crypt(data, iv []byte, encrypt bool) ([]byte, error) {
 	switch sa.Suite {
 	case SuiteNull:
 		return append([]byte(nil), data...), nil
 	case SuiteAES128CTR:
-		block, err := aes.NewCipher(sa.encKey)
-		if err != nil {
-			return nil, err
-		}
 		out := make([]byte, len(data))
-		cipher.NewCTR(block, iv).XORKeyStream(out, data)
+		cipher.NewCTR(sa.block, iv).XORKeyStream(out, data)
 		return out, nil
 	case Suite3DESCBC:
-		block, err := des.NewTripleDESCipher(sa.encKey)
-		if err != nil {
-			return nil, err
-		}
 		if encrypt {
-			padded := pkcs7Pad(data, block.BlockSize())
+			padded := pkcs7Pad(data, sa.block.BlockSize())
 			out := make([]byte, len(padded))
-			cipher.NewCBCEncrypter(block, iv).CryptBlocks(out, padded)
+			cipher.NewCBCEncrypter(sa.block, iv).CryptBlocks(out, padded)
 			return out, nil
 		}
-		if len(data)%block.BlockSize() != 0 || len(data) == 0 {
+		if len(data)%sa.block.BlockSize() != 0 || len(data) == 0 {
 			return nil, fmt.Errorf("ipsec: bad 3DES ciphertext length %d", len(data))
 		}
 		out := make([]byte, len(data))
-		cipher.NewCBCDecrypter(block, iv).CryptBlocks(out, data)
-		return pkcs7Unpad(out, block.BlockSize())
+		cipher.NewCBCDecrypter(sa.block, iv).CryptBlocks(out, data)
+		return pkcs7Unpad(out, sa.block.BlockSize())
 	}
 	return nil, fmt.Errorf("ipsec: suite %v cannot crypt", sa.Suite)
 }

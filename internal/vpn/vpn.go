@@ -8,6 +8,11 @@
 //	enclave A -- gwA ==[internet: ESP tunnel]== gwB -- enclave B
 //	              \\                             //
 //	               ==[quantum channel + QKD protocols]==
+//
+// A gateway pair carries N tunnels (Config.Tunnels), each with its own
+// selector prefixes, cipher suite and lifetime; Send is safe for
+// concurrent use, rollovers are per-tunnel and deduplicated, and a
+// soft-expiring SA triggers a background rekey before its hard stop.
 package vpn
 
 import (
@@ -15,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qkd/internal/channel"
@@ -27,6 +33,27 @@ import (
 	"qkd/internal/qnet"
 )
 
+// TunnelSpec declares one protected tunnel between the two enclaves:
+// traffic PrefixA -> PrefixB is protected A-side outbound, the reverse
+// direction B-side outbound. Suite and Life are taken verbatim (the
+// zero values — AES-128-CTR, unbounded lifetime — are themselves valid
+// choices, so explicit specs never inherit the Config-wide Suite/Life);
+// a zero OTPBits inherits Config.OTPBits.
+type TunnelSpec struct {
+	// Name labels the tunnel; policy names derive from it. Empty is
+	// allowed for a single default tunnel ("a-to-b"/"b-to-a" policies).
+	Name string
+	// PrefixA/PrefixB are the enclave selectors behind gateway A and B.
+	PrefixA ipsec.Prefix
+	PrefixB ipsec.Prefix
+	// Suite protects this tunnel's traffic.
+	Suite ipsec.CipherSuite
+	// Life bounds each negotiated SA.
+	Life ipsec.Lifetime
+	// OTPBits is the per-direction pad withdrawal for SuiteOTP tunnels.
+	OTPBits int
+}
+
 // Config assembles a network.
 type Config struct {
 	// Photonics configures the quantum link (DefaultParams if zero).
@@ -35,12 +62,15 @@ type Config struct {
 	QKD core.Config
 	// IKE configures both daemons.
 	IKE ike.Config
-	// Suite protects enclave traffic.
+	// Suite protects enclave traffic (tunnels may override per-spec).
 	Suite ipsec.CipherSuite
 	// Life bounds each negotiated SA.
 	Life ipsec.Lifetime
 	// OTPBits is the per-direction pad withdrawal for SuiteOTP tunnels.
 	OTPBits int
+	// Tunnels declares the gateway pair's tunnels. Empty means the
+	// classic single HostA/HostB tunnel over 10.1/16 <-> 10.2/16.
+	Tunnels []TunnelSpec
 	// FrameSlots is the pulse count per QKD frame.
 	FrameSlots int
 	// Seed drives all simulation randomness.
@@ -81,6 +111,25 @@ type Site struct {
 	KDS *kms.Service
 }
 
+// tunnel is one assembled protected path: its two directional policies
+// plus the rollover bookkeeping that keeps concurrent rekeys single.
+type tunnel struct {
+	spec  TunnelSpec
+	polAB *ipsec.Policy
+	polBA *ipsec.Policy
+
+	rekeyMu      sync.Mutex
+	gen          atomic.Uint64 // completed negotiations
+	rekeyPending atomic.Bool   // queued on the background rekeyer
+}
+
+// rekeyReq is one queued background rekey: the tunnel plus the
+// generation the signaling dataplane path observed.
+type rekeyReq struct {
+	t   *tunnel
+	gen uint64
+}
+
 // Network is the assembled two-site system.
 type Network struct {
 	A, B    *Site
@@ -92,16 +141,25 @@ type Network struct {
 	qnetFeedA        *kms.Feed
 	qnetFeedB        *kms.Feed
 
-	polAB *ipsec.Policy
-	polBA *ipsec.Policy
+	tunnels  []*tunnel
+	byPolicy map[string]*tunnel
+
+	// Background rekeyer: gateway soft-expiry (and missing-SA) signals
+	// funnel here so the replacement SA lands before the hard stop,
+	// without blocking the dataplane path that noticed. Each request
+	// carries the tunnel generation observed when the signal fired, so
+	// a rollover that already happened in the meantime voids it.
+	rekeyCh   chan rekeyReq
+	rekeyStop chan struct{}
+	rekeyWG   sync.WaitGroup
 
 	// EveTap, when set, sees every tunnel packet crossing the simulated
-	// internet and may drop or rewrite it.
+	// internet and may drop or rewrite it. It is called from every
+	// concurrent Send, so the tap must be safe for parallel use.
 	EveTap func(p *ipsec.Packet) (*ipsec.Packet, bool)
 
-	mu        sync.Mutex
-	delivered uint64
-	dropped   uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
 }
 
 // Addresses used throughout (mirroring the paper's 192.1.99.x testbed).
@@ -112,13 +170,33 @@ var (
 	HostB    = ipsec.MustAddr("10.2.0.9")
 )
 
-// New assembles the network. Call Establish to bring the tunnel up.
+// policyNames derives the two directional policy names for a spec.
+func (s TunnelSpec) policyNames() (ab, ba string) {
+	if s.Name == "" {
+		return "a-to-b", "b-to-a"
+	}
+	return s.Name + "/a-to-b", s.Name + "/b-to-a"
+}
+
+// New assembles the network. Call Establish to bring the tunnels up.
 func New(cfg Config) (*Network, error) {
 	if cfg.Photonics.PulseRateHz == 0 {
 		cfg.Photonics = photonics.DefaultParams()
 	}
 	if cfg.OTPBits == 0 {
 		cfg.OTPBits = 64 * 1024
+	}
+	specs := cfg.Tunnels
+	if len(specs) == 0 {
+		// The classic single tunnel is the one place the Config-wide
+		// Suite/Life apply (explicit specs carry their own verbatim:
+		// the zero suite IS AES, so inheritance would be ambiguous).
+		specs = []TunnelSpec{{
+			PrefixA: ipsec.MustPrefix("10.1.0.0/16"),
+			PrefixB: ipsec.MustPrefix("10.2.0.0/16"),
+			Suite:   cfg.Suite,
+			Life:    cfg.Life,
+		}}
 	}
 
 	// With a KDS per site, distillation deposits into the service and
@@ -152,18 +230,43 @@ func New(cfg Config) (*Network, error) {
 	}
 	session := core.NewSessionWithPools(cfg.Photonics, cfg.QKD, cfg.FrameSlots, cfg.Seed, poolA, poolB)
 
-	polAB := &ipsec.Policy{
-		Name: "a-to-b", Action: ipsec.Protect, Suite: cfg.Suite,
-		PeerGW: GatewayB, Life: cfg.Life, OTPBits: cfg.OTPBits,
-		Sel: ipsec.Selector{Src: ipsec.MustPrefix("10.1.0.0/16"), Dst: ipsec.MustPrefix("10.2.0.0/16")},
+	n := &Network{
+		Session:   session,
+		byPolicy:  make(map[string]*tunnel),
+		rekeyCh:   make(chan rekeyReq, 64),
+		rekeyStop: make(chan struct{}),
 	}
-	polBA := &ipsec.Policy{
-		Name: "b-to-a", Action: ipsec.Protect, Suite: cfg.Suite,
-		PeerGW: GatewayA, Life: cfg.Life, OTPBits: cfg.OTPBits,
-		Sel: ipsec.Selector{Src: ipsec.MustPrefix("10.2.0.0/16"), Dst: ipsec.MustPrefix("10.1.0.0/16")},
+	var spdA, spdB []*ipsec.Policy
+	seen := make(map[string]bool)
+	for _, spec := range specs {
+		if spec.OTPBits == 0 {
+			spec.OTPBits = cfg.OTPBits
+		}
+		nameAB, nameBA := spec.policyNames()
+		if seen[nameAB] {
+			return nil, fmt.Errorf("vpn: duplicate tunnel name %q", spec.Name)
+		}
+		seen[nameAB] = true
+		t := &tunnel{
+			spec: spec,
+			polAB: &ipsec.Policy{
+				Name: nameAB, Action: ipsec.Protect, Suite: spec.Suite,
+				PeerGW: GatewayB, Life: spec.Life, OTPBits: spec.OTPBits,
+				Sel: ipsec.Selector{Src: spec.PrefixA, Dst: spec.PrefixB},
+			},
+			polBA: &ipsec.Policy{
+				Name: nameBA, Action: ipsec.Protect, Suite: spec.Suite,
+				PeerGW: GatewayA, Life: spec.Life, OTPBits: spec.OTPBits,
+				Sel: ipsec.Selector{Src: spec.PrefixB, Dst: spec.PrefixA},
+			},
+		}
+		n.tunnels = append(n.tunnels, t)
+		n.byPolicy[nameAB], n.byPolicy[nameBA] = t, t
+		spdA = append(spdA, t.polAB, t.polBA)
+		spdB = append(spdB, t.polBA, t.polAB)
 	}
-	gwA := ipsec.NewGateway(GatewayA, ipsec.NewSPD(polAB, polBA))
-	gwB := ipsec.NewGateway(GatewayB, ipsec.NewSPD(polBA, polAB))
+	gwA := ipsec.NewGateway(GatewayA, ipsec.NewSPD(spdA...))
+	gwB := ipsec.NewGateway(GatewayB, ipsec.NewSPD(spdB...))
 
 	ikeConnA, ikeConnB := channel.MemPair(64)
 	psk := []byte("darpa-quantum-network-psk")
@@ -178,13 +281,8 @@ func New(cfg Config) (*Network, error) {
 		dB.SetKeyStreams(qbB, otpB)
 	}
 
-	n := &Network{
-		A:       &Site{GW: gwA, IKE: dA, Pool: session.Alice.Pool(), KDS: kdsA},
-		B:       &Site{GW: gwB, IKE: dB, Pool: session.Bob.Pool(), KDS: kdsB},
-		Session: session,
-		polAB:   polAB,
-		polBA:   polBA,
-	}
+	n.A = &Site{GW: gwA, IKE: dA, Pool: session.Alice.Pool(), KDS: kdsA}
+	n.B = &Site{GW: gwB, IKE: dB, Pool: session.Bob.Pool(), KDS: kdsB}
 	if cfg.KDS && cfg.QNet != nil {
 		if cfg.QNetStripes <= 0 {
 			cfg.QNetStripes = 2
@@ -203,6 +301,15 @@ func New(cfg Config) (*Network, error) {
 		n.qnetFeedA, n.qnetFeedB = fa, fb
 	}
 	return n, nil
+}
+
+// Tunnels returns the tunnel names in declaration order.
+func (n *Network) Tunnels() []string {
+	out := make([]string, len(n.tunnels))
+	for i, t := range n.tunnels {
+		out[i] = t.spec.Name
+	}
+	return out
 }
 
 // PumpQNet transports nbits of fresh end-to-end key across the unified
@@ -238,8 +345,9 @@ func (n *Network) DistillKeys(bits, maxFrames int) error {
 	return n.Session.RunUntilDistilled(bits, maxFrames)
 }
 
-// Establish starts both IKE daemons (Phase 1) and negotiates the
-// tunnel's first SAs. The reservoirs must hold key material (run
+// Establish starts both IKE daemons (Phase 1), negotiates every
+// tunnel's first SAs, and wires the gateways' soft-rekey signals into
+// the background rekeyer. The reservoirs must hold key material (run
 // DistillKeys first, or let the negotiation block on late arrival).
 func (n *Network) Establish() error {
 	errCh := make(chan error, 1)
@@ -250,18 +358,106 @@ func (n *Network) Establish() error {
 	if err := <-errCh; err != nil {
 		return fmt.Errorf("vpn: responder IKE: %w", err)
 	}
-	return n.Renegotiate()
+	if err := n.Renegotiate(); err != nil {
+		return err
+	}
+	// Soft-expiry (and missing-SA) signals from either gateway request a
+	// deduplicated background rekey. Only wired after establishment so
+	// stray signals never race Phase 1.
+	n.rekeyWG.Add(1)
+	go n.rekeyLoop()
+	n.A.GW.OnMissingSA = n.requestRekey
+	n.B.GW.OnMissingSA = n.requestRekey
+	return nil
 }
 
-// Renegotiate rolls the tunnel over to fresh SAs ("key rollover").
+// requestRekey queues a tunnel for background renegotiation; duplicate
+// signals while one is queued or running collapse into it. The request
+// carries the generation observed *now*, at signal time: if any other
+// path rolls the tunnel over before the rekeyer dequeues it, the stale
+// request is void and burns no key. Called from the dataplane
+// (ProcessOutbound), so it never blocks.
+func (n *Network) requestRekey(pol *ipsec.Policy) {
+	t := n.byPolicy[pol.Name]
+	if t == nil {
+		return
+	}
+	if !t.rekeyPending.CompareAndSwap(false, true) {
+		return
+	}
+	select {
+	case n.rekeyCh <- rekeyReq{t, t.gen.Load()}:
+	default:
+		t.rekeyPending.Store(false) // queue full; the next signal retries
+	}
+}
+
+func (n *Network) rekeyLoop() {
+	defer n.rekeyWG.Done()
+	for {
+		select {
+		case <-n.rekeyStop:
+			return
+		case req := <-n.rekeyCh:
+			// Best effort: a starved reservoir fails here and the next
+			// traffic-driven signal (or SendWithRollover) retries.
+			_ = n.rekeyTunnelFrom(req.t, req.gen)
+			req.t.rekeyPending.Store(false)
+		}
+	}
+}
+
+// Renegotiate rolls every tunnel over to fresh SAs ("key rollover").
 func (n *Network) Renegotiate() error {
-	return n.A.IKE.Negotiate(n.polAB, "b-to-a")
+	for _, t := range n.tunnels {
+		if err := n.rekeyTunnelFrom(t, t.gen.Load()); err != nil {
+			return fmt.Errorf("vpn: tunnel %q: %w", t.spec.Name, err)
+		}
+	}
+	return nil
+}
+
+// RenegotiateTunnel rolls one tunnel (by TunnelSpec.Name) over.
+func (n *Network) RenegotiateTunnel(name string) error {
+	for _, t := range n.tunnels {
+		if t.spec.Name == name {
+			return n.rekeyTunnelFrom(t, t.gen.Load())
+		}
+	}
+	return fmt.Errorf("vpn: no tunnel named %q", name)
+}
+
+// rekeyTunnelFrom negotiates fresh SAs for one tunnel unless its
+// generation has already moved past gen — the generation the caller
+// observed when it decided a rekey was needed. Concurrent callers
+// collapse: exactly one negotiation's key is burned per observed
+// expiry, no matter how many flows (or the background rekeyer) noticed.
+func (n *Network) rekeyTunnelFrom(t *tunnel, gen uint64) error {
+	t.rekeyMu.Lock()
+	defer t.rekeyMu.Unlock()
+	if t.gen.Load() != gen {
+		return nil // a rollover since the caller looked installed fresh SAs
+	}
+	if err := n.A.IKE.Negotiate(t.polAB, t.polBA.Name); err != nil {
+		return err
+	}
+	t.gen.Add(1)
+	return nil
 }
 
 // Close tears the network down.
 func (n *Network) Close() {
+	select {
+	case <-n.rekeyStop:
+	default:
+		close(n.rekeyStop)
+	}
+	// Stop the daemons before waiting out the rekeyer: a background
+	// negotiation in flight fails fast on the stopped daemon instead of
+	// holding teardown for its timeout.
 	n.A.IKE.Stop()
 	n.B.IKE.Stop()
+	n.rekeyWG.Wait()
 	if n.A.KDS != nil {
 		n.A.KDS.Close()
 	}
@@ -272,24 +468,34 @@ func (n *Network) Close() {
 
 // Stats reports delivered/dropped user packets.
 func (n *Network) Stats() (delivered, dropped uint64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.delivered, n.dropped
+	return n.delivered.Load(), n.dropped.Load()
+}
+
+// matchTunnel finds the tunnel and direction serving a flow.
+func (n *Network) matchTunnel(p *ipsec.Packet) (t *tunnel, aToB bool) {
+	for _, t := range n.tunnels {
+		if t.polAB.Sel.Matches(p) {
+			return t, true
+		}
+		if t.polBA.Sel.Matches(p) {
+			return t, false
+		}
+	}
+	return nil, false
 }
 
 // Send pushes one user packet from src enclave to dst enclave through
-// the tunnel and returns the payload as received at the far side.
+// its tunnel and returns the payload as received at the far side. Safe
+// for concurrent use across (and within) tunnels.
 func (n *Network) Send(src, dst ipsec.Addr, id uint32, payload []byte) ([]byte, error) {
+	inner := &ipsec.Packet{Src: src, Dst: dst, Proto: ipsec.ProtoPing, ID: id, Payload: payload}
 	out, in := n.A.GW, n.B.GW
-	if n.polBA.Sel.Matches(&ipsec.Packet{Src: src, Dst: dst, Proto: ipsec.ProtoPing}) {
+	if _, aToB := n.matchTunnel(inner); !aToB {
 		out, in = n.B.GW, n.A.GW
 	}
-	inner := &ipsec.Packet{Src: src, Dst: dst, Proto: ipsec.ProtoPing, ID: id, Payload: payload}
 	outer, err := out.ProcessOutbound(inner)
 	if err != nil {
-		n.mu.Lock()
-		n.dropped++
-		n.mu.Unlock()
+		n.dropped.Add(1)
 		return nil, err
 	}
 	// Cross the simulated internet, where Eve may interfere.
@@ -297,25 +503,19 @@ func (n *Network) Send(src, dst ipsec.Addr, id uint32, payload []byte) ([]byte, 
 		var drop bool
 		outer, drop = n.EveTap(outer)
 		if drop {
-			n.mu.Lock()
-			n.dropped++
-			n.mu.Unlock()
+			n.dropped.Add(1)
 			return nil, errors.New("vpn: packet lost in transit")
 		}
 	}
 	got, err := in.ProcessInbound(outer)
 	if err != nil {
-		n.mu.Lock()
-		n.dropped++
-		n.mu.Unlock()
+		n.dropped.Add(1)
 		return nil, err
 	}
 	if got.Src != src || got.Dst != dst || got.ID != id {
 		return nil, fmt.Errorf("vpn: decapsulated packet headers corrupted")
 	}
-	n.mu.Lock()
-	n.delivered++
-	n.mu.Unlock()
+	n.delivered.Add(1)
 	return got.Payload, nil
 }
 
@@ -326,17 +526,33 @@ func (n *Network) Ping(id uint32) error {
 }
 
 // SendWithRollover sends, and on SA expiry transparently renegotiates
-// with fresh QKD key and retries once — the deployment behaviour where
-// "every time the lifetime expires, a new security association must be
-// negotiated and it will bring with it fresh key material."
+// the flow's tunnel with fresh QKD key and retries once — the
+// deployment behaviour where "every time the lifetime expires, a new
+// security association must be negotiated and it will bring with it
+// fresh key material." Concurrent rollovers of one tunnel collapse
+// into a single negotiation.
 func (n *Network) SendWithRollover(src, dst ipsec.Addr, id uint32, payload []byte) ([]byte, error) {
+	// Observe the tunnel generation before sending: if the send fails on
+	// an expired SA, that SA belonged to this generation, and the rekey
+	// below is void if anyone else has already rolled past it.
+	t, _ := n.matchTunnel(&ipsec.Packet{Src: src, Dst: dst, Proto: ipsec.ProtoPing})
+	var gen uint64
+	if t != nil {
+		gen = t.gen.Load()
+	}
 	got, err := n.Send(src, dst, id, payload)
 	if err == nil {
 		return got, nil
 	}
-	if errors.Is(err, ipsec.ErrNoSA) || errors.Is(err, ipsec.ErrExpired) ||
-		errors.Is(err, ipsec.ErrPadExhaust) {
-		if err := n.Renegotiate(); err != nil {
+	// ErrUnknownSPI is retryable too: during a rollover the responder
+	// installs its new outbound SA before the initiator's reply arrives,
+	// so a concurrent B->A packet can be sealed under a SPI the far side
+	// has not installed yet. rekeyTunnelFrom waits out the in-flight
+	// negotiation (whose completion voids the generation), after which
+	// the inbound SA exists and the retry lands.
+	if t != nil && (errors.Is(err, ipsec.ErrNoSA) || errors.Is(err, ipsec.ErrExpired) ||
+		errors.Is(err, ipsec.ErrPadExhaust) || errors.Is(err, ipsec.ErrUnknownSPI)) {
+		if err := n.rekeyTunnelFrom(t, gen); err != nil {
 			return nil, fmt.Errorf("vpn: rollover failed: %w", err)
 		}
 		return n.Send(src, dst, id, payload)

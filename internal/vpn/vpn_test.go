@@ -3,6 +3,8 @@ package vpn
 import (
 	"bytes"
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -239,6 +241,178 @@ func TestRealisticLinkVPN(t *testing.T) {
 	}
 	if err := n.Ping(1); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// mixedTunnelSpecs declares n tunnels over per-tunnel /24 enclaves with
+// a mix of cipher suites (mostly AES, some 3DES, the last one OTP).
+func mixedTunnelSpecs(n int, life ipsec.Lifetime, otpBits int) []TunnelSpec {
+	specs := make([]TunnelSpec, n)
+	for i := range specs {
+		suite := ipsec.SuiteAES128CTR
+		switch {
+		case i == n-1:
+			suite = ipsec.SuiteOTP
+		case i >= n-3:
+			suite = ipsec.Suite3DESCBC
+		}
+		specs[i] = TunnelSpec{
+			Name:    fmt.Sprintf("t%d", i),
+			PrefixA: ipsec.MustPrefix(fmt.Sprintf("10.1.%d.0/24", i)),
+			PrefixB: ipsec.MustPrefix(fmt.Sprintf("10.2.%d.0/24", i)),
+			Suite:   suite,
+			Life:    life,
+			OTPBits: otpBits,
+		}
+	}
+	return specs
+}
+
+// TestRenegotiationBoundsInboundSAD is the rollover-leak regression:
+// before the generation chain, every renegotiation left the superseded
+// inbound SA in the SAD forever (RemoveInbound had no callers), so
+// bySPI grew without bound and expired SAs kept decrypting.
+func TestRenegotiationBoundsInboundSAD(t *testing.T) {
+	n, err := New(fastConfig(ipsec.SuiteAES128CTR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.DistillKeys(18*1024, 900); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Establish(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 12; i++ {
+		if err := n.Renegotiate(); err != nil {
+			t.Fatalf("renegotiation %d: %v", i, err)
+		}
+		for side, gw := range map[string]*ipsec.Gateway{"A": n.A.GW, "B": n.B.GW} {
+			in, out := gw.SAD.Count()
+			if in > 2 || out > 1 {
+				t.Fatalf("gateway %s after %d renegotiations: %d inbound / %d outbound SAs (leak)",
+					side, i, in, out)
+			}
+		}
+		// Traffic still flows across every rollover generation.
+		if err := n.Ping(uint32(i)); err != nil {
+			t.Fatalf("ping after renegotiation %d: %v", i, err)
+		}
+	}
+}
+
+// TestConcurrentMultiTunnelTraffic soaks 8 tunnels with parallel flows,
+// mixed cipher suites, byte lifetimes forcing mid-soak rollovers, and
+// explicit mid-soak renegotiations — the concurrent dataplane under
+// -race.
+func TestConcurrentMultiTunnelTraffic(t *testing.T) {
+	const tunnels = 8
+	const packets = 16
+	cfg := fastConfig(ipsec.SuiteAES128CTR)
+	cfg.Tunnels = mixedTunnelSpecs(tunnels, ipsec.Lifetime{Bytes: 512}, 8192)
+	cfg.IKE.Phase2Timeout = 5 * time.Second
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.DistillKeys(100_000, 6000); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Establish(); err != nil {
+		t.Fatal(err)
+	}
+
+	errCh := make(chan error, tunnels)
+	var wg sync.WaitGroup
+	for i := 0; i < tunnels; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := ipsec.MustAddr(fmt.Sprintf("10.1.%d.5", i))
+			dst := ipsec.MustAddr(fmt.Sprintf("10.2.%d.9", i))
+			payload := bytes.Repeat([]byte{byte(0xA0 + i)}, 40)
+			for p := 0; p < packets; p++ {
+				got, err := n.SendWithRollover(src, dst, uint32(p), payload)
+				if err != nil {
+					errCh <- fmt.Errorf("tunnel %d packet %d: %w", i, p, err)
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					errCh <- fmt.Errorf("tunnel %d: payload corrupted (cross-tunnel leak?)", i)
+					return
+				}
+			}
+		}(i)
+	}
+	// Mid-soak forced rollovers while traffic is in flight.
+	for _, name := range []string{"t1", "t4"} {
+		if err := n.RenegotiateTunnel(name); err != nil {
+			errCh <- fmt.Errorf("mid-soak renegotiate %s: %w", name, err)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	delivered, _ := n.Stats()
+	if delivered != tunnels*packets {
+		t.Errorf("delivered = %d, want %d", delivered, tunnels*packets)
+	}
+	if st := n.A.IKE.Stats(); st.Phase2Initiated < tunnels+2 {
+		t.Errorf("Phase2Initiated = %d, want at least %d (establish + mid-soak rollovers)",
+			st.Phase2Initiated, tunnels+2)
+	}
+	for side, gw := range map[string]*ipsec.Gateway{"A": n.A.GW, "B": n.B.GW} {
+		st := gw.Stats()
+		if st.IntegFailures != 0 {
+			t.Errorf("gateway %s: %d integrity failures under concurrency", side, st.IntegFailures)
+		}
+		in, out := gw.SAD.Count()
+		if in > 2*tunnels || out > tunnels {
+			t.Errorf("gateway %s: SAD %d inbound / %d outbound, want <= %d / <= %d",
+				side, in, out, 2*tunnels, tunnels)
+		}
+	}
+}
+
+// TestTunnelIsolation verifies flows only cross their own tunnel: a
+// flow with no matching tunnel is refused, and per-tunnel suites hold.
+func TestTunnelIsolation(t *testing.T) {
+	cfg := fastConfig(ipsec.SuiteAES128CTR)
+	cfg.Tunnels = mixedTunnelSpecs(2, ipsec.Lifetime{}, 8192)
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.DistillKeys(20*1024, 900); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Establish(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Tunnels(); len(got) != 2 || got[0] != "t0" || got[1] != "t1" {
+		t.Fatalf("Tunnels() = %v", got)
+	}
+	// Both tunnels carry their own flows.
+	for i := 0; i < 2; i++ {
+		src := ipsec.MustAddr(fmt.Sprintf("10.1.%d.5", i))
+		dst := ipsec.MustAddr(fmt.Sprintf("10.2.%d.9", i))
+		if _, err := n.Send(src, dst, uint32(i), []byte("scoped")); err != nil {
+			t.Fatalf("tunnel %d: %v", i, err)
+		}
+	}
+	// A flow outside every tunnel's selectors has no policy.
+	_, err = n.Send(ipsec.MustAddr("10.1.9.5"), ipsec.MustAddr("10.2.9.9"), 99, []byte("stray"))
+	if !errors.Is(err, ipsec.ErrNoPolicy) {
+		t.Fatalf("stray flow: %v, want ErrNoPolicy", err)
+	}
+	if err := n.RenegotiateTunnel("nope"); err == nil {
+		t.Error("renegotiating an unknown tunnel succeeded")
 	}
 }
 

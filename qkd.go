@@ -198,6 +198,11 @@ func NewClassicCascade(estimatedQBER float64, seed uint64) ErrorCorrector {
 // VPNConfig assembles the two-site system of Fig. 2.
 type VPNConfig = vpn.Config
 
+// TunnelSpec declares one of a gateway pair's protected tunnels
+// (VPNConfig.Tunnels); each carries its own selectors, cipher suite
+// and SA lifetime, and Send is safe for concurrent use across them.
+type TunnelSpec = vpn.TunnelSpec
+
 // VPN is the assembled network.
 type VPN = vpn.Network
 
