@@ -6,6 +6,14 @@
 #   ./bench.sh            # full run (stable numbers, ~a minute)
 #   ./bench.sh --smoke    # CI smoke: one short iteration set, asserts
 #                         # the benchmarks still run, not their speed
+#   ./bench.sh report     # fold existing BENCH_*.json groups into one
+#                         # BENCH_report.json trend artifact
+#   ./bench.sh gate       # re-run the ipsec + kms groups at
+#                         # GATE_BENCHTIME and fail (exit 1) on a >20%
+#                         # throughput drop against BENCH_baseline.json
+#                         # (or $BENCH_BASELINE); writes a fresh
+#                         # baseline when none exists, refreshes it on
+#                         # pass — a rolling regression gate for CI
 #
 # Groups:
 #   distill -> BENCH_distill.json   the distillation fast path, one row
@@ -28,14 +36,16 @@
 #   ipsec   -> BENCH_ipsec.json     gateway dataplane: outbound seal /
 #                                   inbound open through SPD+SAD on the
 #                                   cached key schedules (AES + OTP),
-#                                   plus 8 tunnels driven in parallel
-#                                   (DESIGN.md §10)
+#                                   single-packet and 64-packet batched
+#                                   paths, plus 8 tunnels in parallel
+#                                   (DESIGN.md §10-11)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
-if [[ "${1:-}" == "--smoke" ]]; then
+mode="${1:-run}"
+if [[ "$mode" == "--smoke" ]]; then
     BENCHTIME=10x
 fi
 
@@ -80,6 +90,96 @@ EOF
     : > "$out"
 }
 
+run_kms_group() {
+    run . 'BenchmarkKMS_Withdraw(1|64|1024|1024Serial)$'
+    emit BENCH_kms.json
+}
+
+run_ipsec_group() {
+    run ./internal/ipsec/ 'BenchmarkGateway_(SealAES|OpenAES|SealOTP|Parallel|SealAESBatch|OpenAESBatch|SealOTPBatch|ParallelBatch)$'
+    emit BENCH_ipsec.json
+}
+
+# report: merge whatever per-group reports exist into one trend
+# artifact, keyed by group.
+if [[ "$mode" == "report" ]]; then
+    python3 - <<'EOF'
+import json, os, sys
+
+groups = {}
+for g in ("distill", "kms", "qnet", "ipsec"):
+    path = f"BENCH_{g}.json"
+    if os.path.exists(path):
+        with open(path) as f:
+            groups[g] = json.load(f)
+if not groups:
+    sys.exit("no BENCH_*.json group reports found (run ./bench.sh first)")
+with open("BENCH_report.json", "w") as f:
+    json.dump({"groups": groups}, f, indent=2, sort_keys=True)
+    f.write("\n")
+n = sum(len(v) for v in groups.values())
+print(f"wrote BENCH_report.json ({len(groups)} groups, {n} benchmarks)")
+EOF
+    exit 0
+fi
+
+# gate: benchstat-style regression check on the perf-critical groups.
+# Throughput (MB/s when reported, 1/ns_per_op otherwise) must stay
+# within GATE_TOLERANCE of the rolling baseline.
+if [[ "$mode" == "gate" ]]; then
+    BENCHTIME="${GATE_BENCHTIME:-0.3s}"
+    baseline="${BENCH_BASELINE:-BENCH_baseline.json}"
+    run_ipsec_group
+    run_kms_group
+    python3 - "$baseline" "${GATE_TOLERANCE:-0.20}" <<'EOF'
+import json, os, sys
+
+baseline_path, tol = sys.argv[1], float(sys.argv[2])
+cur = {}
+for g in ("ipsec", "kms"):
+    with open(f"BENCH_{g}.json") as f:
+        cur.update(json.load(f))
+
+def throughput(row):
+    if "mb_per_s" in row:
+        return row["mb_per_s"]
+    return 1e9 / row["ns_per_op"]
+
+if not os.path.exists(baseline_path):
+    with open(baseline_path, "w") as f:
+        json.dump(cur, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"no baseline at {baseline_path}; wrote one ({len(cur)} benchmarks), gate passes vacuously")
+    sys.exit(0)
+
+with open(baseline_path) as f:
+    base = json.load(f)
+
+failed = []
+for name in sorted(set(cur) & set(base)):
+    b, c = throughput(base[name]), throughput(cur[name])
+    if b <= 0:
+        continue
+    delta = (c - b) / b
+    flag = "FAIL" if delta < -tol else "ok"
+    print(f"  {flag:4s} {name}: {b:.1f} -> {c:.1f} ({delta:+.1%})")
+    if delta < -tol:
+        failed.append(name)
+for name in sorted(set(cur) - set(base)):
+    print(f"  new  {name}: {throughput(cur[name]):.1f}")
+
+if failed:
+    sys.exit(f"bench gate: {len(failed)} benchmark(s) regressed more than {tol:.0%}: {', '.join(failed)}")
+
+# Rolling baseline: a passing run becomes the next comparison point.
+with open(baseline_path, "w") as f:
+    json.dump(cur, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"bench gate: all {len(set(cur) & set(base))} common benchmarks within {tol:.0%}; baseline refreshed")
+EOF
+    exit 0
+fi
+
 # --- distill group ----------------------------------------------------
 run ./internal/gf2/     'BenchmarkMul4096$|BenchmarkMul1024$'
 run ./internal/rng/     'BenchmarkMask4096$'
@@ -89,13 +189,14 @@ run .                   'BenchmarkPipeline_DistillPerFrame$'
 emit BENCH_distill.json
 
 # --- kms group --------------------------------------------------------
-run . 'BenchmarkKMS_Withdraw(1|64|1024|1024Serial)$'
-emit BENCH_kms.json
+run_kms_group
 
 # --- qnet group -------------------------------------------------------
-run ./internal/qnet/ 'BenchmarkQnet_Stripe(1|2|3)Path$'
-emit BENCH_qnet.json
+run_qnet() {
+    run ./internal/qnet/ 'BenchmarkQnet_Stripe(1|2|3)Path$'
+    emit BENCH_qnet.json
+}
+run_qnet
 
 # --- ipsec group ------------------------------------------------------
-run ./internal/ipsec/ 'BenchmarkGateway_(SealAES|OpenAES|SealOTP|Parallel)$'
-emit BENCH_ipsec.json
+run_ipsec_group

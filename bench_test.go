@@ -117,6 +117,7 @@ func BenchmarkVPN_Tunnel1KB(b *testing.B) {
 func BenchmarkE13_KDS(b *testing.B)       { benchExperiment(b, experiments.E13KDS) }
 func BenchmarkE14_Striping(b *testing.B)  { benchExperiment(b, experiments.E14Striping) }
 func BenchmarkE15_Dataplane(b *testing.B) { benchExperiment(b, experiments.E15Dataplane) }
+func BenchmarkE16_Fabric(b *testing.B)    { benchExperiment(b, experiments.E16Fabric) }
 
 // ---------------------------------------------------------------------
 // Key delivery service: concurrent withdrawal path

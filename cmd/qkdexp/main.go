@@ -11,7 +11,9 @@
 //	qkdexp -seed 7
 //
 // E15 soaks the concurrent multi-tunnel dataplane (mixed suites,
-// rollovers under load, Eve replay storm).
+// rollovers under load, Eve replay storm). E16 scales it to a
+// 100k-tunnel gateway fabric through the batched dataplane and a
+// synchronized rollover storm.
 package main
 
 import (
@@ -39,12 +41,13 @@ var registry = map[string]func(uint64, bool) (*experiments.Report, error){
 	"e13": experiments.E13KDS,
 	"e14": experiments.E14Striping,
 	"e15": experiments.E15Dataplane,
+	"e16": experiments.E16Fabric,
 }
 
-var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"}
+var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16"}
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e15) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e16) or 'all'")
 	quick := flag.Bool("quick", false, "reduced Monte Carlo sizes")
 	seed := flag.Uint64("seed", 2003, "simulation seed")
 	flag.Parse()
@@ -58,7 +61,7 @@ func main() {
 		id = strings.TrimSpace(id)
 		run, ok := registry[id]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want e1..e15)\n", id)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want e1..e16)\n", id)
 			os.Exit(2)
 		}
 		report, err := run(*seed, *quick)

@@ -4,7 +4,8 @@
 // delivery service under 1000+ concurrent consumers; E14: disjoint-path
 // XOR key striping with QBER-triggered failover; E15: the concurrent
 // multi-tunnel IPsec dataplane under rollover load and a replay
-// storm). Each experiment
+// storm; E16: a 100k-tunnel gateway fabric through the batched
+// dataplane and a synchronized rollover storm). Each experiment
 // Exx function runs a workload and returns a Report whose rows mirror
 // what the paper states; cmd/qkdexp prints them and the repository's
 // bench_test.go wraps each in a testing.B benchmark. EXPERIMENTS.md
@@ -74,6 +75,7 @@ func All(seed uint64, quick bool) ([]*Report, error) {
 		E13KDS,
 		E14Striping,
 		E15Dataplane,
+		E16Fabric,
 	}
 	var out []*Report
 	for i, run := range runs {

@@ -233,6 +233,51 @@ func (f *Field) Square(a []uint64) []uint64 {
 	return f.reduce(sq)
 }
 
+// Mul64 returns a*b in a degree-64 field without allocating. The
+// slice-based Mul pays for a product slice and reduction scratch on
+// every call, which is fine for privacy amplification's batched
+// hashes but dominates per-packet message authentication (the ipsec
+// OTP suite calls into this field once per 8 message bytes). Only
+// valid for N == 64; other degrees panic.
+func (f *Field) Mul64(a, b uint64) uint64 {
+	if f.N != 64 {
+		panic("gf2: Mul64 requires a degree-64 field")
+	}
+	// 64x64 -> 128 carry-less multiply: 4-bit windowed comb over b
+	// against a stack table of the 16 nibble multiples of a.
+	var tl, th [16]uint64
+	tl[1] = a
+	for v := 2; v < 16; v += 2 {
+		tl[v] = tl[v/2] << 1
+		th[v] = th[v/2]<<1 | tl[v/2]>>63
+		tl[v+1] = tl[v] ^ a
+		th[v+1] = th[v]
+	}
+	var lo, hi uint64
+	for i := 60; i >= 0; i -= 4 {
+		hi = hi<<4 | lo>>60
+		lo <<= 4
+		v := (b >> uint(i)) & 15
+		lo ^= tl[v]
+		hi ^= th[v]
+	}
+	// Fold the high word back through the sparse polynomial:
+	// x^64 == sum of x^e over the non-leading exponents, so each pass
+	// xors the overflow in at every offset; the few bits that overflow
+	// again (shift > 0) go around once more until the carry clears.
+	for hi != 0 {
+		var carry uint64
+		for _, o := range f.fold {
+			lo ^= hi << o.shift
+			if o.shift != 0 {
+				carry ^= hi >> (64 - o.shift)
+			}
+		}
+		hi = carry
+	}
+	return lo
+}
+
 // reduce folds a (up to) 2N-bit polynomial down modulo f: whole words
 // above the boundary are cleared and xored back at the precomputed
 // per-exponent offsets (x^(N+64i) == sum_e x^(64i+e)). All xors are

@@ -359,3 +359,50 @@ func TestKnownPolyTable(t *testing.T) {
 		t.Error("table entry 2048 is reducible")
 	}
 }
+
+func TestMul64MatchesMul(t *testing.T) {
+	f, err := NewField(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ a, b uint64 }{
+		{0, 0}, {1, 1}, {1, ^uint64(0)}, {^uint64(0), ^uint64(0)},
+		{1 << 63, 2}, {1 << 63, 1 << 63}, {0x10, 0x123456789abcdef0},
+	}
+	r := rng.NewSplitMix64(0x64646464)
+	for i := 0; i < 2000; i++ {
+		cases = append(cases, struct{ a, b uint64 }{r.Uint64(), r.Uint64()})
+	}
+	for _, c := range cases {
+		want := f.Mul([]uint64{c.a}, []uint64{c.b})[0]
+		if got := f.Mul64(c.a, c.b); got != want {
+			t.Fatalf("Mul64(%#x, %#x) = %#x, Mul says %#x", c.a, c.b, got, want)
+		}
+	}
+}
+
+func TestMul64RequiresDegree64(t *testing.T) {
+	f, err := NewField(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mul64 on a degree-128 field should panic")
+		}
+	}()
+	f.Mul64(1, 1)
+}
+
+func BenchmarkMul64(b *testing.B) {
+	f, _ := NewField(64)
+	r := rng.NewSplitMix64(1)
+	x, y := r.Uint64(), r.Uint64()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = f.Mul64(x, y)
+	}
+	sinkUint64 = x
+}
+
+var sinkUint64 uint64

@@ -110,13 +110,15 @@ var (
 
 // message kinds inside TIKE payloads.
 const (
-	kindPh1Init   = 1
-	kindPh1Resp   = 2
-	kindPh2Req    = 3
-	kindPh2Resp   = 4
-	kindPh2Nack   = 5
-	kindDelete    = 6 // reserved: SA delete notification (wire space held)
-	kindPh2Cancel = 7 // initiator -> responder: abandon a pending exchange
+	kindPh1Init      = 1
+	kindPh1Resp      = 2
+	kindPh2Req       = 3
+	kindPh2Resp      = 4
+	kindPh2Nack      = 5
+	kindDelete       = 6 // reserved: SA delete notification (wire space held)
+	kindPh2Cancel    = 7 // initiator -> responder: abandon a pending exchange
+	kindPh2BatchReq  = 8 // batched quick mode: many proposals, one exchange
+	kindPh2BatchResp = 9
 )
 
 // Daemon is one gateway's IKE process.
@@ -161,6 +163,12 @@ type Stats struct {
 	SAsEstablished  uint64
 	QbitsConsumed   uint64
 	AuthFailures    uint64
+	// Phase2Batches counts batched quick-mode exchanges (each covering
+	// many tunnels); TicketAllocs counts passes through the KDS QoS
+	// scheduler. A coalescing rekeyer keeps both far below the tunnel
+	// count during an expiry storm.
+	Phase2Batches uint64
+	TicketAllocs  uint64
 }
 
 // NewDaemon builds a daemon over the given control channel. pool is the
@@ -368,7 +376,7 @@ func (d *Daemon) run() {
 		kind := body[0]
 		msgID := binary.BigEndian.Uint32(body[1:5])
 		switch kind {
-		case kindPh2Req:
+		case kindPh2Req, kindPh2BatchReq:
 			// Served off the receive loop so a blocking key withdrawal
 			// cannot deafen the daemon to a cancel for that very
 			// exchange; respMu keeps negotiations serialized (and the
@@ -413,7 +421,11 @@ func (d *Daemon) run() {
 					}
 					d.mu.Unlock()
 				}()
-				d.handlePhase2(msgID, payload, cancel)
+				if kind == kindPh2BatchReq {
+					d.handlePhase2Batch(msgID, payload, cancel)
+				} else {
+					d.handlePhase2(msgID, payload, cancel)
+				}
 			}()
 		case kindPh2Cancel:
 			// The initiator abandoned the exchange (its timeout is
@@ -431,7 +443,7 @@ func (d *Daemon) run() {
 				d.logf("INFO: isakmp.c:xxxx: peer abandoned phase 2 msgid %d, canceling pending withdrawal", msgID)
 				close(ch)
 			}
-		case kindPh2Resp, kindPh2Nack:
+		case kindPh2Resp, kindPh2Nack, kindPh2BatchResp:
 			d.mu.Lock()
 			ch := d.pending[msgID]
 			delete(d.pending, msgID)

@@ -177,6 +177,9 @@ func (d *Daemon) Negotiate(pol *ipsec.Policy, reversePolicy string) error {
 			}
 			return fmt.Errorf("ike: allocating key block: %w", err)
 		}
+		d.mu.Lock()
+		d.stats.TicketAllocs++
+		d.mu.Unlock()
 		ticketKey = key
 		prop.HasTicket = true
 		prop.TicketSeq = tk.Seq
@@ -356,12 +359,7 @@ func (d *Daemon) nack(msgID uint32) {
 }
 
 func (d *Daemon) findPolicy(name string) *ipsec.Policy {
-	for _, p := range d.gw.SPD.Policies() {
-		if p.Name == name {
-			return p
-		}
-	}
-	return nil
+	return d.gw.SPD.ByName(name)
 }
 
 // ticketOf reconstructs the kms ticket a proposal carries.
@@ -456,31 +454,44 @@ func (d *Daemon) installSAsCancelable(prop *phase2Proposal, spiR uint32, nonceR 
 	}
 
 	// Inbound SAs join the tunnel direction's rollover generation chain
-	// (keyed by the peer's outbound policy): the superseded generation
-	// drains in-flight traffic through its grace window and is then
-	// removed, so renegotiation no longer leaks undead inbound SAs.
+	// (keyed by the peer's outbound policy) and are filed under the peer
+	// gateway's SAD bucket: the superseded generation drains in-flight
+	// traffic through its grace window and is then removed, so
+	// renegotiation no longer leaks undead inbound SAs.
+	peerGW := d.peerGateway(prop)
 	if isInitiator {
 		d.gw.SAD.InstallOutbound(prop.PolicyName, saIR)
-		d.gw.SAD.InstallInboundFor(prop.ReversePolicy, saRI)
+		d.gw.SAD.InstallInboundFor(prop.ReversePolicy, peerGW, saRI)
 	} else {
-		d.gw.SAD.InstallInboundFor(prop.PolicyName, saIR)
+		d.gw.SAD.InstallInboundFor(prop.PolicyName, peerGW, saIR)
 		d.gw.SAD.InstallOutbound(prop.ReversePolicy, saRI)
 	}
 	d.mu.Lock()
 	d.stats.SAsEstablished += 2
 	d.mu.Unlock()
 	peer := "peer"
-	for _, name := range []string{prop.PolicyName, prop.ReversePolicy} {
-		if p := d.findPolicy(name); p != nil && p.PeerGW != d.gw.Local {
-			peer = p.PeerGW.String()
-			break
-		}
+	if peerGW != (ipsec.Addr{}) {
+		peer = peerGW.String()
 	}
 	d.logf("INFO: pfkey.c:1107:pk_recvupdate(): IPsec-SA established: ESP/Tunnel %s->%s spi=%d(%#x)",
 		d.gw.Local, peer, spiR, spiR)
 	d.logf("INFO: pfkey.c:1319:pk_recvadd(): IPsec-SA established: ESP/Tunnel %s->%s spi=%d(%#x)",
 		peer, d.gw.Local, prop.SPI, prop.SPI)
 	return nil
+}
+
+// peerGateway derives the remote tunnel endpoint for a negotiation:
+// of the proposal's two policies, the one whose PeerGW is not this
+// gateway names the other end. Both ends resolve the same address,
+// which keys the inbound SA's per-peer SAD bucket. The zero Addr
+// (policy not found locally) falls back to the wildcard bucket.
+func (d *Daemon) peerGateway(prop *phase2Proposal) ipsec.Addr {
+	for _, name := range []string{prop.PolicyName, prop.ReversePolicy} {
+		if p := d.findPolicy(name); p != nil && p.PeerGW != d.gw.Local {
+			return p.PeerGW
+		}
+	}
+	return ipsec.Addr{}
 }
 
 func spiBytes(spi uint32) []byte {

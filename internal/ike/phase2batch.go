@@ -1,0 +1,369 @@
+package ike
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"qkd/internal/bitarray"
+	"qkd/internal/ipsec"
+	"qkd/internal/keypool"
+	"qkd/internal/kms"
+)
+
+// BatchItem is one tunnel's entry in a batched quick-mode exchange.
+type BatchItem struct {
+	// Policy is the initiator-outbound policy to key.
+	Policy *ipsec.Policy
+	// ReversePolicy names the responder's outbound policy for the same
+	// tunnel.
+	ReversePolicy string
+}
+
+// maxBatchItems bounds one batch exchange (the wire count field is 16
+// bits).
+const maxBatchItems = 1<<16 - 1
+
+// NegotiateBatch runs quick mode for many tunnels in ONE authenticated
+// exchange, the rekey-storm amortization: a single message round
+// carries every proposal, and all key blocks drawn from the same
+// delivery stream are allocated under the QoS scheduler with ONE
+// ledger ticket for the whole burst, sliced into per-tunnel
+// block-aligned sub-ranges that both ends claim identically. Compared
+// to len(items) calls of Negotiate, a fabric-wide expiry storm costs
+// one scheduler pass and one round trip instead of thousands.
+//
+// The returned slice has one error per item (nil on success); the
+// second return is a batch-level failure (nothing was negotiated).
+// Only the Initiator daemon may call it.
+func (d *Daemon) NegotiateBatch(items []BatchItem) ([]error, error) {
+	if d.role != Initiator {
+		return nil, fmt.Errorf("ike: only the initiator daemon negotiates")
+	}
+	if len(items) == 0 {
+		return nil, nil
+	}
+	if len(items) > maxBatchItems {
+		return nil, fmt.Errorf("ike: batch of %d exceeds %d items", len(items), maxBatchItems)
+	}
+	d.negMu.Lock()
+	defer d.negMu.Unlock()
+	d.mu.Lock()
+	ready := d.skeyid != nil
+	d.mu.Unlock()
+	if !ready {
+		return nil, ErrNotReady
+	}
+
+	errs := make([]error, len(items))
+	props := make([]*phase2Proposal, len(items))
+	for i, it := range items {
+		pol := it.Policy
+		prop := &phase2Proposal{
+			PolicyName:    pol.Name,
+			ReversePolicy: it.ReversePolicy,
+			Suite:         pol.Suite,
+			LifeSeconds:   uint32(pol.Life.Duration / time.Second),
+			LifeBytes:     pol.Life.Bytes,
+			SPI:           d.allocSPI(),
+		}
+		d.rand.Bytes(prop.Nonce[:])
+		if pol.Suite == ipsec.SuiteOTP {
+			bits := pol.OTPBits
+			if bits == 0 {
+				bits = 8 * 1024 * 8
+			}
+			prop.OTPBits = uint64(bits)
+		} else {
+			prop.Qblocks = uint32(d.cfg.Qblocks)
+		}
+		props[i] = prop
+	}
+
+	// Group the burst's key demand by delivery stream and allocate each
+	// stream's total in one scheduler pass; the parent grant is then
+	// sliced into block-aligned sub-tickets (one per tunnel) that ride
+	// in the proposals. Items without a stream fall back to lockstep
+	// pool withdrawal in wire order, exactly as Negotiate would.
+	keys := make([]*bitarray.BitArray, len(items))
+	type group struct {
+		st     *kms.Stream
+		idx    []int
+		blocks []int
+		total  int
+	}
+	var groups []*group
+	byStream := make(map[*kms.Stream]*group)
+	for i, it := range items {
+		st := d.streamFor(it.Policy.Suite)
+		if st == nil {
+			continue
+		}
+		needed := int(props[i].Qblocks) * QblockBits
+		if it.Policy.Suite == ipsec.SuiteOTP {
+			needed = 2 * int(props[i].OTPBits)
+		}
+		blocks := (needed + st.BlockBits() - 1) / st.BlockBits()
+		g := byStream[st]
+		if g == nil {
+			g = &group{st: st}
+			byStream[st] = g
+			groups = append(groups, g)
+		}
+		g.idx = append(g.idx, i)
+		g.blocks = append(g.blocks, blocks)
+		g.total += blocks
+	}
+	for _, g := range groups {
+		parent, err := g.st.AllocateWait(g.total, d.cfg.Phase2Timeout, nil)
+		d.mu.Lock()
+		d.stats.TicketAllocs++
+		d.mu.Unlock()
+		if err != nil {
+			if errors.Is(err, keypool.ErrTimeout) {
+				err = ErrTimeout
+			}
+			for _, i := range g.idx {
+				errs[i] = fmt.Errorf("ike: allocating batch key block: %w", err)
+			}
+			d.mu.Lock()
+			d.stats.Phase2Failed += uint64(len(g.idx))
+			d.mu.Unlock()
+			continue
+		}
+		b0 := 0
+		for k, i := range g.idx {
+			sub := kms.Ticket{
+				Stream: g.st.Name(),
+				Seq:    parent.Seq + uint64(b0),
+				Offset: parent.Offset + uint64(b0*g.st.BlockBits()),
+				Bits:   g.blocks[k] * g.st.BlockBits(),
+			}
+			b0 += g.blocks[k]
+			key, err := g.st.Claim(sub, d.cfg.Phase2Timeout, nil)
+			if err != nil {
+				g.st.Release(sub)
+				errs[i] = fmt.Errorf("ike: claiming batch sub-ticket: %w", err)
+				d.mu.Lock()
+				d.stats.Phase2Failed++
+				d.mu.Unlock()
+				continue
+			}
+			keys[i] = key
+			props[i].HasTicket = true
+			props[i].TicketSeq = sub.Seq
+			props[i].TicketOff = sub.Offset
+			props[i].TicketBits = uint32(sub.Bits)
+		}
+	}
+
+	// Items whose allocation failed stay out of the wire batch.
+	var wire []int
+	for i := range items {
+		if errs[i] == nil {
+			wire = append(wire, i)
+		}
+	}
+	if len(wire) == 0 {
+		return errs, nil
+	}
+
+	msgID := d.allocMsgID()
+	d.logf("INFO: isakmp.c:939:isakmp_ph2begin_i(): initiate batched phase 2 negotiation: %d tunnels", len(wire))
+	d.mu.Lock()
+	d.stats.Phase2Initiated += uint64(len(wire))
+	d.stats.Phase2Batches++
+	ch := make(chan []byte, 1)
+	d.pending[msgID] = ch
+	d.mu.Unlock()
+
+	body := make([]byte, 7, 7+len(wire)*96)
+	body[0] = kindPh2BatchReq
+	binary.BigEndian.PutUint32(body[1:5], msgID)
+	binary.BigEndian.PutUint16(body[5:7], uint16(len(wire)))
+	for _, i := range wire {
+		enc := props[i].encode()
+		body = binary.BigEndian.AppendUint16(body, uint16(len(enc)))
+		body = append(body, enc...)
+	}
+	if err := d.sendAuthed(body); err != nil {
+		return nil, fmt.Errorf("ike: batched phase 2 send: %w", err)
+	}
+
+	var resp []byte
+	select {
+	case resp = <-ch:
+	case <-time.After(d.cfg.Phase2Timeout):
+		d.mu.Lock()
+		delete(d.pending, msgID)
+		d.stats.Phase2Failed += uint64(len(wire))
+		d.mu.Unlock()
+		cancel := make([]byte, 5)
+		cancel[0] = kindPh2Cancel
+		binary.BigEndian.PutUint32(cancel[1:5], msgID)
+		if err := d.sendAuthed(cancel); err != nil {
+			d.logf("ERROR: isakmp.c:xxxx: batched phase 2 cancel failed: %v", err)
+		}
+		for _, i := range wire {
+			errs[i] = ErrTimeout
+		}
+		return errs, nil
+	case <-d.stopped:
+		return nil, ErrStopped
+	}
+
+	// resp: kind(1) msgID(4) count(2) { ok(1) spiR(4) nonceR(16) }*
+	const entryLen = 1 + 4 + 16
+	if len(resp) < 7 || int(binary.BigEndian.Uint16(resp[5:7])) != len(wire) ||
+		len(resp) != 7+len(wire)*entryLen {
+		return nil, fmt.Errorf("ike: bad batched phase 2 response length %d", len(resp))
+	}
+	for k, i := range wire {
+		e := resp[7+k*entryLen:]
+		if e[0] == 0 {
+			errs[i] = ErrRejected
+			d.mu.Lock()
+			d.stats.Phase2Failed++
+			d.mu.Unlock()
+			continue
+		}
+		spiR := binary.BigEndian.Uint32(e[1:5])
+		var nonceR [16]byte
+		copy(nonceR[:], e[5:21])
+		errs[i] = d.installSAs(props[i], spiR, nonceR, true, keys[i])
+	}
+	return errs, nil
+}
+
+// handlePhase2Batch serves one inbound batched quick-mode request:
+// per-item policy checks, ticket claims, and SA installs, answered in
+// one authenticated reply. A failed item occupies its reply slot with
+// ok=0 (and releases its ledger range) without sinking the rest of the
+// burst; a batch abandoned by the initiator releases every remaining
+// range and stays silent.
+func (d *Daemon) handlePhase2Batch(msgID uint32, payload []byte, cancel <-chan struct{}) {
+	if len(payload) < 2 {
+		d.logf("ERROR: isakmp.c:xxxx: malformed batched phase 2 request")
+		return
+	}
+	count := int(binary.BigEndian.Uint16(payload[:2]))
+	props := make([]*phase2Proposal, 0, count)
+	b := payload[2:]
+	for n := 0; n < count; n++ {
+		if len(b) < 2 {
+			d.logf("ERROR: isakmp.c:xxxx: truncated batched phase 2 request")
+			return
+		}
+		l := int(binary.BigEndian.Uint16(b))
+		if len(b) < 2+l {
+			d.logf("ERROR: isakmp.c:xxxx: truncated batched phase 2 proposal")
+			return
+		}
+		prop, err := decodeProposal(b[2 : 2+l])
+		if err != nil {
+			d.logf("ERROR: isakmp.c:xxxx: malformed phase 2 proposal in batch: %v", err)
+			return
+		}
+		props = append(props, prop)
+		b = b[2+l:]
+	}
+	d.mu.Lock()
+	d.stats.Phase2Responded += uint64(len(props))
+	d.stats.Phase2Batches++
+	d.mu.Unlock()
+	d.logf("INFO: isakmp.c:1046:isakmp_ph2begin_r(): respond batched phase 2 negotiation: %d tunnels", len(props))
+
+	releaseTicket := func(prop *phase2Proposal) {
+		if prop.HasTicket {
+			if st := d.streamFor(prop.Suite); st != nil {
+				st.Release(d.ticketOf(prop, st))
+			}
+		}
+	}
+
+	const entryLen = 1 + 4 + 16
+	resp := make([]byte, 7, 7+len(props)*entryLen)
+	resp[0] = kindPh2BatchResp
+	binary.BigEndian.PutUint32(resp[1:5], msgID)
+	binary.BigEndian.PutUint16(resp[5:7], uint16(len(props)))
+
+	for n, prop := range props {
+		// The initiator abandoned the batch: burn the remaining ledger
+		// ranges so both ends' claim frontiers keep advancing, and send
+		// nothing (its timeout already failed every item).
+		select {
+		case <-cancel:
+			d.logf("INFO: isakmp.c:xxxx: batched phase 2 msgid %d abandoned at item %d", msgID, n)
+			for _, rest := range props[n:] {
+				releaseTicket(rest)
+			}
+			d.mu.Lock()
+			d.stats.Phase2Failed += uint64(len(props) - n)
+			d.mu.Unlock()
+			return
+		default:
+		}
+
+		fail := func(format string, args ...interface{}) {
+			d.logf("ERROR: bbn-qkd-qpd.c:1101:qke_create_reply(): "+format, args...)
+			releaseTicket(prop)
+			d.mu.Lock()
+			d.stats.Phase2Failed++
+			d.mu.Unlock()
+			resp = append(resp, make([]byte, entryLen)...)
+		}
+
+		rev := d.findPolicy(prop.ReversePolicy)
+		if rev == nil {
+			fail("batch item %d: unknown policy %q", n, prop.ReversePolicy)
+			continue
+		}
+		// Per-item racoon lines match the single-negotiation transcript
+		// (Fig. 12): batching changes the wire, not the log.
+		d.logf("INFO: isakmp.c:1046:isakmp_ph2begin_r(): respond new phase 2 negotiation: %s[0]<=>%s[0]",
+			d.gw.Local, rev.PeerGW)
+		d.logf("INFO: proposal.c:1023:set_proposal_from_policy(): RESPONDER setting QPFS encmodesv 1")
+		spiR := d.allocSPI()
+		var nonceR [16]byte
+		d.rand.Bytes(nonceR[:])
+
+		var ticketKey *bitarray.BitArray
+		if prop.HasTicket {
+			st := d.streamFor(prop.Suite)
+			if st == nil {
+				fail("batch item %d: ticket offered but no delivery stream configured", n)
+				continue
+			}
+			tk := d.ticketOf(prop, st)
+			key, err := st.Claim(tk, d.cfg.Phase2Timeout, cancel)
+			if err != nil {
+				st.Release(tk)
+				d.logf("ERROR: bbn-qkd-qpd.c:1101:qke_create_reply(): claiming (%s, %d): %v", tk.Stream, tk.Seq, err)
+				d.mu.Lock()
+				d.stats.Phase2Failed++
+				d.mu.Unlock()
+				resp = append(resp, make([]byte, entryLen)...)
+				continue
+			}
+			ticketKey = key
+		}
+		if err := d.installSAsCancelable(prop, spiR, nonceR, false, cancel, ticketKey); err != nil {
+			fail("batch item %d: %v", n, err)
+			continue
+		}
+		if prop.Suite == ipsec.SuiteOTP {
+			d.logf("INFO: bbn-qkd-qpd.c:1047:qke_create_reply(): reply %d pad bits one-time-pad mode",
+				prop.OTPBits)
+		} else {
+			d.logf("INFO: bbn-qkd-qpd.c:1047:qke_create_reply(): reply %d Qblocks %d bits %f entropy (offer is %d Qblocks)",
+				prop.Qblocks, QblockBits, float64(prop.Qblocks*QblockBits), prop.Qblocks)
+		}
+		resp = append(resp, 1)
+		resp = binary.BigEndian.AppendUint32(resp, spiR)
+		resp = append(resp, nonceR[:]...)
+	}
+	if err := d.sendAuthed(resp); err != nil {
+		d.logf("ERROR: isakmp.c:xxxx: batched phase 2 reply failed: %v", err)
+	}
+}

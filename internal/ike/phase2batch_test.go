@@ -1,0 +1,138 @@
+package ike
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"qkd/internal/ipsec"
+	"qkd/internal/kms"
+	"qkd/internal/rng"
+)
+
+// batchHarness extends the two-policy harness with n extra tunnels
+// (t0..t(n-1), alternating AES and OTP suites) on both SPDs and wires
+// mirrored KDS streams for both suites.
+func newBatchHarness(t *testing.T, n int) (*harness, []BatchItem, *kms.Service, *kms.Service) {
+	t.Helper()
+	h := newHarness(t, ipsec.SuiteAES128CTR, ipsec.Lifetime{}, Config{Phase2Timeout: 2 * time.Second}, 64)
+	items := make([]BatchItem, 0, n)
+	for i := 0; i < n; i++ {
+		suite := ipsec.SuiteAES128CTR
+		if i%2 == 1 {
+			suite = ipsec.SuiteOTP
+		}
+		ab := &ipsec.Policy{Name: fmt.Sprintf("t%d/a-to-b", i), Action: ipsec.Protect, Suite: suite,
+			PeerGW: ipsec.MustAddr("192.1.99.35"), OTPBits: 2048,
+			Sel: ipsec.Selector{Src: ipsec.MustPrefix(fmt.Sprintf("10.11.%d.0/24", i)),
+				Dst: ipsec.MustPrefix(fmt.Sprintf("10.12.%d.0/24", i))}}
+		ba := &ipsec.Policy{Name: fmt.Sprintf("t%d/b-to-a", i), Action: ipsec.Protect, Suite: suite,
+			PeerGW: ipsec.MustAddr("192.1.99.34"), OTPBits: 2048,
+			Sel: ipsec.Selector{Src: ipsec.MustPrefix(fmt.Sprintf("10.12.%d.0/24", i)),
+				Dst: ipsec.MustPrefix(fmt.Sprintf("10.11.%d.0/24", i))}}
+		h.gwA.SPD.Add(ab)
+		h.gwA.SPD.Add(ba)
+		h.gwB.SPD.Add(ba)
+		h.gwB.SPD.Add(ab)
+		items = append(items, BatchItem{Policy: ab, ReversePolicy: ba.Name})
+	}
+	kA, kB := kms.New(kms.Config{}), kms.New(kms.Config{})
+	t.Cleanup(func() { kA.Close(); kB.Close() })
+	qbA, _ := kA.NewStream("ike/qblocks", QblockBits, kms.ClassRekey)
+	qbB, _ := kB.NewStream("ike/qblocks", QblockBits, kms.ClassRekey)
+	otpA, _ := kA.NewStream("ike/otp", 1024, kms.ClassOTP)
+	otpB, _ := kB.NewStream("ike/otp", 1024, kms.ClassOTP)
+	h.dA.SetKeyStreams(qbA, otpA)
+	h.dB.SetKeyStreams(qbB, otpB)
+	key := rng.NewSplitMix64(9).Bits(64 * 1024)
+	kA.Ingest(key.Clone())
+	kB.Ingest(key)
+	return h, items, kA, kB
+}
+
+func TestNegotiateBatchEstablishesManyTunnels(t *testing.T) {
+	const n = 8
+	h, items, _, _ := newBatchHarness(t, n)
+	errs, err := h.dA.NegotiateBatch(items)
+	if err != nil {
+		t.Fatalf("NegotiateBatch: %v", err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("item %d (%s): %v", i, items[i].Policy.Name, e)
+		}
+	}
+	// One exchange, one QoS pass per stream — not one per tunnel.
+	sA, sB := h.dA.Stats(), h.dB.Stats()
+	if sA.Phase2Batches != 1 || sB.Phase2Batches != 1 {
+		t.Errorf("Phase2Batches = %d/%d, want 1/1", sA.Phase2Batches, sB.Phase2Batches)
+	}
+	if sA.TicketAllocs != 2 {
+		t.Errorf("TicketAllocs = %d, want 2 (one per stream)", sA.TicketAllocs)
+	}
+	if sA.SAsEstablished != 2*n || sB.SAsEstablished != 2*n {
+		t.Errorf("SAsEstablished = %d/%d, want %d", sA.SAsEstablished, sB.SAsEstablished, 2*n)
+	}
+	// Traffic flows on every tunnel, both directions.
+	for i := 0; i < n; i++ {
+		inner := &ipsec.Packet{
+			Src: ipsec.MustAddr(fmt.Sprintf("10.11.%d.5", i)), Dst: ipsec.MustAddr(fmt.Sprintf("10.12.%d.9", i)),
+			Proto: ipsec.ProtoPing, ID: uint32(i), Payload: []byte("batch ping"),
+		}
+		outer, err := h.gwA.ProcessOutbound(inner)
+		if err != nil {
+			t.Fatalf("tunnel %d outbound: %v", i, err)
+		}
+		if _, err := h.gwB.ProcessInbound(outer); err != nil {
+			t.Fatalf("tunnel %d inbound: %v", i, err)
+		}
+		back := &ipsec.Packet{
+			Src: ipsec.MustAddr(fmt.Sprintf("10.12.%d.9", i)), Dst: ipsec.MustAddr(fmt.Sprintf("10.11.%d.5", i)),
+			Proto: ipsec.ProtoPing, ID: uint32(100 + i), Payload: []byte("batch pong"),
+		}
+		outer, err = h.gwB.ProcessOutbound(back)
+		if err != nil {
+			t.Fatalf("tunnel %d reverse outbound: %v", i, err)
+		}
+		if _, err := h.gwA.ProcessInbound(outer); err != nil {
+			t.Fatalf("tunnel %d reverse inbound: %v", i, err)
+		}
+	}
+}
+
+func TestNegotiateBatchPartialFailure(t *testing.T) {
+	// One rotten item (unknown reverse policy on the responder) fails
+	// alone: the rest of the batch installs, and the responder releases
+	// the dead item's ledger range so its claim frontier advances.
+	const n = 4
+	h, items, _, kB := newBatchHarness(t, n)
+	items[2].ReversePolicy = "no-such-policy"
+	errs, err := h.dA.NegotiateBatch(items)
+	if err != nil {
+		t.Fatalf("NegotiateBatch: %v", err)
+	}
+	for i, e := range errs {
+		if i == 2 {
+			if !errors.Is(e, ErrRejected) {
+				t.Errorf("item 2: err = %v, want ErrRejected", e)
+			}
+			continue
+		}
+		if e != nil {
+			t.Errorf("item %d: %v", i, e)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for kB.Stats().ReleasedBits == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("responder never released the rejected item's range")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The healthy tunnels carry traffic; a follow-up single negotiation
+	// still works (frontier not wedged).
+	if err := h.dA.Negotiate(h.polAB, "b-to-a"); err != nil {
+		t.Fatalf("negotiation after partial batch: %v", err)
+	}
+}

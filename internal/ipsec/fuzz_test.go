@@ -1,0 +1,117 @@
+package ipsec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// fuzzSA builds a receive-side SA of the given suite with a
+// deterministic key/pad (sequence state fresh per call).
+func fuzzSA(tb testing.TB, suite CipherSuite, spi uint32) *SA {
+	tb.Helper()
+	var sa *SA
+	var err error
+	if suite == SuiteOTP {
+		sa, err = NewOTPSA(spi, randKey(8+64*1024, 77), Lifetime{})
+	} else {
+		sa, err = NewSA(spi, suite, randKey(suite.KeyBits()/8, 77), Lifetime{})
+	}
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sa
+}
+
+var fuzzSuites = []CipherSuite{SuiteNull, SuiteAES128CTR, Suite3DESCBC, SuiteOTP}
+
+// FuzzSealOpen round-trips arbitrary payloads through every cipher
+// suite: whatever Seal produces, a same-keyed receiver must Open back
+// to the original bytes, and neither side may panic.
+func FuzzSealOpen(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("ping"))
+	f.Add(bytes.Repeat([]byte{0xA5}, 1400))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) > 8*1024 {
+			payload = payload[:8*1024]
+		}
+		for _, suite := range fuzzSuites {
+			tx := fuzzSA(t, suite, 500)
+			rx := fuzzSA(t, suite, 500)
+			blob, err := tx.Seal(payload)
+			if err != nil {
+				t.Fatalf("%v: Seal: %v", suite, err)
+			}
+			got, err := rx.Open(blob)
+			if err != nil {
+				t.Fatalf("%v: Open: %v", suite, err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("%v: round-trip mismatch: %d bytes in, %d out", suite, len(payload), len(got))
+			}
+		}
+	})
+}
+
+// FuzzOTPOpen throws malformed blobs at the OTP wire format
+// (SPI|seq|padOffset|ct|tag). Seeds cover the historic failure modes:
+// truncation below the header, a pad offset whose addition wraps
+// uint64 (the satellite overflow bug), and a flipped tag. Open must
+// reject without panicking, and only a pristine blob may verify.
+func FuzzOTPOpen(f *testing.F) {
+	mk := func(mutate func(b []byte)) []byte {
+		sa := fuzzSA(f, SuiteOTP, 900)
+		blob, err := sa.Seal([]byte("attack at dawn"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		if mutate != nil {
+			mutate(blob)
+		}
+		return blob
+	}
+	f.Add(mk(nil))
+	f.Add(mk(nil)[:7])        // shorter than SPI|seq
+	f.Add(mk(nil)[:15])       // header cut mid-offset
+	f.Add(mk(func(b []byte) { // offset overflow: 2^64-8 wraps the bounds sum
+		binary.BigEndian.PutUint64(b[8:16], ^uint64(0)-7)
+	}))
+	f.Add(mk(func(b []byte) { // offset just past the pad
+		binary.BigEndian.PutUint64(b[8:16], 1<<40)
+	}))
+	f.Add(mk(func(b []byte) { b[len(b)-1] ^= 1 })) // flipped tag bit
+	f.Add(mk(func(b []byte) { b[16] ^= 0x80 }))    // flipped ciphertext bit
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		rx := fuzzSA(t, SuiteOTP, 900)
+		pristine, err := rx.Open(blob)
+		if err != nil {
+			return // rejected without panic: fine
+		}
+		// It verified — then it must be the one honest blob.
+		if !bytes.Equal(pristine, []byte("attack at dawn")) {
+			t.Fatalf("forged blob verified: %q", pristine)
+		}
+	})
+}
+
+// TestOTPOpenOffsetOverflow pins the satellite fix directly: a blob
+// whose pad offset makes offset+len(ct)+tagLen wrap uint64 must be
+// rejected as pad exhaustion, not panic on the pad slice.
+func TestOTPOpenOffsetOverflow(t *testing.T) {
+	tx := fuzzSA(t, SuiteOTP, 901)
+	blob, err := tx.Seal([]byte("overflow probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []uint64{^uint64(0), ^uint64(0) - 7, ^uint64(0) - 1024, 1 << 40} {
+		b := append([]byte(nil), blob...)
+		binary.BigEndian.PutUint64(b[8:16], off)
+		rx := fuzzSA(t, SuiteOTP, 901)
+		if _, err := rx.Open(b); !errors.Is(err, ErrPadExhaust) {
+			t.Errorf("offset %#x: err = %v, want ErrPadExhaust", off, err)
+		}
+	}
+}

@@ -7,74 +7,127 @@ import (
 	"sync/atomic"
 )
 
-// sadShards stripes the inbound SPI index so concurrent tunnels hit
-// independent locks (the kms.Store pattern, sized for a gateway's SA
-// count rather than key bits).
-const sadShards = 16
-
-// SAD is the Security Association Database: inbound SAs indexed by SPI
-// (sharded, RWMutex per stripe — lookups are the per-packet hot path),
-// outbound SAs indexed by the policy they serve, and per-tunnel inbound
-// rollover generations so a superseded SA drains for a grace window and
-// is then removed instead of decrypting forever.
+// SAD is the Security Association Database, structured hierarchically
+// for a fabric-scale gateway: inbound SAs live in per-peer buckets
+// (the outer tunnel address traffic actually arrives from), each
+// bucket a lock-free sync.Map of SPI -> SA. A packet's lookup touches
+// only its own peer's bucket, so 100k tunnels spread across peers
+// never contend on gateway-global stripes; installs serialize only
+// within a peer. Manually-keyed SAs (tests, static keying) without a
+// peer land in the wildcard bucket, which lookups fall back to.
+//
+// Outbound SAs are indexed by the policy they serve, and per-tunnel
+// inbound rollover generations keep the database bounded: a
+// superseded SA drains for a grace window and is then removed instead
+// of decrypting forever.
 type SAD struct {
-	shards [sadShards]sadShard
+	peerMu sync.RWMutex
+	peers  map[Addr]*peerSAD
 
-	outMu    sync.RWMutex
-	outbound map[string]*SA
+	outbound sync.Map // policy name -> *SA
+	outCount atomic.Int64
 
 	genMu sync.Mutex
 	gens  map[string]*saGenerations
 }
 
-type sadShard struct {
-	mu    sync.RWMutex
-	bySPI map[uint32]*SA
+// peerSAD is one peer gateway's inbound SPI index.
+type peerSAD struct {
+	bySPI sync.Map // uint32 -> *SA
+	count atomic.Int64
 }
 
 // saGenerations chains a tunnel direction's inbound SAs: cur decrypts
 // new traffic, prev drains in-flight packets until its grace deadline.
 type saGenerations struct {
+	peer Addr
 	cur  *SA
 	prev *SA
 }
 
 // NewSAD returns an empty database.
 func NewSAD() *SAD {
-	d := &SAD{outbound: make(map[string]*SA), gens: make(map[string]*saGenerations)}
-	for i := range d.shards {
-		d.shards[i].bySPI = make(map[uint32]*SA)
+	return &SAD{
+		peers: make(map[Addr]*peerSAD),
+		gens:  make(map[string]*saGenerations),
 	}
-	return d
 }
 
-func (d *SAD) shard(spi uint32) *sadShard { return &d.shards[spi%sadShards] }
+// peer returns the bucket for a peer address, creating it on demand.
+func (d *SAD) peer(addr Addr) *peerSAD {
+	d.peerMu.RLock()
+	b := d.peers[addr]
+	d.peerMu.RUnlock()
+	if b != nil {
+		return b
+	}
+	d.peerMu.Lock()
+	if b = d.peers[addr]; b == nil {
+		b = &peerSAD{}
+		d.peers[addr] = b
+	}
+	d.peerMu.Unlock()
+	return b
+}
 
-// InstallInbound registers an SA for decryption by SPI, outside any
-// generation chain (tests, manual keying).
+// peerIfAny returns the bucket for a peer address, or nil.
+func (d *SAD) peerIfAny(addr Addr) *peerSAD {
+	d.peerMu.RLock()
+	b := d.peers[addr]
+	d.peerMu.RUnlock()
+	return b
+}
+
+func (b *peerSAD) install(sa *SA) {
+	if _, loaded := b.bySPI.Swap(sa.SPI, sa); !loaded {
+		b.count.Add(1)
+	}
+}
+
+func (b *peerSAD) remove(spi uint32) {
+	if _, loaded := b.bySPI.LoadAndDelete(spi); loaded {
+		b.count.Add(-1)
+	}
+}
+
+func (b *peerSAD) get(spi uint32) *SA {
+	if v, ok := b.bySPI.Load(spi); ok {
+		return v.(*SA)
+	}
+	return nil
+}
+
+// InstallInbound registers an SA for decryption by SPI in the wildcard
+// bucket, outside any generation chain (tests, manual keying).
 func (d *SAD) InstallInbound(sa *SA) {
-	sh := d.shard(sa.SPI)
-	sh.mu.Lock()
-	sh.bySPI[sa.SPI] = sa
-	sh.mu.Unlock()
+	d.InstallInboundPeer(Addr{}, sa)
+}
+
+// InstallInboundPeer registers an SA for decryption of ESP traffic
+// arriving from the given peer gateway (the zero Addr is the wildcard
+// bucket), outside any generation chain.
+func (d *SAD) InstallInboundPeer(peer Addr, sa *SA) {
+	d.peer(peer).install(sa)
 }
 
 // InstallInboundFor registers an inbound SA as the newest rollover
 // generation for a tunnel direction (keyed by the peer's outbound
-// policy name). The superseded predecessor keeps decrypting in-flight
-// traffic until the grace window closes; any generation older than that
-// is removed immediately, so the inbound index stays bounded by two
-// generations per tunnel no matter how often IKE renegotiates.
-func (d *SAD) InstallInboundFor(policyName string, sa *SA) {
-	d.InstallInbound(sa)
+// policy name), filed under the peer gateway's bucket. The superseded
+// predecessor keeps decrypting in-flight traffic until the grace
+// window closes; any generation older than that is removed
+// immediately, so the inbound index stays bounded by two generations
+// per tunnel no matter how often IKE renegotiates.
+func (d *SAD) InstallInboundFor(policyName string, peer Addr, sa *SA) {
+	d.InstallInboundPeer(peer, sa)
 	d.genMu.Lock()
 	g := d.gens[policyName]
 	if g == nil {
 		g = &saGenerations{}
 		d.gens[policyName] = g
 	}
+	g.peer = peer
 	if g.prev != nil && g.prev != sa {
-		d.RemoveInbound(g.prev.SPI)
+		d.removeInboundPeer(g.peer, g.prev.SPI)
 	}
 	if g.cur != nil && g.cur != sa {
 		g.cur.Supersede(g.cur.clockNow().Add(DefaultGrace))
@@ -92,7 +145,7 @@ func (d *SAD) Sweep() {
 	defer d.genMu.Unlock()
 	for _, g := range d.gens {
 		if g.prev != nil && g.prev.Retired() {
-			d.RemoveInbound(g.prev.SPI)
+			d.removeInboundPeer(g.peer, g.prev.SPI)
 			g.prev = nil
 		}
 	}
@@ -101,55 +154,88 @@ func (d *SAD) Sweep() {
 // InstallOutbound registers an SA to protect a policy's traffic,
 // replacing any previous SA (key rollover).
 func (d *SAD) InstallOutbound(policyName string, sa *SA) {
-	d.outMu.Lock()
-	d.outbound[policyName] = sa
-	d.outMu.Unlock()
+	if _, loaded := d.outbound.Swap(policyName, sa); !loaded {
+		d.outCount.Add(1)
+	}
 }
 
 // Outbound returns the SA serving a policy, or nil.
 func (d *SAD) Outbound(policyName string) *SA {
-	d.outMu.RLock()
-	defer d.outMu.RUnlock()
-	return d.outbound[policyName]
+	if v, ok := d.outbound.Load(policyName); ok {
+		return v.(*SA)
+	}
+	return nil
 }
 
-// BySPI returns the inbound SA for spi, or nil.
+// BySPI returns the inbound SA for spi, or nil: the wildcard bucket
+// first, then every peer bucket (a convenience for tests and tooling;
+// the dataplane looks up by (peer, SPI)).
 func (d *SAD) BySPI(spi uint32) *SA {
-	sh := d.shard(spi)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	return sh.bySPI[spi]
+	if b := d.peerIfAny(Addr{}); b != nil {
+		if sa := b.get(spi); sa != nil {
+			return sa
+		}
+	}
+	d.peerMu.RLock()
+	defer d.peerMu.RUnlock()
+	for addr, b := range d.peers {
+		if addr == (Addr{}) {
+			continue
+		}
+		if sa := b.get(spi); sa != nil {
+			return sa
+		}
+	}
+	return nil
+}
+
+// BySPIPeer returns the inbound SA for ESP traffic from a peer
+// gateway, falling back to the wildcard bucket for manually-keyed SAs.
+func (d *SAD) BySPIPeer(peer Addr, spi uint32) *SA {
+	if b := d.peerIfAny(peer); b != nil {
+		if sa := b.get(spi); sa != nil {
+			return sa
+		}
+	}
+	if peer != (Addr{}) {
+		if b := d.peerIfAny(Addr{}); b != nil {
+			return b.get(spi)
+		}
+	}
+	return nil
 }
 
 // RemoveOutbound clears a policy's outbound SA if it is the given one.
 func (d *SAD) RemoveOutbound(policyName string, sa *SA) {
-	d.outMu.Lock()
-	if d.outbound[policyName] == sa {
-		delete(d.outbound, policyName)
+	if d.outbound.CompareAndDelete(policyName, sa) {
+		d.outCount.Add(-1)
 	}
-	d.outMu.Unlock()
 }
 
-// RemoveInbound deletes an inbound SA by SPI.
+// RemoveInbound deletes an inbound SA by SPI from every bucket.
 func (d *SAD) RemoveInbound(spi uint32) {
-	sh := d.shard(spi)
-	sh.mu.Lock()
-	delete(sh.bySPI, spi)
-	sh.mu.Unlock()
+	d.peerMu.RLock()
+	defer d.peerMu.RUnlock()
+	for _, b := range d.peers {
+		b.remove(spi)
+	}
+}
+
+// removeInboundPeer deletes an inbound SA from one peer's bucket.
+func (d *SAD) removeInboundPeer(peer Addr, spi uint32) {
+	if b := d.peerIfAny(peer); b != nil {
+		b.remove(spi)
+	}
 }
 
 // Count returns (inbound, outbound) SA counts.
 func (d *SAD) Count() (in, out int) {
-	for i := range d.shards {
-		sh := &d.shards[i]
-		sh.mu.RLock()
-		in += len(sh.bySPI)
-		sh.mu.RUnlock()
+	d.peerMu.RLock()
+	for _, b := range d.peers {
+		in += int(b.count.Load())
 	}
-	d.outMu.RLock()
-	out = len(d.outbound)
-	d.outMu.RUnlock()
-	return in, out
+	d.peerMu.RUnlock()
+	return in, int(d.outCount.Load())
 }
 
 // Stats counts gateway dataplane events.
@@ -169,8 +255,8 @@ type Stats struct {
 
 // Gateway is the VPN dataplane of Fig. 10/11: an IP packet filter with
 // pattern matching against the SPD and crypto against the SAD. All
-// counters are atomic and the SAD is sharded, so concurrent flows over
-// different tunnels never serialize on gateway-wide state.
+// counters are atomic and inbound lookups are per-peer, so concurrent
+// flows over different tunnels never serialize on gateway-wide state.
 type Gateway struct {
 	// Local is this gateway's tunnel address.
 	Local Addr
@@ -272,20 +358,13 @@ func (g *Gateway) ProcessInbound(p *Packet) (*Packet, error) {
 		}
 		spi := uint32(p.Payload[0])<<24 | uint32(p.Payload[1])<<16 |
 			uint32(p.Payload[2])<<8 | uint32(p.Payload[3])
-		sa := g.SAD.BySPI(spi)
+		sa := g.SAD.BySPIPeer(p.Src, spi)
 		if sa == nil {
 			return nil, fmt.Errorf("%w: %#x", ErrUnknownSPI, spi)
 		}
 		inner, err := sa.Open(p.Payload)
 		if err != nil {
-			switch {
-			case errors.Is(err, ErrReplay):
-				g.replayDrops.Add(1)
-			case errors.Is(err, ErrIntegrity):
-				g.integFails.Add(1)
-			case errors.Is(err, ErrExpired):
-				g.expired.Add(1)
-			}
+			g.countOpenErr(err)
 			return nil, err
 		}
 		pkt, err := UnmarshalPacket(inner)
@@ -303,4 +382,283 @@ func (g *Gateway) ProcessInbound(p *Packet) (*Packet, error) {
 	}
 	g.bypassed.Add(1)
 	return p, nil
+}
+
+// countOpenErr maps an SA.Open failure onto the drop counters.
+func (g *Gateway) countOpenErr(err error) {
+	switch {
+	case errors.Is(err, ErrReplay):
+		g.replayDrops.Add(1)
+	case errors.Is(err, ErrIntegrity):
+		g.integFails.Add(1)
+	case errors.Is(err, ErrExpired):
+		g.expired.Add(1)
+	}
+}
+
+// BatchResult is one packet's outcome from a batched gateway pass:
+// the processed packet, or the error that dropped it.
+type BatchResult struct {
+	Pkt *Packet
+	Err error
+}
+
+// Batch is a reusable burst context for the batched dataplane. It
+// owns the output arena that processed packets' payloads point into,
+// so one growing allocation serves a whole burst and is recycled
+// across calls. Results are valid until the Batch's next use or its
+// Release — consume (or copy out) a burst before reusing the Batch.
+type Batch struct {
+	arena   []byte
+	scratch []byte
+	pkts    []Packet
+	res     []BatchResult
+	pols    []*Policy
+}
+
+var batchPool = sync.Pool{New: func() any { return &Batch{} }}
+
+// NewBatch returns a pooled burst context.
+func NewBatch() *Batch { return batchPool.Get().(*Batch) }
+
+// Release returns the Batch (and its arena) to the pool. The caller
+// must be done with every BatchResult it produced.
+func (b *Batch) Release() { batchPool.Put(b) }
+
+// reset prepares the batch for n packets, keeping allocated capacity.
+func (b *Batch) reset(n int) {
+	b.arena = b.arena[:0]
+	b.scratch = b.scratch[:0]
+	if cap(b.pkts) < n {
+		b.pkts = make([]Packet, n)
+		b.res = make([]BatchResult, n)
+		b.pols = make([]*Policy, n)
+	}
+	b.pkts = b.pkts[:n]
+	b.res = b.res[:n]
+	b.pols = b.pols[:n]
+	for i := range b.res {
+		b.res[i] = BatchResult{}
+	}
+}
+
+// outCounters accumulates a burst's stat deltas so the batch flushes
+// each atomic counter once instead of once per packet.
+type outCounters struct {
+	sealed, opened, bypassed, discarded    uint64
+	noSA, expired, replayDrops, integFails uint64
+	softRekeys                             uint64
+}
+
+func (g *Gateway) flush(c *outCounters) {
+	if c.sealed > 0 {
+		g.sealed.Add(c.sealed)
+	}
+	if c.opened > 0 {
+		g.opened.Add(c.opened)
+	}
+	if c.bypassed > 0 {
+		g.bypassed.Add(c.bypassed)
+	}
+	if c.discarded > 0 {
+		g.discarded.Add(c.discarded)
+	}
+	if c.noSA > 0 {
+		g.noSA.Add(c.noSA)
+	}
+	if c.expired > 0 {
+		g.expired.Add(c.expired)
+	}
+	if c.replayDrops > 0 {
+		g.replayDrops.Add(c.replayDrops)
+	}
+	if c.integFails > 0 {
+		g.integFails.Add(c.integFails)
+	}
+	if c.softRekeys > 0 {
+		g.softRekeys.Add(c.softRekeys)
+	}
+}
+
+// ProcessOutboundBatch is ProcessOutbound over a burst: packets are
+// grouped into runs sharing an SPD policy, and each run pays for its
+// outbound-SA lookup, SA mutex acquisition, and stat updates once.
+// Sealed output lands in the Batch's arena (no per-packet make);
+// results are positionally matched to pkts and valid until the Batch
+// is reused or released.
+func (g *Gateway) ProcessOutboundBatch(b *Batch, pkts []*Packet) []BatchResult {
+	b.reset(len(pkts))
+	var c outCounters
+	for i, p := range pkts {
+		b.pols[i] = g.SPD.Match(p)
+	}
+	for i := 0; i < len(pkts); {
+		pol := b.pols[i]
+		j := i + 1
+		for j < len(pkts) && b.pols[j] == pol {
+			j++
+		}
+		switch {
+		case pol == nil:
+			for k := i; k < j; k++ {
+				p := pkts[k]
+				b.res[k] = BatchResult{Err: fmt.Errorf("%w: %s -> %s proto %d",
+					ErrNoPolicy, p.Src, p.Dst, p.Proto)}
+			}
+		case pol.Action == Bypass:
+			for k := i; k < j; k++ {
+				b.res[k] = BatchResult{Pkt: pkts[k]}
+			}
+			c.bypassed += uint64(j - i)
+		case pol.Action == Discard:
+			for k := i; k < j; k++ {
+				b.res[k] = BatchResult{Err: ErrDiscard}
+			}
+			c.discarded += uint64(j - i)
+		default:
+			g.sealRun(b, pkts, i, j, pol, &c)
+		}
+		i = j
+	}
+	g.flush(&c)
+	return b.res
+}
+
+// sealRun seals pkts[lo:hi] (one Protect policy) under a single SA
+// lock acquisition.
+func (g *Gateway) sealRun(b *Batch, pkts []*Packet, lo, hi int, pol *Policy, c *outCounters) {
+	sa := g.SAD.Outbound(pol.Name)
+	if sa != nil && sa.Expired() {
+		g.SAD.RemoveOutbound(pol.Name, sa)
+		c.expired++
+		sa = nil
+	}
+	if sa == nil {
+		c.noSA += uint64(hi - lo)
+		if g.OnMissingSA != nil {
+			g.OnMissingSA(pol)
+		}
+		err := fmt.Errorf("%w: policy %q", ErrNoSA, pol.Name)
+		for k := lo; k < hi; k++ {
+			b.res[k] = BatchResult{Err: err}
+		}
+		return
+	}
+	sealFailed := false
+	sa.mu.Lock()
+	for k := lo; k < hi; k++ {
+		p := pkts[k]
+		b.scratch = p.AppendMarshal(b.scratch[:0])
+		start := len(b.arena)
+		arena, err := sa.sealAppendLocked(b.arena, b.scratch)
+		b.arena = arena
+		if err != nil {
+			b.res[k] = BatchResult{Err: err}
+			if errors.Is(err, ErrExpired) || errors.Is(err, ErrPadExhaust) {
+				c.expired++
+				sealFailed = true
+			}
+			continue
+		}
+		blob := b.arena[start:len(b.arena):len(b.arena)]
+		b.pkts[k] = Packet{Src: g.Local, Dst: pol.PeerGW, Proto: ProtoESP, ID: p.ID, Payload: blob}
+		b.res[k] = BatchResult{Pkt: &b.pkts[k]}
+		c.sealed++
+	}
+	sa.mu.Unlock()
+	if sealFailed {
+		g.SAD.RemoveOutbound(pol.Name, sa)
+		if g.OnMissingSA != nil {
+			g.OnMissingSA(pol)
+		}
+		return
+	}
+	if sa.SoftExpiring() {
+		c.softRekeys++
+		if g.OnMissingSA != nil {
+			g.OnMissingSA(pol)
+		}
+	}
+}
+
+// ProcessInboundBatch is ProcessInbound over a burst: consecutive ESP
+// packets from the same peer and SPI share one SA lookup and mutex
+// acquisition, and decapsulated payloads alias the Batch's arena
+// instead of being copied per packet.
+func (g *Gateway) ProcessInboundBatch(b *Batch, pkts []*Packet) []BatchResult {
+	b.reset(len(pkts))
+	var c outCounters
+	for i := 0; i < len(pkts); {
+		p := pkts[i]
+		if p.Proto != ProtoESP {
+			// Clear traffic: only deliverable if policy says bypass.
+			if pol := g.SPD.Match(p); pol != nil && pol.Action == Bypass {
+				b.res[i] = BatchResult{Pkt: p}
+				c.bypassed++
+			} else {
+				b.res[i] = BatchResult{Err: ErrDiscard}
+				c.discarded++
+			}
+			i++
+			continue
+		}
+		if len(p.Payload) < 4 {
+			b.res[i] = BatchResult{Err: fmt.Errorf("ipsec: short ESP payload")}
+			i++
+			continue
+		}
+		spi := uint32(p.Payload[0])<<24 | uint32(p.Payload[1])<<16 |
+			uint32(p.Payload[2])<<8 | uint32(p.Payload[3])
+		j := i + 1
+		for j < len(pkts) {
+			q := pkts[j]
+			if q.Proto != ProtoESP || q.Src != p.Src || len(q.Payload) < 4 {
+				break
+			}
+			qspi := uint32(q.Payload[0])<<24 | uint32(q.Payload[1])<<16 |
+				uint32(q.Payload[2])<<8 | uint32(q.Payload[3])
+			if qspi != spi {
+				break
+			}
+			j++
+		}
+		sa := g.SAD.BySPIPeer(p.Src, spi)
+		if sa == nil {
+			err := fmt.Errorf("%w: %#x", ErrUnknownSPI, spi)
+			for k := i; k < j; k++ {
+				b.res[k] = BatchResult{Err: err}
+			}
+			i = j
+			continue
+		}
+		sa.mu.Lock()
+		for k := i; k < j; k++ {
+			start := len(b.arena)
+			arena, err := sa.openAppendLocked(b.arena, pkts[k].Payload)
+			b.arena = arena
+			if err != nil {
+				switch {
+				case errors.Is(err, ErrReplay):
+					c.replayDrops++
+				case errors.Is(err, ErrIntegrity):
+					c.integFails++
+				case errors.Is(err, ErrExpired):
+					c.expired++
+				}
+				b.res[k] = BatchResult{Err: err}
+				continue
+			}
+			inner := b.arena[start:len(b.arena):len(b.arena)]
+			if err := unmarshalPacketInto(&b.pkts[k], inner, false); err != nil {
+				b.res[k] = BatchResult{Err: fmt.Errorf("ipsec: decapsulated garbage: %w", err)}
+				continue
+			}
+			b.res[k] = BatchResult{Pkt: &b.pkts[k]}
+			c.opened++
+		}
+		sa.mu.Unlock()
+		i = j
+	}
+	g.flush(&c)
+	return b.res
 }

@@ -702,7 +702,7 @@ func TestInstallInboundForBoundsGenerations(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		sa, _ := NewSA(uint32(7000+i), SuiteAES128CTR, key, Lifetime{})
 		sa.SetClock(clock)
-		d.InstallInboundFor("b-to-a", sa)
+		d.InstallInboundFor("b-to-a", Addr{}, sa)
 		gens = append(gens, sa)
 		if in, _ := d.Count(); in > 2 {
 			t.Fatalf("after %d rollovers: %d inbound SAs, want <= 2 generations", i+1, in)
@@ -765,26 +765,66 @@ func BenchmarkSealAES1500(b *testing.B) {
 }
 
 func BenchmarkSealOTP1500(b *testing.B) {
-	pad := randKey(8+(1500+8)*(b.N+1), 2)
-	sa, _ := NewOTPSA(1, pad, Lifetime{})
+	newSA := func(spi uint32) *SA {
+		pad := randKey(8+(1500+otpTagLen)*benchOTPPadPackets, 2)
+		sa, _ := NewOTPSA(spi, pad, Lifetime{})
+		return sa
+	}
+	sa := newSA(1)
 	payload := make([]byte, 1500)
 	b.SetBytes(1500)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sa.Seal(payload); err != nil {
-			b.Fatal(err)
+			if !errors.Is(err, ErrPadExhaust) {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			sa = newSA(uint32(2 + i))
+			b.StartTimer()
+			i--
 		}
 	}
 }
 
 // --- gateway dataplane benchmarks (bench.sh ipsec group) -------------
 
+// benchOTPPadPackets sizes bench OTP pads: enough for this many
+// 1400-byte packets per SA, refilled under StopTimer on exhaustion,
+// so pad size never scales with b.N.
+const benchOTPPadPackets = 16384
+
+func benchOTPPad(seed uint64) []byte {
+	return randKey(8+(headerLen+1400+otpTagLen)*benchOTPPadPackets, seed)
+}
+
+// benchInstallSAs installs a fresh unexpiring SA pair for tunnel i of
+// the given suite (outbound on gwA, inbound on gwB).
+func benchInstallSAs(gwA, gwB *Gateway, suite CipherSuite, i int, seed uint64) {
+	var out, in *SA
+	if suite == SuiteOTP {
+		pad := benchOTPPad(seed)
+		out, _ = NewOTPSA(uint32(1000+i), pad, Lifetime{})
+		in, _ = NewOTPSA(uint32(1000+i), pad, Lifetime{})
+	} else {
+		key := randKey(suite.KeyBits()/8, seed)
+		out, _ = NewSA(uint32(1000+i), suite, key, Lifetime{})
+		in, _ = NewSA(uint32(1000+i), suite, key, Lifetime{})
+	}
+	gwA.SAD.InstallOutbound(fmt.Sprintf("t%d/a-to-b", i), out)
+	gwB.SAD.InstallInboundFor(fmt.Sprintf("t%d/a-to-b", i), Addr{}, in)
+}
+
 // benchGateway builds a gateway pair carrying `tunnels` parallel
-// policies (10.1.i.0/24 <-> 10.2.i.0/24) with unexpiring SAs installed.
-func benchGateway(b *testing.B, suite CipherSuite, tunnels int) (*Gateway, *Gateway) {
-	b.Helper()
+// policies (10.1.i.0/24 <-> 10.2.i.0/24) with unexpiring SAs
+// installed. suites[i%len(suites)] is tunnel i's cipher suite, so OTP
+// benchmarks get real OTP SAs instead of mutating a Null policy after
+// the fact.
+func benchGateway(tb testing.TB, tunnels int, suites ...CipherSuite) (*Gateway, *Gateway) {
+	tb.Helper()
 	var polsA, polsB []*Policy
 	for i := 0; i < tunnels; i++ {
+		suite := suites[i%len(suites)]
 		ab := &Policy{Name: fmt.Sprintf("t%d/a-to-b", i), Action: Protect, Suite: suite,
 			PeerGW: MustAddr("192.1.99.35"),
 			Sel: Selector{Src: MustPrefix(fmt.Sprintf("10.1.%d.0/24", i)),
@@ -799,11 +839,7 @@ func benchGateway(b *testing.B, suite CipherSuite, tunnels int) (*Gateway, *Gate
 	gwA := NewGateway(MustAddr("192.1.99.34"), NewSPD(polsA...))
 	gwB := NewGateway(MustAddr("192.1.99.35"), NewSPD(polsB...))
 	for i := 0; i < tunnels; i++ {
-		key := randKey(suite.KeyBits()/8, uint64(50+i))
-		out, _ := NewSA(uint32(1000+i), suite, key, Lifetime{})
-		in, _ := NewSA(uint32(1000+i), suite, key, Lifetime{})
-		gwA.SAD.InstallOutbound(fmt.Sprintf("t%d/a-to-b", i), out)
-		gwB.SAD.InstallInboundFor(fmt.Sprintf("t%d/a-to-b", i), in)
+		benchInstallSAs(gwA, gwB, suites[i%len(suites)], i, uint64(50+i))
 	}
 	return gwA, gwB
 }
@@ -811,7 +847,7 @@ func benchGateway(b *testing.B, suite CipherSuite, tunnels int) (*Gateway, *Gate
 // BenchmarkGateway_SealAES is the outbound fast path: SPD match, SAD
 // lookup, AES-CTR seal on the cached key schedule, atomic counters.
 func BenchmarkGateway_SealAES(b *testing.B) {
-	gwA, _ := benchGateway(b, SuiteAES128CTR, 1)
+	gwA, _ := benchGateway(b, 1, SuiteAES128CTR)
 	pkt := &Packet{Src: MustAddr("10.1.0.5"), Dst: MustAddr("10.2.0.9"),
 		Proto: ProtoPing, Payload: make([]byte, 1400)}
 	b.SetBytes(1400)
@@ -826,7 +862,7 @@ func BenchmarkGateway_SealAES(b *testing.B) {
 // BenchmarkGateway_OpenAES is the inbound fast path: sharded SAD SPI
 // lookup, HMAC verify, decrypt, replay window.
 func BenchmarkGateway_OpenAES(b *testing.B) {
-	gwA, gwB := benchGateway(b, SuiteAES128CTR, 1)
+	gwA, gwB := benchGateway(b, 1, SuiteAES128CTR)
 	pkt := &Packet{Src: MustAddr("10.1.0.5"), Dst: MustAddr("10.2.0.9"),
 		Proto: ProtoPing, Payload: make([]byte, 1400)}
 	b.SetBytes(1400)
@@ -858,25 +894,105 @@ func BenchmarkGateway_OpenAES(b *testing.B) {
 	}
 }
 
-// BenchmarkGateway_SealOTP is the one-time-pad outbound path.
+// BenchmarkGateway_SealOTP is the one-time-pad outbound path: pad XOR
+// plus the Wegman-Carter tag over the table-driven GF(2^64) hash. The
+// SA's pad covers benchOTPPadPackets packets; on exhaustion a fresh SA
+// is installed off the clock.
 func BenchmarkGateway_SealOTP(b *testing.B) {
-	gwA, _ := benchGateway(b, SuiteNull, 1) // placeholder SAs; replaced below
-	payload := make([]byte, 1400)
+	gwA, gwB := benchGateway(b, 1, SuiteOTP)
 	inner := &Packet{Src: MustAddr("10.1.0.5"), Dst: MustAddr("10.2.0.9"),
-		Proto: ProtoPing, Payload: payload}
-	need := len(inner.Marshal()) + otpTagLen
-	pad := randKey(8+need*(b.N+1), 3)
-	sa, err := NewOTPSA(1000, pad, Lifetime{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	gwA.SPD.Policies()[0].Suite = SuiteOTP
-	gwA.SAD.InstallOutbound("t0/a-to-b", sa)
+		Proto: ProtoPing, Payload: make([]byte, 1400)}
 	b.SetBytes(1400)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := gwA.ProcessOutbound(inner); err != nil {
-			b.Fatal(err)
+			b.StopTimer()
+			benchInstallSAs(gwA, gwB, SuiteOTP, 0, uint64(100+i))
+			b.StartTimer()
+			i--
+		}
+	}
+}
+
+// BenchmarkGateway_SealOTPBatch is the same OTP outbound path through
+// ProcessOutboundBatch: one SA lock and one arena for a 64-packet
+// burst.
+func BenchmarkGateway_SealOTPBatch(b *testing.B) {
+	gwA, gwB := benchGateway(b, 1, SuiteOTP)
+	const burst = 64
+	pkts := make([]*Packet, burst)
+	for i := range pkts {
+		pkts[i] = &Packet{Src: MustAddr("10.1.0.5"), Dst: MustAddr("10.2.0.9"),
+			Proto: ProtoPing, Payload: make([]byte, 1400)}
+	}
+	bat := NewBatch()
+	defer bat.Release()
+	b.SetBytes(1400 * burst)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := gwA.ProcessOutboundBatch(bat, pkts)
+		if res[len(res)-1].Err != nil {
+			b.StopTimer()
+			benchInstallSAs(gwA, gwB, SuiteOTP, 0, uint64(100+i))
+			b.StartTimer()
+			i--
+		}
+	}
+}
+
+// BenchmarkGateway_SealAESBatch seals 64-packet bursts through one
+// tunnel via ProcessOutboundBatch.
+func BenchmarkGateway_SealAESBatch(b *testing.B) {
+	gwA, _ := benchGateway(b, 1, SuiteAES128CTR)
+	const burst = 64
+	pkts := make([]*Packet, burst)
+	for i := range pkts {
+		pkts[i] = &Packet{Src: MustAddr("10.1.0.5"), Dst: MustAddr("10.2.0.9"),
+			Proto: ProtoPing, Payload: make([]byte, 1400)}
+	}
+	bat := NewBatch()
+	defer bat.Release()
+	b.SetBytes(1400 * burst)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := gwA.ProcessOutboundBatch(bat, pkts)
+		for _, r := range res {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkGateway_OpenAESBatch opens 64-packet bursts through
+// ProcessInboundBatch (one SAD lookup + SA lock per burst, payloads
+// aliasing the batch arena).
+func BenchmarkGateway_OpenAESBatch(b *testing.B) {
+	gwA, gwB := benchGateway(b, 1, SuiteAES128CTR)
+	pkt := &Packet{Src: MustAddr("10.1.0.5"), Dst: MustAddr("10.2.0.9"),
+		Proto: ProtoPing, Payload: make([]byte, 1400)}
+	const burst = 64
+	b.SetBytes(1400 * burst)
+	bat := NewBatch()
+	defer bat.Release()
+	blobs := make([]*Packet, 0, burst)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		blobs = blobs[:0]
+		for j := 0; j < burst; j++ {
+			outer, err := gwA.ProcessOutbound(pkt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			blobs = append(blobs, outer)
+		}
+		b.StartTimer()
+		res := gwB.ProcessInboundBatch(bat, blobs)
+		for _, r := range res {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
 		}
 	}
 }
@@ -886,7 +1002,7 @@ func BenchmarkGateway_SealOTP(b *testing.B) {
 // atomic counters, flows contend only on their own SA's mutex.
 func BenchmarkGateway_Parallel(b *testing.B) {
 	const tunnels = 8
-	gwA, _ := benchGateway(b, SuiteAES128CTR, tunnels)
+	gwA, _ := benchGateway(b, tunnels, SuiteAES128CTR)
 	var next atomic.Uint64
 	b.SetBytes(1400)
 	b.ResetTimer()
@@ -901,4 +1017,75 @@ func BenchmarkGateway_Parallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkGateway_ParallelBatch is the 8-tunnel parallel dataplane
+// driven in 64-packet bursts through ProcessOutboundBatch — the
+// amortized counterpart of BenchmarkGateway_Parallel.
+func BenchmarkGateway_ParallelBatch(b *testing.B) {
+	const tunnels = 8
+	const burst = 64
+	gwA, _ := benchGateway(b, tunnels, SuiteAES128CTR)
+	var next atomic.Uint64
+	b.SetBytes(1400)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1)) % tunnels
+		pkts := make([]*Packet, burst)
+		for j := range pkts {
+			pkts[j] = &Packet{Src: MustAddr(fmt.Sprintf("10.1.%d.5", i)),
+				Dst:   MustAddr(fmt.Sprintf("10.2.%d.9", i)),
+				Proto: ProtoPing, Payload: make([]byte, 1400)}
+		}
+		bat := NewBatch()
+		defer bat.Release()
+		k := burst
+		for pb.Next() {
+			if k == burst {
+				res := gwA.ProcessOutboundBatch(bat, pkts)
+				for _, r := range res {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+				k = 0
+			}
+			k++
+		}
+	})
+}
+
+// TestBatchSealAllocs pins the batched fast path's allocation counts.
+// Once the batch arena is warm, a 64-packet OTP burst is zero-alloc
+// (pad XOR and the table-driven tag touch no heap); the AES path pays
+// only cipher.NewCTR's per-packet stream object, nothing else.
+func TestBatchSealAllocs(t *testing.T) {
+	const burst = 64
+	measure := func(suite CipherSuite) float64 {
+		gwA, _ := benchGateway(t, 1, suite)
+		pkts := make([]*Packet, burst)
+		for i := range pkts {
+			pkts[i] = &Packet{Src: MustAddr("10.1.0.5"), Dst: MustAddr("10.2.0.9"),
+				Proto: ProtoPing, Payload: make([]byte, 1400)}
+		}
+		bat := NewBatch()
+		defer bat.Release()
+		// Warm the arena and SPD index.
+		for i := 0; i < 4; i++ {
+			gwA.ProcessOutboundBatch(bat, pkts)
+		}
+		return testing.AllocsPerRun(20, func() {
+			res := gwA.ProcessOutboundBatch(bat, pkts)
+			if res[0].Err != nil {
+				t.Fatal(res[0].Err)
+			}
+		})
+	}
+	if avg := measure(SuiteOTP); avg > 4 {
+		t.Errorf("batched OTP seal: %.1f allocs per %d-packet burst, want <= 4", avg, burst)
+	}
+	if avg := measure(SuiteAES128CTR); avg > 2*burst+4 {
+		t.Errorf("batched AES seal: %.1f allocs per %d-packet burst, want <= %d (NewCTR only)",
+			avg, burst, 2*burst+4)
+	}
 }

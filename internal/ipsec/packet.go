@@ -13,6 +13,7 @@ package ipsec
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
 // IP protocol numbers used by the VPN.
@@ -71,7 +72,16 @@ const headerLen = 16
 
 // Marshal serializes the packet.
 func (p *Packet) Marshal() []byte {
-	out := make([]byte, headerLen+len(p.Payload))
+	return p.AppendMarshal(nil)
+}
+
+// AppendMarshal serializes the packet onto dst and returns the
+// extended slice, so a reusable scratch buffer absorbs the per-packet
+// make that Marshal would otherwise pay.
+func (p *Packet) AppendMarshal(dst []byte) []byte {
+	start := len(dst)
+	dst = appendZeros(dst, headerLen+len(p.Payload))
+	out := dst[start:]
 	out[0] = 4 // version
 	out[1] = p.Proto
 	binary.BigEndian.PutUint16(out[2:], uint16(headerLen+len(p.Payload)))
@@ -79,29 +89,43 @@ func (p *Packet) Marshal() []byte {
 	copy(out[8:12], p.Dst[:])
 	binary.BigEndian.PutUint32(out[12:16], p.ID)
 	copy(out[headerLen:], p.Payload)
-	return out
+	return dst
 }
 
 // UnmarshalPacket parses a serialized packet.
 func UnmarshalPacket(b []byte) (*Packet, error) {
+	p := &Packet{}
+	if err := unmarshalPacketInto(p, b, true); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// unmarshalPacketInto parses into an existing Packet. With copyPayload
+// false the payload aliases b — the batched inbound path uses this to
+// hand out decapsulated packets pointing into the batch arena instead
+// of copying every payload.
+func unmarshalPacketInto(p *Packet, b []byte, copyPayload bool) error {
 	if len(b) < headerLen {
-		return nil, fmt.Errorf("ipsec: packet too short (%d bytes)", len(b))
+		return fmt.Errorf("ipsec: packet too short (%d bytes)", len(b))
 	}
 	if b[0] != 4 {
-		return nil, fmt.Errorf("ipsec: bad version %d", b[0])
+		return fmt.Errorf("ipsec: bad version %d", b[0])
 	}
 	total := int(binary.BigEndian.Uint16(b[2:]))
 	if total != len(b) {
-		return nil, fmt.Errorf("ipsec: length field %d, packet %d bytes", total, len(b))
+		return fmt.Errorf("ipsec: length field %d, packet %d bytes", total, len(b))
 	}
-	p := &Packet{
-		Proto: b[1],
-		ID:    binary.BigEndian.Uint32(b[12:16]),
-	}
+	p.Proto = b[1]
+	p.ID = binary.BigEndian.Uint32(b[12:16])
 	copy(p.Src[:], b[4:8])
 	copy(p.Dst[:], b[8:12])
-	p.Payload = append([]byte(nil), b[headerLen:]...)
-	return p, nil
+	if copyPayload {
+		p.Payload = append([]byte(nil), b[headerLen:]...)
+	} else {
+		p.Payload = b[headerLen:]
+	}
+	return nil
 }
 
 // Prefix is an address prefix for selector matching.
@@ -208,8 +232,77 @@ type Policy struct {
 }
 
 // SPD is the ordered Security Policy Database; first match wins.
+//
+// Lookup runs against a tuple-space index (one hash map per distinct
+// selector shape — src/dst prefix lengths plus protocol) built lazily
+// on first Match and invalidated by Add, so a fabric-scale gateway
+// with 100k+ policies matches in O(shapes) instead of scanning the
+// whole ordered list per packet.
 type SPD struct {
 	entries []*Policy
+	idx     atomic.Pointer[spdIndex]
+}
+
+// spdShape is one distinct selector shape's exact-match table: mask
+// the packet's addresses to the shape's prefix lengths and look the
+// pair up. Among shapes, the lowest-index (earliest) policy wins,
+// preserving the ordered-list first-match semantics exactly.
+type spdShape struct {
+	srcBits, dstBits int
+	proto            uint8
+	byKey            map[spdKey]spdHit
+}
+
+type spdKey struct {
+	src, dst Addr
+}
+
+type spdHit struct {
+	pol   *Policy
+	order int
+}
+
+type spdIndex struct {
+	shapes []*spdShape
+	byName map[string]*Policy
+}
+
+// maskAddr zeroes the host bits of a below a prefix length.
+func maskAddr(a Addr, bits int) Addr {
+	if bits >= 32 {
+		return a
+	}
+	v := binary.BigEndian.Uint32(a[:])
+	v &= ^uint32(0) << (32 - bits)
+	var out Addr
+	binary.BigEndian.PutUint32(out[:], v)
+	return out
+}
+
+func buildSPDIndex(entries []*Policy) *spdIndex {
+	idx := &spdIndex{byName: make(map[string]*Policy, len(entries))}
+	find := func(srcBits, dstBits int, proto uint8) *spdShape {
+		for _, sh := range idx.shapes {
+			if sh.srcBits == srcBits && sh.dstBits == dstBits && sh.proto == proto {
+				return sh
+			}
+		}
+		sh := &spdShape{srcBits: srcBits, dstBits: dstBits, proto: proto,
+			byKey: make(map[spdKey]spdHit)}
+		idx.shapes = append(idx.shapes, sh)
+		return sh
+	}
+	for i, e := range entries {
+		sh := find(e.Sel.Src.Bits, e.Sel.Dst.Bits, e.Sel.Proto)
+		k := spdKey{src: maskAddr(e.Sel.Src.Addr, sh.srcBits), dst: maskAddr(e.Sel.Dst.Addr, sh.dstBits)}
+		if _, dup := sh.byKey[k]; !dup { // first entry per key wins, like the scan
+			sh.byKey[k] = spdHit{pol: e, order: i}
+		}
+		if _, dup := idx.byName[e.Name]; !dup {
+			idx.byName[e.Name] = e
+		}
+	}
+	return idx
 }
 
 // NewSPD builds a policy database.
@@ -217,17 +310,43 @@ func NewSPD(policies ...*Policy) *SPD {
 	return &SPD{entries: policies}
 }
 
-// Add appends a policy.
-func (s *SPD) Add(p *Policy) { s.entries = append(s.entries, p) }
+// Add appends a policy (and invalidates the lookup index).
+func (s *SPD) Add(p *Policy) {
+	s.entries = append(s.entries, p)
+	s.idx.Store(nil)
+}
 
 // Match returns the first policy covering the packet, or nil.
 func (s *SPD) Match(p *Packet) *Policy {
-	for _, e := range s.entries {
-		if e.Sel.Matches(p) {
-			return e
+	idx := s.idx.Load()
+	if idx == nil {
+		idx = buildSPDIndex(s.entries)
+		s.idx.Store(idx)
+	}
+	var bestPol *Policy
+	bestOrder := int(^uint(0) >> 1)
+	for _, sh := range idx.shapes {
+		if sh.proto != ProtoAny && sh.proto != p.Proto {
+			continue
+		}
+		k := spdKey{src: maskAddr(p.Src, sh.srcBits), dst: maskAddr(p.Dst, sh.dstBits)}
+		if hit, ok := sh.byKey[k]; ok && hit.order < bestOrder {
+			bestPol, bestOrder = hit.pol, hit.order
 		}
 	}
-	return nil
+	return bestPol
+}
+
+// ByName returns the first policy with the given name, or nil. Like
+// Match, it runs against the lazily-built index, so IKE's per-tunnel
+// policy resolution stays O(1) on a fabric-scale database.
+func (s *SPD) ByName(name string) *Policy {
+	idx := s.idx.Load()
+	if idx == nil {
+		idx = buildSPDIndex(s.entries)
+		s.idx.Store(idx)
+	}
+	return idx.byName[name]
 }
 
 // Policies returns the entries in order.

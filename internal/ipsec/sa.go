@@ -6,6 +6,7 @@ import (
 	"crypto/des"
 	"crypto/hmac"
 	"crypto/sha1"
+	"crypto/subtle"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -149,10 +150,12 @@ type SA struct {
 	maxSeq uint32
 	window uint64
 
-	// OTP state
+	// OTP state. wcTab is the per-key nibble table behind the
+	// Wegman-Carter hash (built once at construction, see buildWCTable).
 	pad     []byte
 	padUsed int
 	wcKey   uint64
+	wcTab   *[16][16]uint64
 
 	// now is injectable for lifetime tests.
 	now func() time.Time
@@ -222,6 +225,7 @@ func NewOTPSA(spi uint32, pad []byte, life Lifetime) (*SA, error) {
 		pad:     append([]byte(nil), pad[8:]...),
 		now:     time.Now,
 	}
+	sa.wcTab = buildWCTable(sa.wcKey)
 	return sa, nil
 }
 
@@ -333,15 +337,41 @@ func (sa *SA) PadRemaining() int {
 	return len(sa.pad) - sa.padUsed
 }
 
+// appendZeros extends b by n writable bytes, reusing spare capacity
+// when there is any (the reused region may hold stale bytes — callers
+// overwrite every byte they take). This is what lets a pooled arena
+// absorb a whole burst of sealed packets with no per-packet make.
+func appendZeros(b []byte, n int) []byte {
+	if n <= cap(b)-len(b) {
+		return b[:len(b)+n]
+	}
+	nb := make([]byte, len(b)+n, 2*cap(b)+n)
+	copy(nb, b)
+	return nb
+}
+
 // Seal encapsulates payload:
 //
 //	conventional: SPI | seq | IV | ciphertext | HMAC-SHA1-96
 //	OTP:          SPI | seq | padOffset(8) | ciphertext | WC tag(8)
 func (sa *SA) Seal(payload []byte) ([]byte, error) {
+	return sa.SealAppend(nil, payload)
+}
+
+// SealAppend is Seal in append style: the sealed blob is appended to
+// dst (which may be nil) and the extended slice returned. Threading
+// one reusable buffer through marshal and seal is how the batched
+// gateway path kills the per-packet allocations; on error dst is
+// returned unextended.
+func (sa *SA) SealAppend(dst, payload []byte) ([]byte, error) {
 	sa.mu.Lock()
 	defer sa.mu.Unlock()
+	return sa.sealAppendLocked(dst, payload)
+}
+
+func (sa *SA) sealAppendLocked(dst, payload []byte) ([]byte, error) {
 	if sa.expiredLocked() {
-		return nil, ErrExpired
+		return dst, ErrExpired
 	}
 	sa.seq++
 	seq := sa.seq
@@ -349,37 +379,58 @@ func (sa *SA) Seal(payload []byte) ([]byte, error) {
 	if sa.Suite == SuiteOTP {
 		need := len(payload) + otpTagLen
 		if sa.padUsed+need > len(sa.pad) {
-			return nil, ErrPadExhaust
+			return dst, ErrPadExhaust
 		}
 		offset := sa.padUsed
-		out := make([]byte, 16+len(payload)+otpTagLen)
+		start := len(dst)
+		dst = appendZeros(dst, 16+len(payload)+otpTagLen)
+		out := dst[start:]
 		binary.BigEndian.PutUint32(out[0:], sa.SPI)
 		binary.BigEndian.PutUint32(out[4:], seq)
 		binary.BigEndian.PutUint64(out[8:], uint64(offset))
-		for i, b := range payload {
-			out[16+i] = b ^ sa.pad[offset+i]
-		}
+		subtle.XORBytes(out[16:16+len(payload)], payload, sa.pad[offset:offset+len(payload)])
 		tagPad := binary.LittleEndian.Uint64(sa.pad[offset+len(payload) : offset+len(payload)+8])
-		tag := wcHash(sa.wcKey, out[:16+len(payload)]) ^ tagPad
+		tag := wcHashTab(sa.wcTab, out[:16+len(payload)]) ^ tagPad
 		binary.LittleEndian.PutUint64(out[16+len(payload):], tag)
 		sa.padUsed += need
 		sa.bytesSealed += uint64(len(payload))
-		return out, nil
+		return dst, nil
 	}
 
-	iv := sa.ivLocked(seq)
-	ct, err := sa.crypt(payload, iv, true)
-	if err != nil {
-		return nil, err
+	ivLen := sa.ivLen()
+	ctLen := len(payload)
+	if sa.Suite == Suite3DESCBC {
+		bs := sa.block.BlockSize()
+		ctLen = len(payload) + bs - len(payload)%bs
 	}
-	out := make([]byte, 8+len(iv)+len(ct)+icvLen)
+	start := len(dst)
+	dst = appendZeros(dst, 8+ivLen+ctLen+icvLen)
+	out := dst[start:]
 	binary.BigEndian.PutUint32(out[0:], sa.SPI)
 	binary.BigEndian.PutUint32(out[4:], seq)
-	copy(out[8:], iv)
-	copy(out[8+len(iv):], ct)
-	copy(out[8+len(iv)+len(ct):], sa.icvLocked(out[:8+len(iv)+len(ct)]))
+	var iv [16]byte
+	binary.BigEndian.PutUint32(iv[:], sa.SPI)
+	binary.BigEndian.PutUint32(iv[4:], seq)
+	copy(out[8:], iv[:ivLen])
+	ct := out[8+ivLen : 8+ivLen+ctLen]
+	switch sa.Suite {
+	case SuiteNull:
+		copy(ct, payload)
+	case SuiteAES128CTR:
+		cipher.NewCTR(sa.block, iv[:ivLen]).XORKeyStream(ct, payload)
+	case Suite3DESCBC:
+		copy(ct, payload)
+		padB := byte(ctLen - len(payload))
+		for i := len(payload); i < ctLen; i++ {
+			ct[i] = padB
+		}
+		cipher.NewCBCEncrypter(sa.block, iv[:ivLen]).CryptBlocks(ct, ct)
+	default:
+		return dst[:start], fmt.Errorf("ipsec: suite %v cannot seal", sa.Suite)
+	}
+	copy(out[8+ivLen+ctLen:], sa.icvLocked(out[:8+ivLen+ctLen]))
 	sa.bytesSealed += uint64(len(payload))
-	return out, nil
+	return dst, nil
 }
 
 // icvLocked computes the HMAC-SHA1-96 tag with the cached MAC state.
@@ -396,57 +447,92 @@ func (sa *SA) icvLocked(body []byte) []byte {
 // sender's check-then-count order exactly, so legitimate traffic sealed
 // under the bound always opens.
 func (sa *SA) Open(blob []byte) ([]byte, error) {
+	out, err := sa.OpenAppend(nil, blob)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// OpenAppend is Open in append style: the recovered payload is
+// appended to dst (which may be nil) and the extended slice returned.
+// On error dst comes back unextended, so a batch arena never keeps
+// half-decrypted bytes.
+func (sa *SA) OpenAppend(dst, blob []byte) ([]byte, error) {
 	sa.mu.Lock()
 	defer sa.mu.Unlock()
+	return sa.openAppendLocked(dst, blob)
+}
+
+func (sa *SA) openAppendLocked(dst, blob []byte) ([]byte, error) {
 	if len(blob) < 8 {
-		return nil, fmt.Errorf("ipsec: ESP blob too short")
+		return dst, fmt.Errorf("ipsec: ESP blob too short")
 	}
 	spi := binary.BigEndian.Uint32(blob[0:])
 	if spi != sa.SPI {
-		return nil, fmt.Errorf("%w: %#x", ErrUnknownSPI, spi)
+		return dst, fmt.Errorf("%w: %#x", ErrUnknownSPI, spi)
 	}
 	if sa.retiredLocked(sa.now()) {
-		return nil, ErrExpired
+		return dst, ErrExpired
 	}
 	if sa.Life.Bytes > 0 && sa.bytesOpened >= sa.Life.Bytes {
-		return nil, ErrExpired
+		return dst, ErrExpired
 	}
 	seq := binary.BigEndian.Uint32(blob[4:])
 
-	var payload []byte
+	start := len(dst)
 	if sa.Suite == SuiteOTP {
 		if len(blob) < 16+otpTagLen {
-			return nil, fmt.Errorf("ipsec: OTP blob too short")
+			return dst, fmt.Errorf("ipsec: OTP blob too short")
 		}
 		offset := binary.BigEndian.Uint64(blob[8:16])
 		ct := blob[16 : len(blob)-otpTagLen]
-		if offset+uint64(len(ct))+otpTagLen > uint64(len(sa.pad)) {
-			return nil, ErrPadExhaust
+		// The offset is attacker-controlled: bound it before any
+		// arithmetic on it, since offset+len(ct)+otpTagLen can wrap
+		// uint64, slip past the range check, and panic slicing the pad.
+		if offset > uint64(len(sa.pad)) ||
+			offset+uint64(len(ct))+otpTagLen > uint64(len(sa.pad)) {
+			return dst, ErrPadExhaust
 		}
 		tagPad := binary.LittleEndian.Uint64(sa.pad[offset+uint64(len(ct)) : offset+uint64(len(ct))+8])
-		want := wcHash(sa.wcKey, blob[:len(blob)-otpTagLen]) ^ tagPad
+		want := wcHashTab(sa.wcTab, blob[:len(blob)-otpTagLen]) ^ tagPad
 		got := binary.LittleEndian.Uint64(blob[len(blob)-otpTagLen:])
 		if want != got {
-			return nil, ErrIntegrity
+			return dst, ErrIntegrity
 		}
-		payload = make([]byte, len(ct))
-		for i, b := range ct {
-			payload[i] = b ^ sa.pad[offset+uint64(i)]
-		}
+		dst = appendZeros(dst, len(ct))
+		subtle.XORBytes(dst[start:], ct, sa.pad[offset:offset+uint64(len(ct))])
 	} else {
 		ivLen := sa.ivLen()
 		if len(blob) < 8+ivLen+icvLen {
-			return nil, fmt.Errorf("ipsec: ESP blob too short")
+			return dst, fmt.Errorf("ipsec: ESP blob too short")
 		}
 		body := blob[:len(blob)-icvLen]
 		if !hmac.Equal(sa.icvLocked(body), blob[len(blob)-icvLen:]) {
-			return nil, ErrIntegrity
+			return dst, ErrIntegrity
 		}
 		iv := blob[8 : 8+ivLen]
-		var err error
-		payload, err = sa.crypt(body[8+ivLen:], iv, false)
-		if err != nil {
-			return nil, err
+		data := body[8+ivLen:]
+		switch sa.Suite {
+		case SuiteNull:
+			dst = append(dst, data...)
+		case SuiteAES128CTR:
+			dst = appendZeros(dst, len(data))
+			cipher.NewCTR(sa.block, iv).XORKeyStream(dst[start:], data)
+		case Suite3DESCBC:
+			bs := sa.block.BlockSize()
+			if len(data)%bs != 0 || len(data) == 0 {
+				return dst[:start], fmt.Errorf("ipsec: bad 3DES ciphertext length %d", len(data))
+			}
+			dst = appendZeros(dst, len(data))
+			cipher.NewCBCDecrypter(sa.block, iv).CryptBlocks(dst[start:], data)
+			plain, err := pkcs7Unpad(dst[start:], bs)
+			if err != nil {
+				return dst[:start], err
+			}
+			dst = dst[:start+len(plain)]
+		default:
+			return dst, fmt.Errorf("ipsec: suite %v cannot open", sa.Suite)
 		}
 	}
 
@@ -454,10 +540,10 @@ func (sa *SA) Open(blob []byte) ([]byte, error) {
 	// sequence number at most once. Checked after integrity so forged
 	// sequence numbers cannot poison the window.
 	if err := sa.replayCheckLocked(seq); err != nil {
-		return nil, err
+		return dst[:start], err
 	}
-	sa.bytesOpened += uint64(len(payload))
-	return payload, nil
+	sa.bytesOpened += uint64(len(dst) - start)
+	return dst, nil
 }
 
 // replayCheckLocked implements the RFC 2401 sliding window.
@@ -500,56 +586,6 @@ func (sa *SA) ivLen() int {
 	}
 }
 
-// ivLocked derives a fresh IV from the sequence number and SPI —
-// deterministic, never reused within an SA.
-func (sa *SA) ivLocked(seq uint32) []byte {
-	n := sa.ivLen()
-	if n == 0 {
-		return nil
-	}
-	iv := make([]byte, n)
-	binary.BigEndian.PutUint32(iv, sa.SPI)
-	binary.BigEndian.PutUint32(iv[4:], seq)
-	return iv
-}
-
-// crypt runs the conventional cipher in the indicated direction, on the
-// key schedule cached at construction.
-func (sa *SA) crypt(data, iv []byte, encrypt bool) ([]byte, error) {
-	switch sa.Suite {
-	case SuiteNull:
-		return append([]byte(nil), data...), nil
-	case SuiteAES128CTR:
-		out := make([]byte, len(data))
-		cipher.NewCTR(sa.block, iv).XORKeyStream(out, data)
-		return out, nil
-	case Suite3DESCBC:
-		if encrypt {
-			padded := pkcs7Pad(data, sa.block.BlockSize())
-			out := make([]byte, len(padded))
-			cipher.NewCBCEncrypter(sa.block, iv).CryptBlocks(out, padded)
-			return out, nil
-		}
-		if len(data)%sa.block.BlockSize() != 0 || len(data) == 0 {
-			return nil, fmt.Errorf("ipsec: bad 3DES ciphertext length %d", len(data))
-		}
-		out := make([]byte, len(data))
-		cipher.NewCBCDecrypter(sa.block, iv).CryptBlocks(out, data)
-		return pkcs7Unpad(out, sa.block.BlockSize())
-	}
-	return nil, fmt.Errorf("ipsec: suite %v cannot crypt", sa.Suite)
-}
-
-func pkcs7Pad(data []byte, block int) []byte {
-	n := block - len(data)%block
-	out := make([]byte, len(data)+n)
-	copy(out, data)
-	for i := len(data); i < len(out); i++ {
-		out[i] = byte(n)
-	}
-	return out
-}
-
 func pkcs7Unpad(data []byte, block int) ([]byte, error) {
 	if len(data) == 0 || len(data)%block != 0 {
 		return nil, fmt.Errorf("ipsec: bad padded length")
@@ -566,7 +602,10 @@ func pkcs7Unpad(data []byte, block int) ([]byte, error) {
 	return data[:len(data)-n], nil
 }
 
-// wcHash is the GF(2^64) polynomial hash used for OTP integrity tags.
+// wcHash is the GF(2^64) polynomial hash used for OTP integrity tags
+// (Horner over 8-byte little-endian blocks, zero-padded tail, length
+// mixed in last). This slice-based form is the reference the packet
+// path's table-driven wcHashTab is pinned against in tests.
 func wcHash(key uint64, msg []byte) uint64 {
 	k := []uint64{key}
 	acc := []uint64{0}
@@ -583,4 +622,48 @@ func wcHash(key uint64, msg []byte) uint64 {
 	acc[0] ^= uint64(len(msg))
 	acc = field64.Mul(acc, k)
 	return acc[0]
+}
+
+// buildWCTable precomputes the multiply-by-key nibble tables for one
+// Wegman-Carter key (the GHASH software trick): tab[p][v] is
+// (v·x^(4p))·key in GF(2^64), so a field multiplication by key
+// becomes 16 table loads xored together — no allocation, no
+// reduction. 2 KiB per OTP SA, built once at construction.
+func buildWCTable(key uint64) *[16][16]uint64 {
+	var tab [16][16]uint64
+	for v := uint64(1); v < 16; v++ {
+		tab[0][v] = field64.Mul64(v, key)
+	}
+	for p := 1; p < 16; p++ {
+		for v := 1; v < 16; v++ {
+			tab[p][v] = field64.Mul64(tab[p-1][v], 0x10) // shift up one nibble: ·x^4
+		}
+	}
+	return &tab
+}
+
+// wcMul is one multiply-by-key step against the precomputed tables.
+func wcMul(tab *[16][16]uint64, x uint64) uint64 {
+	return tab[0][x&15] ^ tab[1][x>>4&15] ^ tab[2][x>>8&15] ^ tab[3][x>>12&15] ^
+		tab[4][x>>16&15] ^ tab[5][x>>20&15] ^ tab[6][x>>24&15] ^ tab[7][x>>28&15] ^
+		tab[8][x>>32&15] ^ tab[9][x>>36&15] ^ tab[10][x>>40&15] ^ tab[11][x>>44&15] ^
+		tab[12][x>>48&15] ^ tab[13][x>>52&15] ^ tab[14][x>>56&15] ^ tab[15][x>>60]
+}
+
+// wcHashTab is wcHash evaluated against a key's precomputed tables —
+// the packet-rate form: word-wide loads, zero allocations.
+func wcHashTab(tab *[16][16]uint64, msg []byte) uint64 {
+	var acc uint64
+	n := len(msg)
+	for len(msg) >= 8 {
+		acc = wcMul(tab, acc) ^ binary.LittleEndian.Uint64(msg)
+		msg = msg[8:]
+	}
+	if len(msg) > 0 {
+		var block [8]byte
+		copy(block[:], msg)
+		acc = wcMul(tab, acc) ^ binary.LittleEndian.Uint64(block[:])
+	}
+	acc = wcMul(tab, acc) ^ uint64(n)
+	return wcMul(tab, acc)
 }

@@ -31,6 +31,7 @@ import (
 	"qkd/internal/kms"
 	"qkd/internal/photonics"
 	"qkd/internal/qnet"
+	"qkd/internal/rng"
 )
 
 // TunnelSpec declares one protected tunnel between the two enclaves:
@@ -75,6 +76,18 @@ type Config struct {
 	FrameSlots int
 	// Seed drives all simulation randomness.
 	Seed uint64
+	// NoQKD skips building the photon-level QKD session entirely; key
+	// material arrives via ChargeSynthetic instead. The fabric-scale
+	// experiments use this: simulating single photons for 100k tunnels
+	// is neither feasible nor the point.
+	NoQKD bool
+	// RekeyWorkers sizes the background rekeyer's worker pool (default
+	// 2). Workers drain the deduplicated rekey queue in batches, so a
+	// fabric-wide expiry storm coalesces into a few batched IKE
+	// exchanges instead of a thundering herd of negotiations.
+	RekeyWorkers int
+	// RekeyBatch caps tunnels per batched IKE exchange (default 256).
+	RekeyBatch int
 	// KDS routes all key delivery through a per-site kms.Service: the
 	// distillation engines deposit into the KDS, and the IKE daemons
 	// withdraw Qblocks and OTP pads as (stream, sequence) ticket claims
@@ -130,6 +143,12 @@ type rekeyReq struct {
 	gen uint64
 }
 
+// defaults for the coalescing rekeyer.
+const (
+	defaultRekeyWorkers = 2
+	defaultRekeyBatch   = 256
+)
+
 // Network is the assembled two-site system.
 type Network struct {
 	A, B    *Site
@@ -145,13 +164,25 @@ type Network struct {
 	byPolicy map[string]*tunnel
 
 	// Background rekeyer: gateway soft-expiry (and missing-SA) signals
-	// funnel here so the replacement SA lands before the hard stop,
-	// without blocking the dataplane path that noticed. Each request
-	// carries the tunnel generation observed when the signal fired, so
-	// a rollover that already happened in the meantime voids it.
-	rekeyCh   chan rekeyReq
-	rekeyStop chan struct{}
-	rekeyWG   sync.WaitGroup
+	// funnel into a deduplicated queue (a tunnel appears at most once,
+	// via rekeyPending) drained by a small worker pool in batches of
+	// rekeyBatch. Each request carries the tunnel generation observed
+	// when the signal fired, so a rollover that already happened in the
+	// meantime voids it. The batching is what tames a fabric-wide
+	// expiry storm: ten thousand soft-expiry signals collapse into a
+	// few dozen batched IKE exchanges, each with one QoS ledger ticket
+	// per key stream.
+	rekeyQMu     sync.Mutex
+	rekeyQ       []rekeyReq
+	rekeyCond    *sync.Cond
+	rekeyClosed  bool
+	rekeyWorkers int
+	rekeyBatch   int
+	rekeyWG      sync.WaitGroup
+
+	// seed feeds ChargeSynthetic's deterministic key generator.
+	seed      uint64
+	synthSeed atomic.Uint64
 
 	// EveTap, when set, sees every tunnel packet crossing the simulated
 	// internet and may drop or rewrite it. It is called from every
@@ -228,14 +259,27 @@ func New(cfg Config) (*Network, error) {
 		}
 		poolA, poolB = kdsA.PoolView(kms.ClassRekey), kdsB.PoolView(kms.ClassRekey)
 	}
-	session := core.NewSessionWithPools(cfg.Photonics, cfg.QKD, cfg.FrameSlots, cfg.Seed, poolA, poolB)
-
-	n := &Network{
-		Session:   session,
-		byPolicy:  make(map[string]*tunnel),
-		rekeyCh:   make(chan rekeyReq, 64),
-		rekeyStop: make(chan struct{}),
+	// A fabric-scale network skips the photon-level session: the pools
+	// are charged synthetically instead (ChargeSynthetic).
+	var session *core.Session
+	if !cfg.NoQKD {
+		session = core.NewSessionWithPools(cfg.Photonics, cfg.QKD, cfg.FrameSlots, cfg.Seed, poolA, poolB)
 	}
+
+	if cfg.RekeyWorkers <= 0 {
+		cfg.RekeyWorkers = defaultRekeyWorkers
+	}
+	if cfg.RekeyBatch <= 0 {
+		cfg.RekeyBatch = defaultRekeyBatch
+	}
+	n := &Network{
+		Session:      session,
+		byPolicy:     make(map[string]*tunnel),
+		rekeyWorkers: cfg.RekeyWorkers,
+		rekeyBatch:   cfg.RekeyBatch,
+		seed:         cfg.Seed,
+	}
+	n.rekeyCond = sync.NewCond(&n.rekeyQMu)
 	var spdA, spdB []*ipsec.Policy
 	seen := make(map[string]bool)
 	for _, spec := range specs {
@@ -272,17 +316,17 @@ func New(cfg Config) (*Network, error) {
 	psk := []byte("darpa-quantum-network-psk")
 	cfgI := cfg.IKE
 	cfgI.Seed = cfg.Seed ^ 0x1CE
-	dA := ike.NewDaemon(ike.Initiator, ikeConnA, gwA, session.Alice.Pool(), psk, cfgI, cfg.IKELogA)
+	dA := ike.NewDaemon(ike.Initiator, ikeConnA, gwA, poolA, psk, cfgI, cfg.IKELogA)
 	cfgR := cfg.IKE
 	cfgR.Seed = cfg.Seed ^ 0x2CE
-	dB := ike.NewDaemon(ike.Responder, ikeConnB, gwB, session.Bob.Pool(), psk, cfgR, cfg.IKELogB)
+	dB := ike.NewDaemon(ike.Responder, ikeConnB, gwB, poolB, psk, cfgR, cfg.IKELogB)
 	if cfg.KDS {
 		dA.SetKeyStreams(qbA, otpA)
 		dB.SetKeyStreams(qbB, otpB)
 	}
 
-	n.A = &Site{GW: gwA, IKE: dA, Pool: session.Alice.Pool(), KDS: kdsA}
-	n.B = &Site{GW: gwB, IKE: dB, Pool: session.Bob.Pool(), KDS: kdsB}
+	n.A = &Site{GW: gwA, IKE: dA, Pool: poolA, KDS: kdsA}
+	n.B = &Site{GW: gwB, IKE: dB, Pool: poolB, KDS: kdsB}
 	if cfg.KDS && cfg.QNet != nil {
 		if cfg.QNetStripes <= 0 {
 			cfg.QNetStripes = 2
@@ -342,7 +386,22 @@ func (n *Network) PumpQNet(nbits int) error {
 // DistillKeys pumps QKD frames until both reservoirs hold at least
 // bits, within maxFrames.
 func (n *Network) DistillKeys(bits, maxFrames int) error {
+	if n.Session == nil {
+		return errors.New("vpn: NoQKD network has no distillation session (use ChargeSynthetic)")
+	}
 	return n.Session.RunUntilDistilled(bits, maxFrames)
+}
+
+// ChargeSynthetic deposits `bits` of identical deterministic key into
+// both sites' supplies, standing in for distillation on NoQKD
+// (fabric-scale) networks: the mirrored-reservoir invariant the QKD
+// layer normally provides — same bits, same order, both ends — is
+// preserved, just without simulating the photons that justify it.
+func (n *Network) ChargeSynthetic(bits int) {
+	seq := n.synthSeed.Add(1)
+	material := rng.NewSplitMix64(n.seed ^ 0xC4A26E*seq).Bits(bits)
+	n.A.Pool.Deposit(material.Clone())
+	n.B.Pool.Deposit(material)
 }
 
 // Establish starts both IKE daemons (Phase 1), negotiates every
@@ -364,8 +423,10 @@ func (n *Network) Establish() error {
 	// Soft-expiry (and missing-SA) signals from either gateway request a
 	// deduplicated background rekey. Only wired after establishment so
 	// stray signals never race Phase 1.
-	n.rekeyWG.Add(1)
-	go n.rekeyLoop()
+	for i := 0; i < n.rekeyWorkers; i++ {
+		n.rekeyWG.Add(1)
+		go n.rekeyWorker()
+	}
 	n.A.GW.OnMissingSA = n.requestRekey
 	n.B.GW.OnMissingSA = n.requestRekey
 	return nil
@@ -385,33 +446,111 @@ func (n *Network) requestRekey(pol *ipsec.Policy) {
 	if !t.rekeyPending.CompareAndSwap(false, true) {
 		return
 	}
-	select {
-	case n.rekeyCh <- rekeyReq{t, t.gen.Load()}:
-	default:
-		t.rekeyPending.Store(false) // queue full; the next signal retries
+	req := rekeyReq{t, t.gen.Load()}
+	n.rekeyQMu.Lock()
+	if n.rekeyClosed {
+		n.rekeyQMu.Unlock()
+		t.rekeyPending.Store(false)
+		return
 	}
+	n.rekeyQ = append(n.rekeyQ, req)
+	n.rekeyQMu.Unlock()
+	n.rekeyCond.Signal()
 }
 
-func (n *Network) rekeyLoop() {
+// rekeyWorker drains the rekey queue in batches. The pending dedup
+// guarantees a tunnel sits in at most one worker's batch at a time, so
+// workers hold disjoint sets of tunnel rekey locks and cannot deadlock
+// against each other (or against single-tunnel rekey paths, which only
+// ever hold one).
+func (n *Network) rekeyWorker() {
 	defer n.rekeyWG.Done()
 	for {
-		select {
-		case <-n.rekeyStop:
+		n.rekeyQMu.Lock()
+		for len(n.rekeyQ) == 0 && !n.rekeyClosed {
+			n.rekeyCond.Wait()
+		}
+		if n.rekeyClosed {
+			n.rekeyQMu.Unlock()
 			return
-		case req := <-n.rekeyCh:
-			// Best effort: a starved reservoir fails here and the next
-			// traffic-driven signal (or SendWithRollover) retries.
-			_ = n.rekeyTunnelFrom(req.t, req.gen)
-			req.t.rekeyPending.Store(false)
+		}
+		take := len(n.rekeyQ)
+		if take > n.rekeyBatch {
+			take = n.rekeyBatch
+		}
+		batch := make([]rekeyReq, take)
+		copy(batch, n.rekeyQ)
+		n.rekeyQ = n.rekeyQ[:copy(n.rekeyQ, n.rekeyQ[take:])]
+		n.rekeyQMu.Unlock()
+
+		ts := make([]*tunnel, len(batch))
+		gens := make([]uint64, len(batch))
+		for i, r := range batch {
+			ts[i], gens[i] = r.t, r.gen
+		}
+		// Best effort: a starved reservoir fails here and the next
+		// traffic-driven signal (or SendWithRollover) retries.
+		n.negotiateTunnels(ts, gens)
+		for _, r := range batch {
+			r.t.rekeyPending.Store(false)
 		}
 	}
 }
 
-// Renegotiate rolls every tunnel over to fresh SAs ("key rollover").
+// negotiateTunnels rolls a set of distinct tunnels over in one batched
+// IKE exchange. Each tunnel's rekey lock is held across the batch;
+// tunnels whose generation moved past the observed one are skipped
+// (the rollover already happened, no key to burn). Returns one error
+// per tunnel, nil on success or skip.
+func (n *Network) negotiateTunnels(ts []*tunnel, gens []uint64) []error {
+	errs := make([]error, len(ts))
+	items := make([]ike.BatchItem, 0, len(ts))
+	idx := make([]int, 0, len(ts))
+	for i, t := range ts {
+		t.rekeyMu.Lock()
+		if t.gen.Load() != gens[i] {
+			t.rekeyMu.Unlock()
+			ts[i] = nil // already rolled over; skip and drop the lock
+			continue
+		}
+		items = append(items, ike.BatchItem{Policy: t.polAB, ReversePolicy: t.polBA.Name})
+		idx = append(idx, i)
+	}
+	if len(items) == 0 {
+		return errs
+	}
+	berrs, err := n.A.IKE.NegotiateBatch(items)
+	for k, i := range idx {
+		switch {
+		case err != nil:
+			errs[i] = err
+		case berrs[k] != nil:
+			errs[i] = berrs[k]
+		default:
+			ts[i].gen.Add(1)
+		}
+		ts[i].rekeyMu.Unlock()
+	}
+	return errs
+}
+
+// Renegotiate rolls every tunnel over to fresh SAs ("key rollover"),
+// batched rekeyBatch tunnels per IKE exchange.
 func (n *Network) Renegotiate() error {
-	for _, t := range n.tunnels {
-		if err := n.rekeyTunnelFrom(t, t.gen.Load()); err != nil {
-			return fmt.Errorf("vpn: tunnel %q: %w", t.spec.Name, err)
+	for lo := 0; lo < len(n.tunnels); lo += n.rekeyBatch {
+		hi := lo + n.rekeyBatch
+		if hi > len(n.tunnels) {
+			hi = len(n.tunnels)
+		}
+		ts := make([]*tunnel, hi-lo)
+		gens := make([]uint64, hi-lo)
+		for i, t := range n.tunnels[lo:hi] {
+			ts[i], gens[i] = t, t.gen.Load()
+		}
+		for i, err := range n.negotiateTunnels(ts, gens) {
+			if err != nil {
+				return fmt.Errorf("vpn: tunnel %q: %w", n.tunnels[lo+i].spec.Name, err)
+			}
 		}
 	}
 	return nil
@@ -447,11 +586,10 @@ func (n *Network) rekeyTunnelFrom(t *tunnel, gen uint64) error {
 
 // Close tears the network down.
 func (n *Network) Close() {
-	select {
-	case <-n.rekeyStop:
-	default:
-		close(n.rekeyStop)
-	}
+	n.rekeyQMu.Lock()
+	n.rekeyClosed = true
+	n.rekeyQMu.Unlock()
+	n.rekeyCond.Broadcast()
 	// Stop the daemons before waiting out the rekeyer: a background
 	// negotiation in flight fails fast on the stopped daemon instead of
 	// holding teardown for its timeout.
@@ -577,6 +715,9 @@ type KeyRaceResult struct {
 // consumed" of Section 2, in miniature.
 func (n *Network) RunKeyRace(rounds, qkdFrames, packets, payloadBytes int) (KeyRaceResult, error) {
 	var res KeyRaceResult
+	if n.Session == nil {
+		return res, errors.New("vpn: NoQKD network has no distillation session")
+	}
 	id := uint32(0)
 	for r := 0; r < rounds; r++ {
 		if err := n.Session.RunFrames(qkdFrames); err != nil {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"qkd/internal/core"
+	"qkd/internal/ike"
 	"qkd/internal/ipsec"
 	"qkd/internal/photonics"
 	"qkd/internal/qnet"
@@ -564,6 +565,108 @@ func TestPumpQNetFeedsBothSites(t *testing.T) {
 	for _, l := range rn.Links() {
 		if got := 1<<14 - l.KeyAvailable(); got != 2048 {
 			t.Errorf("link %s-%s consumed %d pad bits, want 2048", l.A, l.B, got)
+		}
+	}
+}
+
+// TestFabricStormCoalesces brings up a small fabric, drives every
+// tunnel across its soft byte-lifetime threshold in one burst, and
+// verifies the fabric-wide rollover storm coalesces into a handful of
+// batched IKE exchanges rather than one per tunnel. Sized to run under
+// -race in the CI short lane.
+func TestFabricStormCoalesces(t *testing.T) {
+	const pairs, perPair = 2, 48
+	f, err := NewFabric(FabricConfig{
+		Pairs:          pairs,
+		TunnelsPerPair: perPair,
+		OTPEvery:       8,
+		OTPBits:        40960,
+		Life:           ipsec.Lifetime{Bytes: 2200},
+		IKE:            ike.Config{Phase2Timeout: 10 * time.Second},
+		Seed:           99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Key for the initial establishment plus a couple of rollovers.
+	f.ChargeKey(4 * f.KeyBitsPerRollover())
+	if err := f.Establish(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Tunnels(); got != pairs*perPair {
+		t.Fatalf("Tunnels() = %d, want %d", got, pairs*perPair)
+	}
+	establishBatches := make([]uint64, pairs)
+	for p, n := range f.Nets {
+		establishBatches[p] = n.A.IKE.Stats().Phase2Batches
+	}
+
+	// Two bursts: the first stays under the 7/8 soft threshold, the
+	// second crosses it on every tunnel at once — the storm.
+	payload := bytes.Repeat([]byte{0x5A}, 1000)
+	burst := func(id uint32) {
+		t.Helper()
+		for _, n := range f.Nets {
+			for i := 0; i < perPair; i++ {
+				src := ipsec.Addr{10, byte(i >> 8), byte(i), 5}
+				dst := ipsec.Addr{11, byte(i >> 8), byte(i), 9}
+				got, err := n.Send(src, dst, id, payload)
+				if err != nil {
+					t.Fatalf("tunnel %d burst %d: %v", i, id, err)
+				}
+				if !bytes.Equal(got, payload) {
+					t.Fatalf("tunnel %d burst %d: payload corrupted", i, id)
+				}
+			}
+		}
+	}
+	burst(1)
+	burst(2)
+
+	// The storm drains in the background; every tunnel must roll to a
+	// fresh generation.
+	deadline := time.Now().Add(20 * time.Second)
+	for _, n := range f.Nets {
+		for _, tn := range n.tunnels {
+			for tn.gen.Load() < 2 {
+				if time.Now().After(deadline) {
+					t.Fatalf("tunnel %s never rolled over (gen %d)", tn.spec.Name, tn.gen.Load())
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}
+	// Fresh SAs carry the third burst.
+	burst(3)
+
+	for p, n := range f.Nets {
+		st := n.A.IKE.Stats()
+		storm := st.Phase2Batches - establishBatches[p]
+		if storm == 0 {
+			t.Errorf("pair %d: no batched exchanges during the storm", p)
+		}
+		if storm > perPair/4 {
+			t.Errorf("pair %d: storm took %d batched exchanges for %d tunnels (not coalescing)",
+				p, storm, perPair)
+		}
+		// Ticket allocation amortizes across the batch: far fewer QoS
+		// passes than tunnels negotiated (establish + storm = 2 per
+		// tunnel), where unbatched negotiation pays one per tunnel.
+		if st.TicketAllocs >= 2*perPair {
+			t.Errorf("pair %d: %d ticket allocs for %d negotiations (no amortization)",
+				p, st.TicketAllocs, 2*2*perPair)
+		}
+		for side, gw := range map[string]*ipsec.Gateway{"A": n.A.GW, "B": n.B.GW} {
+			gst := gw.Stats()
+			if gst.IntegFailures != 0 {
+				t.Errorf("pair %d gateway %s: %d integrity failures", p, side, gst.IntegFailures)
+			}
+			in, _ := gw.SAD.Count()
+			if in > 2*perPair {
+				t.Errorf("pair %d gateway %s: %d inbound SAs for %d tunnels (unbounded SAD)",
+					p, side, in, perPair)
+			}
 		}
 	}
 }
