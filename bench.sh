@@ -8,12 +8,21 @@
 #                         # the benchmarks still run, not their speed
 #   ./bench.sh report     # fold existing BENCH_*.json groups into one
 #                         # BENCH_report.json trend artifact
-#   ./bench.sh gate       # re-run the ipsec + kms groups at
-#                         # GATE_BENCHTIME and fail (exit 1) on a >20%
-#                         # throughput drop against BENCH_baseline.json
-#                         # (or $BENCH_BASELINE); writes a fresh
-#                         # baseline when none exists, refreshes it on
-#                         # pass — a rolling regression gate for CI
+#   ./bench.sh gate       # re-run all four groups (distill, kms, qnet,
+#                         # ipsec) at GATE_BENCHTIME and fail (exit 1)
+#                         # on a >20% throughput drop against
+#                         # BENCH_baseline.json (or $BENCH_BASELINE);
+#                         # writes a fresh baseline when none exists,
+#                         # refreshes it on pass — a rolling regression
+#                         # gate for CI
+#
+# COUNT=n runs each benchmark n times; the per-group JSON then records
+# the mean, `spread_pct` run-to-run variance, and `best_throughput`.
+# Measured at COUNT=3: single-run spread reaches ~20% on the qnet
+# transport and ~50% on the shortest distill multiplies (bimodal
+# scheduler noise), so the gate compares best-of-GATE_COUNT (default 3)
+# throughput — stable well inside the 20% tolerance — which is what
+# lets it cover all four groups instead of just ipsec/kms.
 #
 # Groups:
 #   distill -> BENCH_distill.json   the distillation fast path, one row
@@ -59,11 +68,16 @@ run() { # pkg, regex
 # Fold the accumulated benchmark lines into a JSON report. Keys are
 # benchmark names; values ns/op plus allocation counters and custom
 # metrics (MB/s throughput, sampled p99-ns latency) when present.
+# With COUNT > 1 each benchmark contributes several samples; the report
+# records their mean plus `spread_pct` — (max-min)/mean of per-sample
+# throughput — so run-to-run variance is tracked next to the number
+# itself and the regression-gate tolerance can be audited against it.
 emit() { # json_path
     python3 - "$out" "$1" <<'EOF'
 import json, re, sys
+from collections import defaultdict
 
-rows = {}
+samples = defaultdict(list)
 pat = re.compile(r'^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$')
 for line in open(sys.argv[1]):
     m = pat.match(line.strip())
@@ -78,6 +92,27 @@ for line in open(sys.argv[1]):
     if (t := re.search(r'([\d.]+) B/op\s+([\d.]+) allocs/op', rest)):
         row["bytes_per_op"] = float(t.group(1))
         row["allocs_per_op"] = float(t.group(2))
+    samples[name].append(row)
+
+def throughput(row):
+    return row.get("mb_per_s", 1e9 / row["ns_per_op"])
+
+rows = {}
+for name, runs in samples.items():
+    row = dict(runs[0])
+    for key in ("ns_per_op", "mb_per_s", "p99_ns"):
+        vals = [r[key] for r in runs if key in r]
+        if vals:
+            row[key] = sum(vals) / len(vals)
+    if len(runs) > 1:
+        tps = [throughput(r) for r in runs]
+        mean = sum(tps) / len(tps)
+        row["samples"] = len(runs)
+        row["spread_pct"] = round(100 * (max(tps) - min(tps)) / mean, 1) if mean > 0 else 0.0
+        # Best-of-N throughput: what the gate compares. The mean of a
+        # bimodal sample moves with scheduler luck; the best run tracks
+        # the code's actual capability.
+        row["best_throughput"] = max(tps)
     rows[name] = row
 
 with open(sys.argv[2], "w") as f:
@@ -90,9 +125,23 @@ EOF
     : > "$out"
 }
 
+run_distill_group() {
+    run ./internal/gf2/     'BenchmarkMul4096$|BenchmarkMul1024$'
+    run ./internal/rng/     'BenchmarkMask4096$'
+    run ./internal/cascade/ 'BenchmarkBBN4096QBER5$'
+    run ./internal/privacy/ 'BenchmarkApply4096to2048$'
+    run .                   'BenchmarkPipeline_DistillPerFrame$'
+    emit BENCH_distill.json
+}
+
 run_kms_group() {
     run . 'BenchmarkKMS_Withdraw(1|64|1024|1024Serial)$'
     emit BENCH_kms.json
+}
+
+run_qnet_group() {
+    run ./internal/qnet/ 'BenchmarkQnet_Stripe(1|2|3)Path$'
+    emit BENCH_qnet.json
 }
 
 run_ipsec_group() {
@@ -128,19 +177,26 @@ fi
 # within GATE_TOLERANCE of the rolling baseline.
 if [[ "$mode" == "gate" ]]; then
     BENCHTIME="${GATE_BENCHTIME:-0.3s}"
+    COUNT="${GATE_COUNT:-3}"
     baseline="${BENCH_BASELINE:-BENCH_baseline.json}"
-    run_ipsec_group
+    run_distill_group
     run_kms_group
+    run_qnet_group
+    run_ipsec_group
     python3 - "$baseline" "${GATE_TOLERANCE:-0.20}" <<'EOF'
 import json, os, sys
 
 baseline_path, tol = sys.argv[1], float(sys.argv[2])
 cur = {}
-for g in ("ipsec", "kms"):
+for g in ("distill", "kms", "qnet", "ipsec"):
     with open(f"BENCH_{g}.json") as f:
         cur.update(json.load(f))
 
 def throughput(row):
+    # best_throughput (best of GATE_COUNT runs) when recorded: robust
+    # against the bimodal run-to-run noise the spread_pct rows measure.
+    if "best_throughput" in row:
+        return row["best_throughput"]
     if "mb_per_s" in row:
         return row["mb_per_s"]
     return 1e9 / row["ns_per_op"]
@@ -180,23 +236,8 @@ EOF
     exit 0
 fi
 
-# --- distill group ----------------------------------------------------
-run ./internal/gf2/     'BenchmarkMul4096$|BenchmarkMul1024$'
-run ./internal/rng/     'BenchmarkMask4096$'
-run ./internal/cascade/ 'BenchmarkBBN4096QBER5$'
-run ./internal/privacy/ 'BenchmarkApply4096to2048$'
-run .                   'BenchmarkPipeline_DistillPerFrame$'
-emit BENCH_distill.json
-
-# --- kms group --------------------------------------------------------
+# --- full run: all four groups ---------------------------------------
+run_distill_group
 run_kms_group
-
-# --- qnet group -------------------------------------------------------
-run_qnet() {
-    run ./internal/qnet/ 'BenchmarkQnet_Stripe(1|2|3)Path$'
-    emit BENCH_qnet.json
-}
-run_qnet
-
-# --- ipsec group ------------------------------------------------------
+run_qnet_group
 run_ipsec_group

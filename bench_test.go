@@ -118,6 +118,7 @@ func BenchmarkE13_KDS(b *testing.B)       { benchExperiment(b, experiments.E13KD
 func BenchmarkE14_Striping(b *testing.B)  { benchExperiment(b, experiments.E14Striping) }
 func BenchmarkE15_Dataplane(b *testing.B) { benchExperiment(b, experiments.E15Dataplane) }
 func BenchmarkE16_Fabric(b *testing.B)    { benchExperiment(b, experiments.E16Fabric) }
+func BenchmarkE17_ChaosSoak(b *testing.B) { benchExperiment(b, experiments.E17ChaosSoak) }
 
 // ---------------------------------------------------------------------
 // Key delivery service: concurrent withdrawal path

@@ -13,7 +13,10 @@
 // E15 soaks the concurrent multi-tunnel dataplane (mixed suites,
 // rollovers under load, Eve replay storm). E16 scales it to a
 // 100k-tunnel gateway fabric through the batched dataplane and a
-// synchronized rollover storm.
+// synchronized rollover storm. E17 is the chaos soak: a trace-shaped
+// workload crossed with a seeded fault schedule (fiber cuts, Eve
+// storm, relay compromise, KDS overload pulse, gateway crash-restart),
+// gated on end-to-end SLOs.
 package main
 
 import (
@@ -42,12 +45,13 @@ var registry = map[string]func(uint64, bool) (*experiments.Report, error){
 	"e14": experiments.E14Striping,
 	"e15": experiments.E15Dataplane,
 	"e16": experiments.E16Fabric,
+	"e17": experiments.E17ChaosSoak,
 }
 
-var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16"}
+var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17"}
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e16) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e17) or 'all'")
 	quick := flag.Bool("quick", false, "reduced Monte Carlo sizes")
 	seed := flag.Uint64("seed", 2003, "simulation seed")
 	flag.Parse()

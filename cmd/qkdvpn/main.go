@@ -102,7 +102,8 @@ func main() {
 			fmt.Printf("delivered %q\n", got)
 		}
 	}
-	delivered, dropped := n.Stats()
+	st := n.Stats()
+	delivered, dropped := st.Delivered, st.Dropped
 	fmt.Printf("\n%d packets delivered, %d dropped; tunnel operational over quantum-distilled keys\n",
 		delivered, dropped)
 }

@@ -1,0 +1,278 @@
+// Package chaos schedules and injects compound faults into a running
+// QKD-VPN fabric. The paper's network survived single faults by design
+// (mesh failover, DTN-style key custody, per-lifetime rollover); this
+// package exists to compose those faults — a fiber cut DURING an
+// eavesdrop storm DURING a key-delivery overload — and to do so
+// reproducibly: a Schedule is planned deterministically from a seed, so
+// the same seed replays the same fault interleaving against the same
+// workload trace.
+//
+// The package deliberately knows nothing about the fabric it shakes:
+// an Event names a fault kind, a start tick, a duration and an opaque
+// target index, and the experiment wires Kind-specific begin/end hooks
+// into an Injector (cut this relay link, start tapping that gateway
+// pair, flood this KDS). That keeps chaos dependency-free and lets any
+// layer register for the faults it models.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qkd/internal/rng"
+)
+
+// Kind enumerates the fault archetypes the harness can inject. Each
+// maps onto a primitive the stack already models.
+type Kind int
+
+const (
+	// FiberCut severs a trusted-relay span mid key transport.
+	FiberCut Kind = iota
+	// EveStorm runs an eavesdropper burst over the dataplane: packets
+	// captured (for later replay) and a fraction tampered or dropped.
+	EveStorm
+	// RelayCompromise marks one trusted relay as hostile; striping must
+	// keep its key exposure at zero.
+	RelayCompromise
+	// KDSOverload floods the key delivery service with low-class
+	// allocation pressure, forcing QoS sheds and degraded modes.
+	KDSOverload
+	// GatewayRestart crash-restarts one gateway, losing its SAD and any
+	// in-flight negotiations. Instantaneous (duration 0): recovery is
+	// the system's job, not the scheduler's.
+	GatewayRestart
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case FiberCut:
+		return "fiber-cut"
+	case EveStorm:
+		return "eve-storm"
+	case RelayCompromise:
+		return "relay-compromise"
+	case KDSOverload:
+		return "kds-overload"
+	case GatewayRestart:
+		return "gateway-restart"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one scheduled fault: begin at tick At, end at tick At+For
+// (For 0 means instantaneous — begin and end fire together). Target is
+// a kind-specific index into whatever population the experiment
+// registered (which span, which relay, which site).
+type Event struct {
+	Kind   Kind
+	At     int
+	For    int
+	Target int
+}
+
+func (e Event) String() string {
+	if e.For == 0 {
+		return fmt.Sprintf("t=%-4d %-17s target=%d", e.At, e.Kind, e.Target)
+	}
+	return fmt.Sprintf("t=%-4d %-17s target=%d for %d ticks", e.At, e.Kind, e.Target, e.For)
+}
+
+// Schedule is a fault plan ordered by start tick.
+type Schedule []Event
+
+// String renders the plan one event per line (the README's sample
+// fault schedule is printed with this).
+func (s Schedule) String() string {
+	var sb strings.Builder
+	for _, e := range s {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Count reports how many events of kind k the schedule holds.
+func (s Schedule) Count(k Kind) int {
+	n := 0
+	for _, e := range s {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Config shapes a planned schedule.
+type Config struct {
+	// Seed drives every placement draw.
+	Seed uint64
+	// Horizon is the soak length in ticks events are placed within.
+	Horizon int
+	// Counts is the number of events to plan per kind. Kinds absent
+	// from the map get none.
+	Counts map[Kind]int
+	// Targets is the population size per kind (events draw Target in
+	// [0, Targets[kind])). Absent kinds default to 1 target.
+	Targets map[Kind]int
+}
+
+// durFraction is each kind's fault duration as [min,max] fractions of
+// the horizon. GatewayRestart is instantaneous.
+func durFraction(k Kind) (lo, hi float64) {
+	switch k {
+	case FiberCut:
+		return 0.06, 0.14
+	case EveStorm:
+		return 0.05, 0.10
+	case RelayCompromise:
+		return 0.10, 0.20
+	case KDSOverload:
+		return 0.04, 0.08
+	}
+	return 0, 0
+}
+
+// Plan lays out a deterministic fault schedule. Same Config (including
+// Seed) always yields the identical Schedule. Events of the same kind
+// never overlap: the usable window is partitioned into one slot per
+// event and each event is jittered within its slot. Different kinds
+// overlap freely — compounding faults is the point.
+func Plan(cfg Config) Schedule {
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 1000
+	}
+	r := rng.NewSplitMix64(cfg.Seed ^ 0xC4A0_5_FA17)
+	// Keep the first and last tenth quiet so faults always hit a
+	// warmed-up fabric and recovery is observable before the soak ends.
+	margin := cfg.Horizon / 10
+	window := cfg.Horizon - 2*margin
+
+	var sched Schedule
+	// Iterate kinds in fixed order — map iteration would break
+	// determinism.
+	for k := Kind(0); k < numKinds; k++ {
+		count := cfg.Counts[k]
+		if count <= 0 {
+			continue
+		}
+		targets := cfg.Targets[k]
+		if targets <= 0 {
+			targets = 1
+		}
+		slot := window / count
+		lo, hi := durFraction(k)
+		for i := 0; i < count; i++ {
+			dur := 0
+			if hi > 0 {
+				f := lo + (hi-lo)*r.Float64()
+				dur = int(f * float64(cfg.Horizon))
+				if dur < 1 {
+					dur = 1
+				}
+			}
+			// Place the event within its slot, keeping its whole
+			// duration inside the slot so same-kind events can't
+			// overlap.
+			room := slot - dur
+			if room < 1 {
+				room = 1
+			}
+			at := margin + i*slot + r.Intn(room)
+			sched = append(sched, Event{Kind: k, At: at, For: dur, Target: r.Intn(targets)})
+		}
+	}
+	sort.Slice(sched, func(i, j int) bool {
+		if sched[i].At != sched[j].At {
+			return sched[i].At < sched[j].At
+		}
+		return sched[i].Kind < sched[j].Kind
+	})
+	return sched
+}
+
+// Hooks are the experiment-side fault actions for one kind. End is
+// never called before Begin for the same event; for instantaneous
+// events both fire in the same Advance.
+type Hooks struct {
+	Begin func(Event)
+	End   func(Event)
+}
+
+// Injector replays a Schedule against registered hooks as virtual time
+// advances. Not safe for concurrent use; Advance it from the soak's
+// driver loop.
+type Injector struct {
+	sched  Schedule // sorted by At
+	hooks  [numKinds]Hooks
+	next   int     // first event not yet begun
+	active []Event // begun, not yet ended
+}
+
+// NewInjector wraps a schedule. The schedule must be sorted by At
+// (Plan's output always is).
+func NewInjector(s Schedule) *Injector {
+	return &Injector{sched: s}
+}
+
+// On registers the begin/end hooks for one fault kind. Either hook may
+// be nil. Events of unregistered kinds still begin and end — they just
+// act on nothing.
+func (inj *Injector) On(k Kind, begin, end func(Event)) {
+	inj.hooks[k] = Hooks{Begin: begin, End: end}
+}
+
+// Advance moves virtual time to tick, firing every due end hook first
+// (so a restored fiber can be re-cut in the same tick), then every due
+// begin. It returns the events that began and ended.
+func (inj *Injector) Advance(tick int) (began, ended []Event) {
+	// Ends first.
+	keep := inj.active[:0]
+	for _, e := range inj.active {
+		if e.At+e.For <= tick {
+			if h := inj.hooks[e.Kind].End; h != nil {
+				h(e)
+			}
+			ended = append(ended, e)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	inj.active = keep
+
+	// Then begins (an instantaneous event ends in the same call).
+	for inj.next < len(inj.sched) && inj.sched[inj.next].At <= tick {
+		e := inj.sched[inj.next]
+		inj.next++
+		if h := inj.hooks[e.Kind].Begin; h != nil {
+			h(e)
+		}
+		began = append(began, e)
+		if e.For == 0 || e.At+e.For <= tick {
+			if h := inj.hooks[e.Kind].End; h != nil {
+				h(e)
+			}
+			ended = append(ended, e)
+		} else {
+			inj.active = append(inj.active, e)
+		}
+	}
+	return began, ended
+}
+
+// Active reports whether any event of kind k is currently in progress.
+func (inj *Injector) Active(k Kind) bool {
+	for _, e := range inj.active {
+		if e.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Done reports whether every scheduled event has begun and ended.
+func (inj *Injector) Done() bool {
+	return inj.next == len(inj.sched) && len(inj.active) == 0
+}

@@ -1,0 +1,165 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+func fullConfig(seed uint64) Config {
+	return Config{
+		Seed:    seed,
+		Horizon: 1000,
+		Counts: map[Kind]int{
+			FiberCut:        2,
+			EveStorm:        1,
+			RelayCompromise: 1,
+			KDSOverload:     2,
+			GatewayRestart:  1,
+		},
+		Targets: map[Kind]int{FiberCut: 3, RelayCompromise: 3, GatewayRestart: 2},
+	}
+}
+
+// The same seed must reproduce the identical schedule — the acceptance
+// criterion every chaos soak's replayability rests on.
+func TestPlanDeterministic(t *testing.T) {
+	a := Plan(fullConfig(99))
+	b := Plan(fullConfig(99))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%v\nvs\n%v", a, b)
+	}
+	c := Plan(fullConfig(100))
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+}
+
+func TestPlanShape(t *testing.T) {
+	cfg := fullConfig(7)
+	s := Plan(cfg)
+	for k, want := range cfg.Counts {
+		if got := s.Count(k); got != want {
+			t.Fatalf("%v: planned %d events, want %d", k, got, want)
+		}
+	}
+	margin := cfg.Horizon / 10
+	var lastAt int
+	perKind := map[Kind][]Event{}
+	for i, e := range s {
+		if e.At < lastAt {
+			t.Fatalf("schedule not sorted at %d: %v", i, s)
+		}
+		lastAt = e.At
+		if e.At < margin || e.At+e.For > cfg.Horizon-margin+1 {
+			t.Fatalf("event outside quiet margins: %v (horizon %d)", e, cfg.Horizon)
+		}
+		if tgts := cfg.Targets[e.Kind]; tgts > 0 && (e.Target < 0 || e.Target >= tgts) {
+			t.Fatalf("target out of range: %v", e)
+		}
+		if e.Kind == GatewayRestart && e.For != 0 {
+			t.Fatalf("gateway restart must be instantaneous: %v", e)
+		}
+		if e.Kind != GatewayRestart && e.For == 0 {
+			t.Fatalf("durable fault with zero duration: %v", e)
+		}
+		perKind[e.Kind] = append(perKind[e.Kind], e)
+	}
+	// Same-kind events never overlap.
+	for k, evs := range perKind {
+		for i := 1; i < len(evs); i++ {
+			if evs[i].At < evs[i-1].At+evs[i-1].For {
+				t.Fatalf("%v events overlap: %v then %v", k, evs[i-1], evs[i])
+			}
+		}
+	}
+}
+
+// Every event's hooks fire exactly once, ends never precede their
+// begins, and ends due at a tick fire before that tick's begins.
+func TestInjectorFiresHooks(t *testing.T) {
+	s := Plan(fullConfig(21))
+	inj := NewInjector(s)
+	type firing struct {
+		e     Event
+		begin bool
+		tick  int
+	}
+	var log []firing
+	tick := 0
+	for k := Kind(0); k < numKinds; k++ {
+		k := k
+		inj.On(k,
+			func(e Event) { log = append(log, firing{e, true, tick}) },
+			func(e Event) { log = append(log, firing{e, false, tick}) })
+	}
+	for ; tick <= 1100 && !inj.Done(); tick++ {
+		inj.Advance(tick)
+	}
+	if !inj.Done() {
+		t.Fatalf("injector not done after horizon+slack")
+	}
+	begun := map[Event]int{}
+	endedAt := map[Event]int{}
+	for _, f := range log {
+		if f.begin {
+			begun[f.e]++
+			if f.tick != f.e.At {
+				t.Fatalf("begin fired at tick %d, want %d: %v", f.tick, f.e.At, f.e)
+			}
+		} else {
+			if begun[f.e] == 0 {
+				t.Fatalf("end before begin: %v", f.e)
+			}
+			endedAt[f.e] = f.tick
+			if want := f.e.At + f.e.For; f.tick != want {
+				t.Fatalf("end fired at tick %d, want %d: %v", f.tick, want, f.e)
+			}
+		}
+	}
+	for _, e := range s {
+		if begun[e] != 1 {
+			t.Fatalf("event began %d times: %v", begun[e], e)
+		}
+		if _, ok := endedAt[e]; !ok {
+			t.Fatalf("event never ended: %v", e)
+		}
+	}
+}
+
+// A coarse driver loop that skips ticks must still fire every hook —
+// begins catch up, and an event whose whole lifetime fits in the gap
+// begins and ends in the same Advance.
+func TestInjectorCoarseAdvance(t *testing.T) {
+	s := Schedule{
+		{Kind: FiberCut, At: 10, For: 5},
+		{Kind: GatewayRestart, At: 12, For: 0},
+	}
+	inj := NewInjector(s)
+	var begins, ends int
+	inj.On(FiberCut, func(Event) { begins++ }, func(Event) { ends++ })
+	inj.On(GatewayRestart, func(Event) { begins++ }, func(Event) { ends++ })
+	began, ended := inj.Advance(100)
+	if len(began) != 2 || len(ended) != 2 || begins != 2 || ends != 2 {
+		t.Fatalf("coarse advance: began=%d ended=%d hooks begin=%d end=%d",
+			len(began), len(ended), begins, ends)
+	}
+	if !inj.Done() {
+		t.Fatalf("injector should be done")
+	}
+}
+
+func TestActive(t *testing.T) {
+	inj := NewInjector(Schedule{{Kind: EveStorm, At: 5, For: 10}})
+	inj.Advance(4)
+	if inj.Active(EveStorm) {
+		t.Fatalf("storm active before At")
+	}
+	inj.Advance(5)
+	if !inj.Active(EveStorm) {
+		t.Fatalf("storm not active during its window")
+	}
+	inj.Advance(15)
+	if inj.Active(EveStorm) || !inj.Done() {
+		t.Fatalf("storm still active after end")
+	}
+}

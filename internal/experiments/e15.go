@@ -136,7 +136,8 @@ func E15Dataplane(seed uint64, quick bool) (*Report, error) {
 	}
 	soak := time.Since(start)
 
-	delivered, dropped := n.Stats()
+	nst := n.Stats()
+	delivered, dropped := nst.Delivered, nst.Dropped
 	ikeStats := n.A.IKE.Stats()
 	rollovers := int(ikeStats.Phase2Initiated) - tunnels
 	r.Rowf("soak: %d flows x %d packets in %v — %d delivered, %d retried on rollover, 0 lost",

@@ -63,7 +63,8 @@ func E1EndToEnd(seed uint64, quick bool) (*Report, error) {
 		}
 	}
 	am := n.Session.Alice.Metrics()
-	delivered, dropped := n.Stats()
+	nst := n.Stats()
+	delivered, dropped := nst.Delivered, nst.Dropped
 	r.Rowf("pulses transmitted      %12d", am.PulsesSent)
 	r.Rowf("sifted bits             %12d", am.SiftedBits)
 	r.Rowf("errors corrected        %12d  (QBER %.3f)", am.ErrorsCorrected, am.LastQBER)

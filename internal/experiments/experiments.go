@@ -5,7 +5,10 @@
 // XOR key striping with QBER-triggered failover; E15: the concurrent
 // multi-tunnel IPsec dataplane under rollover load and a replay
 // storm; E16: a 100k-tunnel gateway fabric through the batched
-// dataplane and a synchronized rollover storm). Each experiment
+// dataplane and a synchronized rollover storm; E17: a chaos soak
+// driving a trace-shaped workload through a seeded fault schedule —
+// fiber cuts, an Eve storm, a relay compromise, a KDS overload pulse
+// and a gateway crash-restart — gated on end-to-end SLOs). Each experiment
 // Exx function runs a workload and returns a Report whose rows mirror
 // what the paper states; cmd/qkdexp prints them and the repository's
 // bench_test.go wraps each in a testing.B benchmark. EXPERIMENTS.md
@@ -76,6 +79,7 @@ func All(seed uint64, quick bool) ([]*Report, error) {
 		E14Striping,
 		E15Dataplane,
 		E16Fabric,
+		E17ChaosSoak,
 	}
 	var out []*Report
 	for i, run := range runs {

@@ -82,6 +82,15 @@ type Config struct {
 	// Qblocks is the number of 1024-bit QKD blocks folded into each
 	// conventional SA's KEYMAT (default 1).
 	Qblocks int
+	// Phase2Retries is how many times a key allocation the delivery
+	// service shed (ErrOverload) is retried within one negotiation,
+	// each attempt separated by a jittered exponential backoff starting
+	// at Phase2Backoff (defaults: 2 retries, 25 ms). A shed is a
+	// congestion signal, so the retry waits the overload out instead of
+	// immediately re-offering the same load; timeouts are not retried —
+	// the deadline already spent the caller's patience.
+	Phase2Retries int
+	Phase2Backoff time.Duration
 	// Seed drives SPI and nonce generation.
 	Seed uint64
 }
@@ -95,6 +104,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Qblocks == 0 {
 		c.Qblocks = 1
+	}
+	if c.Phase2Retries == 0 {
+		c.Phase2Retries = 2
+	}
+	if c.Phase2Retries < 0 {
+		c.Phase2Retries = 0
+	}
+	if c.Phase2Backoff <= 0 {
+		c.Phase2Backoff = 25 * time.Millisecond
 	}
 	return c
 }
@@ -169,6 +187,9 @@ type Stats struct {
 	// count during an expiry storm.
 	Phase2Batches uint64
 	TicketAllocs  uint64
+	// Phase2Backoffs counts shed key allocations retried after a
+	// jittered backoff instead of failing the negotiation outright.
+	Phase2Backoffs uint64
 }
 
 // NewDaemon builds a daemon over the given control channel. pool is the

@@ -98,6 +98,32 @@ func takeString(b []byte) (string, []byte, error) {
 	return string(b[2 : 2+n]), b[2+n:], nil
 }
 
+// retryShedAlloc runs one key-allocation attempt via f, retrying
+// ErrOverload sheds up to cfg.Phase2Retries times on a jittered
+// exponential backoff — the shed IS the delivery service's congestion
+// signal, so the retry waits it out rather than re-offering the same
+// load immediately. Other errors (including timeouts) pass through
+// untouched. Initiator-path only (runs under negMu, where d.rand is
+// safe to draw jitter from).
+func (d *Daemon) retryShedAlloc(f func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := f()
+		if err == nil || attempt >= d.cfg.Phase2Retries || !errors.Is(err, kms.ErrOverload) {
+			return err
+		}
+		base := d.cfg.Phase2Backoff << attempt
+		delay := base/2 + time.Duration(d.rand.Float64()*float64(base/2))
+		d.mu.Lock()
+		d.stats.Phase2Backoffs++
+		d.mu.Unlock()
+		select {
+		case <-time.After(delay):
+		case <-d.stopped:
+			return err
+		}
+	}
+}
+
 // allocSPI returns a fresh SPI.
 func (d *Daemon) allocSPI() uint32 {
 	d.mu.Lock()
@@ -164,7 +190,13 @@ func (d *Daemon) Negotiate(pol *ipsec.Policy, reversePolicy string) error {
 			needed = 2 * int(prop.OTPBits)
 		}
 		blocks := (needed + st.BlockBits() - 1) / st.BlockBits()
-		tk, key, err := st.Next(blocks, d.cfg.Phase2Timeout, nil)
+		var tk kms.Ticket
+		var key *bitarray.BitArray
+		err := d.retryShedAlloc(func() error {
+			var aerr error
+			tk, key, aerr = st.Next(blocks, d.cfg.Phase2Timeout, nil)
+			return aerr
+		})
 		if err != nil {
 			d.mu.Lock()
 			d.stats.Phase2Failed++

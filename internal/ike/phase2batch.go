@@ -116,10 +116,15 @@ func (d *Daemon) NegotiateBatch(items []BatchItem) ([]error, error) {
 		g.total += blocks
 	}
 	for _, g := range groups {
-		parent, err := g.st.AllocateWait(g.total, d.cfg.Phase2Timeout, nil)
-		d.mu.Lock()
-		d.stats.TicketAllocs++
-		d.mu.Unlock()
+		var parent kms.Ticket
+		err := d.retryShedAlloc(func() error {
+			var aerr error
+			parent, aerr = g.st.AllocateWait(g.total, d.cfg.Phase2Timeout, nil)
+			d.mu.Lock()
+			d.stats.TicketAllocs++
+			d.mu.Unlock()
+			return aerr
+		})
 		if err != nil {
 			if errors.Is(err, keypool.ErrTimeout) {
 				err = ErrTimeout

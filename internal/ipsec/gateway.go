@@ -228,6 +228,26 @@ func (d *SAD) removeInboundPeer(peer Addr, spi uint32) {
 	}
 }
 
+// Reset drops every SA — inbound buckets, outbound map and generation
+// chains — modelling a gateway whose kernel SAD died with its process.
+// Concurrent dataplane traffic is safe: in-flight packets simply miss
+// (ErrNoSA / ErrUnknownSPI) and drive resynchronization; concurrent SA
+// installation must be quiesced by the caller (the vpn layer's restart
+// path holds its control-plane lock across the reset).
+func (d *SAD) Reset() {
+	d.peerMu.Lock()
+	d.peers = make(map[Addr]*peerSAD)
+	d.peerMu.Unlock()
+	d.outbound.Range(func(k, _ any) bool {
+		d.outbound.Delete(k)
+		return true
+	})
+	d.outCount.Store(0)
+	d.genMu.Lock()
+	d.gens = make(map[string]*saGenerations)
+	d.genMu.Unlock()
+}
+
 // Count returns (inbound, outbound) SA counts.
 func (d *SAD) Count() (in, out int) {
 	d.peerMu.RLock()

@@ -171,6 +171,7 @@ type Stats struct {
 	GrantedBits [NumClasses]uint64
 	Shed        [NumClasses]uint64 // rejected by admission control
 	Expired     [NumClasses]uint64 // timed out or canceled while queued
+	Degraded    [NumClasses]uint64 // queued in timeout-bounded degraded mode
 }
 
 // Service is one endpoint's key delivery service.
@@ -373,6 +374,20 @@ func (s *Service) allocBits(st *Stream, bits int, timeout time.Duration, cancel 
 		s.mu.Unlock()
 		return Ticket{}, err
 	}
+	// Degraded mode, the early-pressure signal ahead of hard sheds:
+	// past half the shed horizon the request is still admitted, but its
+	// wait is bounded by a small multiple of the horizon instead of the
+	// caller's full deadline — sustained pressure turns into fast,
+	// bounded failures the caller can back off on, not slow ones that
+	// pin a starved request for its entire timeout.
+	if horizon := s.cfg.shedHorizon(st.class); horizon > 0 {
+		if wait, known := s.projectedWaitLocked(st.class, bits); known && wait > horizon/2 {
+			s.stats.Degraded[st.class]++
+			if bound := 2 * horizon; timeout <= 0 || timeout > bound {
+				timeout = bound
+			}
+		}
+	}
 	w := &allocWaiter{st: st, bits: bits, class: st.class, done: make(chan struct{})}
 	s.queues[st.class] = append(s.queues[st.class], w)
 	s.queuedBits[st.class] += uint64(bits)
@@ -496,26 +511,70 @@ func (s *Service) admitLocked(c Class, bits int) error {
 	if horizon <= 0 {
 		return nil
 	}
+	wait, known := s.projectedWaitLocked(c, bits)
+	if !known {
+		// No deposit observed yet: admit optimistically; the deadline
+		// still bounds the wait.
+		return nil
+	}
+	if wait > horizon {
+		return ErrOverload
+	}
+	return nil
+}
+
+// projectedWaitLocked estimates how long a class-c request of `bits`
+// would queue: the backlog it must wait behind (same-or-higher class
+// queues plus itself, minus uncovered ledger already deposited) divided
+// by the measured deposit rate. known is false when no rate has been
+// observed yet.
+func (s *Service) projectedWaitLocked(c Class, bits int) (wait time.Duration, known bool) {
 	backlog := int64(bits)
 	for cc := Class(0); cc <= c; cc++ {
 		backlog += int64(s.queuedBits[cc])
 	}
 	backlog -= int64(s.ledgerEnd.Load()) - int64(s.granted.Load())
 	if backlog <= 0 {
-		return nil
+		return 0, true
 	}
 	rate := s.rate.perSecond()
 	if rate <= 0 {
-		// No deposit observed yet: admit optimistically; the deadline
-		// still bounds the wait.
-		return nil
+		return 0, false
 	}
-	wait := time.Duration(float64(backlog) / rate * float64(time.Second))
-	if wait > horizon {
-		return ErrOverload
-	}
-	return nil
+	return time.Duration(float64(backlog) / rate * float64(time.Second)), true
 }
+
+// Pressure is the service's early-warning congestion signal: the
+// projected wait a new rekey-class request would face, normalized by
+// the rekey shed horizon. 0 means an idle scheduler; values at or
+// above 1 mean the next such request would be shed — consumers (the
+// vpn rekeyer) stretch their backoff as this approaches 1 instead of
+// discovering the overload through hard ErrOverload failures.
+func (s *Service) Pressure() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	horizon := s.cfg.shedHorizon(ClassRekey)
+	if horizon <= 0 || s.closed {
+		return 0
+	}
+	wait, known := s.projectedWaitLocked(ClassRekey, 0)
+	if !known {
+		// Backlog with no measured capacity: maximal pressure.
+		for c := Class(0); c < NumClasses; c++ {
+			if s.queuedBits[c] > 0 {
+				return 1
+			}
+		}
+		return 0
+	}
+	return float64(wait) / float64(horizon)
+}
+
+// Cursor returns the absolute allocation cursor — the ledger offset
+// the next granted ticket starts at. Mirrored endpoints that have seen
+// the same ticket history report identical cursors; the gateway
+// restart tests assert exactly that to rule out ledger divergence.
+func (s *Service) Cursor() uint64 { return s.granted.Load() }
 
 // rateEstimator tracks the deposit rate as an exponentially weighted
 // moving average, adapting over roughly halfLife seconds — the capacity

@@ -719,3 +719,94 @@ func TestReleaseAheadOfLedgerDoesNotPanicPrune(t *testing.T) {
 		t.Fatalf("claim after ahead-of-ledger release: %v", err)
 	}
 }
+
+func TestPressureSignalRisesAndFalls(t *testing.T) {
+	s := New(Config{ShedDelay: 10 * time.Millisecond})
+	defer s.Close()
+	if p := s.Pressure(); p != 0 {
+		t.Fatalf("idle pressure = %v, want 0", p)
+	}
+	// Backlog before any deposit: capacity unknown, pressure maximal.
+	otp, _ := s.NewStream("otp", 64, ClassOTP)
+	done := make(chan error, 1)
+	go func() {
+		_, err := otp.AllocateWait(4, 5*time.Second, nil)
+		done <- err
+	}()
+	for {
+		s.mu.Lock()
+		queued := s.queuedBits[ClassOTP]
+		s.mu.Unlock()
+		if queued > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if p := s.Pressure(); p < 1 {
+		t.Fatalf("pressure with unmeasured backlog = %v, want >= 1", p)
+	}
+	// Feeding the backlog drains the queue and the signal falls back.
+	s.Ingest(rng.NewSplitMix64(4).Bits(512))
+	if err := <-done; err != nil {
+		t.Fatalf("backlogged OTP request: %v", err)
+	}
+	if p := s.Pressure(); p >= 1 {
+		t.Fatalf("pressure after drain = %v, want < 1", p)
+	}
+}
+
+func TestDegradedModeBoundsStarvedWait(t *testing.T) {
+	// The early-pressure half of admission control: a request whose
+	// projected wait sits past half the shed horizon (but under the
+	// horizon, so it is not shed) is admitted with its wait clamped to
+	// 2x the horizon — a fast bounded failure the caller's backoff can
+	// consume, instead of pinning the full 30s deadline on a starved
+	// queue.
+	s := New(Config{ShedDelay: 50 * time.Millisecond}) // rekey horizon 400ms
+	defer s.Close()
+	rk, _ := s.NewStream("rekey", 64, ClassRekey)
+	otp, _ := s.NewStream("otp", 300, ClassOTP)
+	// Pin the measured deposit rate (white-box) so the projected wait
+	// is deterministic rather than wall-clock dependent.
+	s.mu.Lock()
+	s.rate.primed = true
+	s.rate.rate = 1000 // bits per second
+	s.mu.Unlock()
+	// 300 queued OTP bits ahead: a 64-bit rekey request projects
+	// 364ms — inside the degraded zone (200ms, 400ms].
+	otpDone := make(chan error, 1)
+	go func() {
+		_, err := otp.AllocateWait(1, 10*time.Second, nil)
+		otpDone <- err
+	}()
+	for {
+		s.mu.Lock()
+		queued := s.queuedBits[ClassOTP]
+		s.mu.Unlock()
+		if queued == 300 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	_, err := rk.AllocateWait(1, 30*time.Second, nil)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("degraded rekey request: %v, want ErrTimeout", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("degraded mode did not bound the wait: %v (deadline was 30s)", elapsed)
+	}
+	st := s.Stats()
+	if st.Degraded[ClassRekey] != 1 {
+		t.Errorf("Degraded[rekey] = %d, want 1", st.Degraded[ClassRekey])
+	}
+	if st.Shed[ClassRekey] != 0 {
+		t.Errorf("Shed[rekey] = %d, want 0 (degraded is admitted, not shed)", st.Shed[ClassRekey])
+	}
+	// The backlog that caused the pressure still completes when fed.
+	s.Ingest(rng.NewSplitMix64(5).Bits(512))
+	if err := <-otpDone; err != nil {
+		t.Fatalf("backlogged OTP request after feed: %v", err)
+	}
+}

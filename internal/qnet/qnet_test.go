@@ -535,3 +535,104 @@ func TestAbortRefundsReservationsAndFlushesFeeds(t *testing.T) {
 		t.Errorf("TransportsFailed = %d, want 1", st.TransportsFailed)
 	}
 }
+
+func TestParkedStripeResumesAfterRestore(t *testing.T) {
+	// Repeated-cut robustness: with no disjoint spare, a dead stripe
+	// parks inside the stall budget instead of aborting — and when the
+	// fiber is repaired mid-transport, the stripe resumes at its frozen
+	// cursor and the transport completes.
+	n, rn := stripeNet(t, 2, 1<<15, 2) // k=2 over exactly 2 relays: no spare
+	tr, err := n.NewTransport("gwA", "gwB", 2048, 2, TransportOpts{ChunkBits: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Step(); err != nil {
+		t.Fatal(err)
+	}
+	a, b := cutFirstHop(t, rn, tr.Routes()[0])
+	// Three rounds with the link down: failover has nowhere to go, the
+	// stripe parks, delivery stalls — but nothing aborts.
+	deliveredBefore := tr.DeliveredBits()
+	for i := 0; i < 3; i++ {
+		if _, err := tr.Step(); err != nil {
+			t.Fatalf("step %d during outage: %v (want parked, not aborted)", i, err)
+		}
+	}
+	if tr.Done() {
+		t.Fatal("transport finished with a stripe down — reconstruction needs all k shares")
+	}
+	if tr.DeliveredBits() != deliveredBefore {
+		t.Errorf("delivered advanced %d -> %d bits during the outage",
+			deliveredBefore, tr.DeliveredBits())
+	}
+	// Fiber repaired; the fresh pool starts empty, so recharge it.
+	if err := rn.Restore(a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		n.Tick()
+	}
+	if err := tr.Run(16); err != nil {
+		t.Fatalf("post-restore run: %v", err)
+	}
+	d, err := tr.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Key.Len() != 2048 {
+		t.Errorf("delivered %d bits, want 2048", d.Key.Len())
+	}
+	if d.Reroutes != 1 {
+		t.Errorf("reroutes = %d, want 1 (resume re-reserves on the repaired span)", d.Reroutes)
+	}
+	for node, bits := range d.KeyBitsExposed {
+		if bits != 0 {
+			t.Errorf("%s can reconstruct %d key bits, want 0", node, bits)
+		}
+	}
+}
+
+func TestStallBudgetExhaustionAbortsAndRefunds(t *testing.T) {
+	n, rn := stripeNet(t, 2, 1<<15, 2)
+	before := map[string]int{}
+	for _, l := range rn.Links() {
+		before[l.A+"|"+l.B] = l.KeyAvailable()
+	}
+	tr, err := n.NewTransport("gwA", "gwB", 2048, 2, TransportOpts{ChunkBits: 256, StallBudget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Step(); err != nil {
+		t.Fatal(err)
+	}
+	victim := tr.Routes()[0][1] // the relay whose uplink dies
+	cutFirstHop(t, rn, tr.Routes()[0])
+	// Rounds 1-2 park; round 3 exceeds the budget and aborts.
+	for i := 0; i < 2; i++ {
+		if _, err := tr.Step(); err != nil {
+			t.Fatalf("step %d within stall budget: %v", i, err)
+		}
+	}
+	if _, err := tr.Step(); !errors.Is(err, ErrFailed) {
+		t.Fatalf("step past stall budget: %v, want ErrFailed", err)
+	}
+	// Undrawn pads were refunded on every surviving pool: the healthy
+	// stripe's hops net out to the 3 chunks actually sent; the parked
+	// stripe's still-up downlink nets out to its 1 pre-cut chunk.
+	for _, l := range rn.Links() {
+		if l.State() != relay.LinkUp {
+			continue // the cut link's pool died with the fiber
+		}
+		want := 3 * 256
+		if l.A == victim || l.B == victim {
+			want = 256
+		}
+		if got := before[l.A+"|"+l.B] - l.KeyAvailable(); got != want {
+			t.Errorf("link %s-%s net consumption %d after abort, want %d",
+				l.A, l.B, got, want)
+		}
+	}
+}

@@ -21,6 +21,15 @@ type TransportOpts struct {
 	// transport is whole again: consumers observe a delay, never the
 	// switch.
 	FeedA, FeedB *kms.Feed
+	// StallBudget is how many consecutive rounds a stripe may sit
+	// parked — cut, with no disjoint replacement path available —
+	// before the transport aborts (default 8; negative aborts on the
+	// first failed failover). Under repeated cuts the would-be spare is
+	// often itself the cut span, and a span repair mid-transport is the
+	// DTN regime the custody feeds exist for: parking waits the outage
+	// out with every reservation held and the cursor frozen, instead of
+	// burning the whole transport.
+	StallBudget int
 }
 
 // stripe is one share's path state.
@@ -57,6 +66,11 @@ type Transport struct {
 	feedA     *kms.Feed
 	feedB     *kms.Feed
 
+	// Stall bookkeeping for failovers that found no replacement path:
+	// consecutive stalled rounds, bounded by the budget.
+	stallBudget int
+	stalls      int
+
 	// exposure records, per site, which chunk ranges of which share it
 	// held in the clear while relaying.
 	exposure map[string]map[int][]interval
@@ -86,11 +100,17 @@ func (n *Network) NewTransport(src, dst string, nbits, k int, opts TransportOpts
 	if nbits%opts.ChunkBits != 0 {
 		return nil, fmt.Errorf("qnet: key size %d is not a multiple of chunk size %d", nbits, opts.ChunkBits)
 	}
+	if opts.StallBudget == 0 {
+		opts.StallBudget = 8
+	} else if opts.StallBudget < 0 {
+		opts.StallBudget = 0
+	}
 	t := &Transport{
 		net: n, src: src, dst: dst, k: k, nbits: nbits,
 		chunkBits: opts.ChunkBits, chunks: nbits / opts.ChunkBits,
 		feedA: opts.FeedA, feedB: opts.FeedB,
-		exposure: make(map[string]map[int][]interval),
+		stallBudget: opts.StallBudget,
+		exposure:    make(map[string]map[int][]interval),
 	}
 	t.key = n.randBits(nbits)
 	if src == dst {
@@ -176,9 +196,11 @@ func (t *Transport) Reroutes() int { return t.reroutes }
 // to a fresh disjoint path, every live stripe moves one chunk of its
 // share, and every chunk whose k shares have all arrived is
 // reconstructed at dst and deposited into the custody feeds. It returns
-// the number of chunks delivered this round. A transport whose stripe
-// dies with no replacement path available aborts, refunding every
-// undrawn pad.
+// the number of chunks delivered this round. A stripe that dies with no
+// replacement path available parks — reservations held, cursor frozen —
+// and retries next round, so a span repaired mid-outage lets the
+// transport complete; only a stall outlasting the budget aborts and
+// refunds every undrawn pad.
 func (t *Transport) Step() (int, error) {
 	if t.failed != nil {
 		return 0, t.failed
@@ -186,6 +208,7 @@ func (t *Transport) Step() (int, error) {
 	if t.Done() {
 		return 0, nil
 	}
+	stalled := false
 	// Failover pass: the health monitor's view decides before any pad
 	// is drawn this round.
 	for i, s := range t.stripes {
@@ -194,25 +217,36 @@ func (t *Transport) Step() (int, error) {
 		}
 		if !stripeHealthy(s) {
 			if err := t.failover(i); err != nil {
-				return 0, t.abort(err)
+				if aerr := t.parkStripe(err); aerr != nil {
+					return 0, aerr
+				}
+				stalled = true
 			}
 		}
 	}
-	// Advance pass.
+	// Advance pass. Stripes still unhealthy after the failover pass are
+	// parked this round and skipped.
 	for i, s := range t.stripes {
-		if s.cursor >= t.chunks {
+		if s.cursor >= t.chunks || !stripeHealthy(s) {
 			continue
 		}
 		if err := t.sendChunk(i, s); err != nil {
 			// The pad vanished between the health check and the draw
 			// (teardown race): fail the stripe over and resend.
 			if ferr := t.failover(i); ferr != nil {
-				return 0, t.abort(ferr)
+				if aerr := t.parkStripe(ferr); aerr != nil {
+					return 0, aerr
+				}
+				stalled = true
+				continue
 			}
 			if err := t.sendChunk(i, t.stripes[i]); err != nil {
 				return 0, t.abort(err)
 			}
 		}
+	}
+	if !stalled {
+		t.stalls = 0
 	}
 	// Reconstruction pass: a chunk is whole once every stripe's cursor
 	// has passed it.
@@ -336,22 +370,30 @@ func (t *Transport) expose(node string, i, c int) {
 	per[i] = ivs
 }
 
-// failover replaces a dead stripe: its undrawn pads are refunded, a
-// fresh path vertex-disjoint from every *other* live stripe is
-// computed over the surviving healthy edges, the remainder of the
-// share is re-reserved on it, and the stripe resumes at the chunk
-// where it died. The custody feeds go down for the duration — chunks
-// the transport completes while the stripe catches up buffer at the
-// feed and flush intact when the transport is whole.
+// parkStripe accounts one round of a stripe that could not fail over —
+// no disjoint spare, or the spare is pad-starved. Within the budget it
+// returns nil and the transport stalls in place; past it, the transport
+// aborts with the underlying cause.
+func (t *Transport) parkStripe(cause error) error {
+	t.stalls++
+	if t.stalls > t.stallBudget {
+		return t.abort(fmt.Errorf("stripe stalled %d rounds: %v", t.stalls, cause))
+	}
+	return nil
+}
+
+// failover replaces a dead stripe: a fresh path vertex-disjoint from
+// every *other* live stripe is computed over the surviving healthy
+// edges, the remainder of the share is re-reserved on it, the dead
+// stripe's undrawn pads are refunded, and the stripe resumes at the
+// chunk where it died. On failure the dead stripe keeps its
+// reservations — a parked stripe that outlives the outage resumes on
+// its original spans. The custody feeds go down for the duration of a
+// successful switch — chunks the transport completes while the stripe
+// catches up buffer at the feed and flush intact when the transport is
+// whole.
 func (t *Transport) failover(i int) error {
 	s := t.stripes[i]
-	t.net.noteFailover()
-	t.reroutes++
-	releaseAll(s.resvs)
-	if !t.custody {
-		t.setFeeds(false)
-		t.custody = true
-	}
 	banned := make(map[string]bool)
 	for j, o := range t.stripes {
 		if j == i {
@@ -381,6 +423,15 @@ func (t *Transport) failover(i int) error {
 	resvs, err := reserveRoute(routes[0], remBits)
 	if err != nil {
 		return err
+	}
+	// Only now that the replacement is fully reserved does the dead
+	// stripe let go of its spans.
+	releaseAll(s.resvs)
+	t.net.noteFailover()
+	t.reroutes++
+	if !t.custody {
+		t.setFeeds(false)
+		t.custody = true
 	}
 	t.stripes[i] = &stripe{route: routes[0], resvs: resvs, cursor: s.cursor}
 	return nil

@@ -88,6 +88,15 @@ type Config struct {
 	RekeyWorkers int
 	// RekeyBatch caps tunnels per batched IKE exchange (default 256).
 	RekeyBatch int
+	// RekeyBackoff is the base delay before a failed background rekey
+	// is retried (default 5ms). Retries back off exponentially with
+	// jitter up to RekeyBackoffMax (default 500ms) and stop after
+	// RekeyRetryBudget attempts (default 8), leaving the tunnel to the
+	// next traffic-driven signal — so a starved reservoir produces a
+	// trickle of spaced retries, never a hot requeue loop.
+	RekeyBackoff     time.Duration
+	RekeyBackoffMax  time.Duration
+	RekeyRetryBudget int
 	// KDS routes all key delivery through a per-site kms.Service: the
 	// distillation engines deposit into the KDS, and the IKE daemons
 	// withdraw Qblocks and OTP pads as (stream, sequence) ticket claims
@@ -134,6 +143,9 @@ type tunnel struct {
 	rekeyMu      sync.Mutex
 	gen          atomic.Uint64 // completed negotiations
 	rekeyPending atomic.Bool   // queued on the background rekeyer
+	// fails counts consecutive failed background rekeys; it drives the
+	// exponential backoff and resets on the first success.
+	fails atomic.Uint32
 }
 
 // rekeyReq is one queued background rekey: the tunnel plus the
@@ -145,8 +157,11 @@ type rekeyReq struct {
 
 // defaults for the coalescing rekeyer.
 const (
-	defaultRekeyWorkers = 2
-	defaultRekeyBatch   = 256
+	defaultRekeyWorkers    = 2
+	defaultRekeyBatch      = 256
+	defaultRekeyBackoff    = 5 * time.Millisecond
+	defaultRekeyBackoffMax = 500 * time.Millisecond
+	defaultRekeyBudget     = 8
 )
 
 // Network is the assembled two-site system.
@@ -162,6 +177,10 @@ type Network struct {
 
 	tunnels  []*tunnel
 	byPolicy map[string]*tunnel
+	// flowSPD indexes every tunnel's two directional policies in
+	// declaration order, so matchTunnel is a tuple-space lookup with the
+	// linear scan's first-match semantics instead of an O(tunnels) walk.
+	flowSPD *ipsec.SPD
 
 	// Background rekeyer: gateway soft-expiry (and missing-SA) signals
 	// funnel into a deduplicated queue (a tunnel appears at most once,
@@ -180,6 +199,26 @@ type Network struct {
 	rekeyBatch   int
 	rekeyWG      sync.WaitGroup
 
+	// Failed background rekeys retry on a jittered exponential backoff
+	// with a per-tunnel budget; the jitter source is shared and so
+	// mutex-guarded.
+	rekeyBackoff    time.Duration
+	rekeyBackoffMax time.Duration
+	rekeyBudget     int
+	jitterMu        sync.Mutex
+	jitter          *rng.SplitMix64
+
+	// ikeMu guards the Site.IKE daemon pointers against RestartSite
+	// swapping them mid-use: negotiation paths hold it shared for the
+	// whole exchange, so a restart's exclusive acquisition doubles as
+	// the drain barrier for in-flight batches. Lock order: a tunnel's
+	// rekeyMu (if held) is always taken before ikeMu.
+	ikeMu            sync.RWMutex
+	ikeCfgA, ikeCfgB ike.Config
+	ikeLogA, ikeLogB io.Writer
+	qbA, otpA        *kms.Stream
+	qbB, otpB        *kms.Stream
+
 	// seed feeds ChargeSynthetic's deterministic key generator.
 	seed      uint64
 	synthSeed atomic.Uint64
@@ -189,9 +228,16 @@ type Network struct {
 	// concurrent Send, so the tap must be safe for parallel use.
 	EveTap func(p *ipsec.Packet) (*ipsec.Packet, bool)
 
-	delivered atomic.Uint64
-	dropped   atomic.Uint64
+	delivered      atomic.Uint64
+	dropped        atomic.Uint64
+	rekeyRetries   atomic.Uint64
+	rekeyAbandoned atomic.Uint64
+	restarts       atomic.Uint64
 }
+
+// vpnPSK authenticates Phase 1 on both daemons (and their rebuilds
+// after a gateway restart).
+var vpnPSK = []byte("darpa-quantum-network-psk")
 
 // Addresses used throughout (mirroring the paper's 192.1.99.x testbed).
 var (
@@ -272,12 +318,25 @@ func New(cfg Config) (*Network, error) {
 	if cfg.RekeyBatch <= 0 {
 		cfg.RekeyBatch = defaultRekeyBatch
 	}
+	if cfg.RekeyBackoff <= 0 {
+		cfg.RekeyBackoff = defaultRekeyBackoff
+	}
+	if cfg.RekeyBackoffMax <= 0 {
+		cfg.RekeyBackoffMax = defaultRekeyBackoffMax
+	}
+	if cfg.RekeyRetryBudget <= 0 {
+		cfg.RekeyRetryBudget = defaultRekeyBudget
+	}
 	n := &Network{
-		Session:      session,
-		byPolicy:     make(map[string]*tunnel),
-		rekeyWorkers: cfg.RekeyWorkers,
-		rekeyBatch:   cfg.RekeyBatch,
-		seed:         cfg.Seed,
+		Session:         session,
+		byPolicy:        make(map[string]*tunnel),
+		rekeyWorkers:    cfg.RekeyWorkers,
+		rekeyBatch:      cfg.RekeyBatch,
+		rekeyBackoff:    cfg.RekeyBackoff,
+		rekeyBackoffMax: cfg.RekeyBackoffMax,
+		rekeyBudget:     cfg.RekeyRetryBudget,
+		jitter:          rng.NewSplitMix64(cfg.Seed ^ 0x717A3D),
+		seed:            cfg.Seed,
 	}
 	n.rekeyCond = sync.NewCond(&n.rekeyQMu)
 	var spdA, spdB []*ipsec.Policy
@@ -309,21 +368,25 @@ func New(cfg Config) (*Network, error) {
 		spdA = append(spdA, t.polAB, t.polBA)
 		spdB = append(spdB, t.polBA, t.polAB)
 	}
+	n.flowSPD = ipsec.NewSPD(spdA...)
 	gwA := ipsec.NewGateway(GatewayA, ipsec.NewSPD(spdA...))
 	gwB := ipsec.NewGateway(GatewayB, ipsec.NewSPD(spdB...))
 
 	ikeConnA, ikeConnB := channel.MemPair(64)
-	psk := []byte("darpa-quantum-network-psk")
 	cfgI := cfg.IKE
 	cfgI.Seed = cfg.Seed ^ 0x1CE
-	dA := ike.NewDaemon(ike.Initiator, ikeConnA, gwA, poolA, psk, cfgI, cfg.IKELogA)
+	dA := ike.NewDaemon(ike.Initiator, ikeConnA, gwA, poolA, vpnPSK, cfgI, cfg.IKELogA)
 	cfgR := cfg.IKE
 	cfgR.Seed = cfg.Seed ^ 0x2CE
-	dB := ike.NewDaemon(ike.Responder, ikeConnB, gwB, poolB, psk, cfgR, cfg.IKELogB)
+	dB := ike.NewDaemon(ike.Responder, ikeConnB, gwB, poolB, vpnPSK, cfgR, cfg.IKELogB)
 	if cfg.KDS {
 		dA.SetKeyStreams(qbA, otpA)
 		dB.SetKeyStreams(qbB, otpB)
 	}
+	// RestartSite rebuilds daemons from these.
+	n.ikeCfgA, n.ikeCfgB = cfgI, cfgR
+	n.ikeLogA, n.ikeLogB = cfg.IKELogA, cfg.IKELogB
+	n.qbA, n.otpA, n.qbB, n.otpB = qbA, otpA, qbB, otpB
 
 	n.A = &Site{GW: gwA, IKE: dA, Pool: poolA, KDS: kdsA}
 	n.B = &Site{GW: gwB, IKE: dB, Pool: poolB, KDS: kdsB}
@@ -488,13 +551,73 @@ func (n *Network) rekeyWorker() {
 		for i, r := range batch {
 			ts[i], gens[i] = r.t, r.gen
 		}
-		// Best effort: a starved reservoir fails here and the next
-		// traffic-driven signal (or SendWithRollover) retries.
-		n.negotiateTunnels(ts, gens)
-		for _, r := range batch {
+		// A failed tunnel (starved reservoir, shed ticket, restarting
+		// peer) re-queues itself after a jittered exponential backoff
+		// instead of bouncing hot between the dataplane signal and the
+		// queue; its rekeyPending flag stays held through the wait so
+		// fresh signals keep collapsing into the scheduled retry.
+		errs := n.negotiateTunnels(ts, gens)
+		for i, r := range batch {
+			if errs[i] != nil {
+				n.retryLater(r.t)
+				continue
+			}
+			r.t.fails.Store(0)
 			r.t.rekeyPending.Store(false)
 		}
 	}
+}
+
+// retryLater schedules a failed tunnel's next rekey attempt, or gives
+// the tunnel up to the next traffic-driven signal once its retry
+// budget is spent.
+func (n *Network) retryLater(t *tunnel) {
+	fails := t.fails.Add(1)
+	if int(fails) > n.rekeyBudget {
+		t.fails.Store(0)
+		t.rekeyPending.Store(false)
+		n.rekeyAbandoned.Add(1)
+		return
+	}
+	n.rekeyRetries.Add(1)
+	time.AfterFunc(n.backoffDelay(fails), func() { n.requeue(t) })
+}
+
+// backoffDelay is the jittered exponential backoff for a tunnel's
+// attempt number fails (1-based): base<<(fails-1) capped at the max,
+// then uniformly jittered over [d/2, d) so a batch of simultaneous
+// failures doesn't re-converge into a synchronized retry storm. When
+// the site's key delivery service is already signalling pressure, the
+// delay jumps straight to the cap — retrying sooner would only feed
+// the overload the KDS is trying to shed.
+func (n *Network) backoffDelay(fails uint32) time.Duration {
+	d := n.rekeyBackoff << (fails - 1)
+	if d <= 0 || d > n.rekeyBackoffMax {
+		d = n.rekeyBackoffMax
+	}
+	if s := n.A.KDS; s != nil && s.Pressure() >= 1 {
+		d = n.rekeyBackoffMax
+	}
+	n.jitterMu.Lock()
+	j := n.jitter.Float64()
+	n.jitterMu.Unlock()
+	return d/2 + time.Duration(j*float64(d/2))
+}
+
+// requeue re-enqueues a tunnel whose rekeyPending flag is still held by
+// the backoff path (so it bypasses requestRekey's CAS), observing the
+// generation current at fire time.
+func (n *Network) requeue(t *tunnel) {
+	req := rekeyReq{t, t.gen.Load()}
+	n.rekeyQMu.Lock()
+	if n.rekeyClosed {
+		n.rekeyQMu.Unlock()
+		t.rekeyPending.Store(false)
+		return
+	}
+	n.rekeyQ = append(n.rekeyQ, req)
+	n.rekeyQMu.Unlock()
+	n.rekeyCond.Signal()
 }
 
 // negotiateTunnels rolls a set of distinct tunnels over in one batched
@@ -519,7 +642,11 @@ func (n *Network) negotiateTunnels(ts []*tunnel, gens []uint64) []error {
 	if len(items) == 0 {
 		return errs
 	}
+	// Shared ikeMu spans the exchange: a concurrent RestartSite blocks
+	// until this batch drains (failing fast once the old daemon stops).
+	n.ikeMu.RLock()
 	berrs, err := n.A.IKE.NegotiateBatch(items)
+	n.ikeMu.RUnlock()
 	for k, i := range idx {
 		switch {
 		case err != nil:
@@ -577,7 +704,10 @@ func (n *Network) rekeyTunnelFrom(t *tunnel, gen uint64) error {
 	if t.gen.Load() != gen {
 		return nil // a rollover since the caller looked installed fresh SAs
 	}
-	if err := n.A.IKE.Negotiate(t.polAB, t.polBA.Name); err != nil {
+	n.ikeMu.RLock()
+	err := n.A.IKE.Negotiate(t.polAB, t.polBA.Name)
+	n.ikeMu.RUnlock()
+	if err != nil {
 		return err
 	}
 	t.gen.Add(1)
@@ -593,8 +723,11 @@ func (n *Network) Close() {
 	// Stop the daemons before waiting out the rekeyer: a background
 	// negotiation in flight fails fast on the stopped daemon instead of
 	// holding teardown for its timeout.
-	n.A.IKE.Stop()
-	n.B.IKE.Stop()
+	n.ikeMu.RLock()
+	dA, dB := n.A.IKE, n.B.IKE
+	n.ikeMu.RUnlock()
+	dA.Stop()
+	dB.Stop()
 	n.rekeyWG.Wait()
 	if n.A.KDS != nil {
 		n.A.KDS.Close()
@@ -604,22 +737,45 @@ func (n *Network) Close() {
 	}
 }
 
-// Stats reports delivered/dropped user packets.
-func (n *Network) Stats() (delivered, dropped uint64) {
-	return n.delivered.Load(), n.dropped.Load()
+// Stats are the network's cumulative dataplane and robustness counters.
+type Stats struct {
+	// Delivered / Dropped count user packets through Send.
+	Delivered uint64
+	Dropped   uint64
+	// RekeyRetries counts failed background rekeys re-queued on the
+	// jittered backoff; RekeyAbandoned counts tunnels whose retry
+	// budget ran out (left for the next traffic-driven signal).
+	RekeyRetries   uint64
+	RekeyAbandoned uint64
+	// Restarts counts RestartSite crash-recoveries.
+	Restarts uint64
 }
 
-// matchTunnel finds the tunnel and direction serving a flow.
-func (n *Network) matchTunnel(p *ipsec.Packet) (t *tunnel, aToB bool) {
-	for _, t := range n.tunnels {
-		if t.polAB.Sel.Matches(p) {
-			return t, true
-		}
-		if t.polBA.Sel.Matches(p) {
-			return t, false
-		}
+// Stats reports the network's counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Delivered:      n.delivered.Load(),
+		Dropped:        n.dropped.Load(),
+		RekeyRetries:   n.rekeyRetries.Load(),
+		RekeyAbandoned: n.rekeyAbandoned.Load(),
+		Restarts:       n.restarts.Load(),
 	}
-	return nil, false
+}
+
+// matchTunnel finds the tunnel and direction serving a flow via the
+// selector-tuple index — one map probe per selector shape rather than
+// a scan over every tunnel, which capped Send throughput near a
+// thousand tunnels.
+func (n *Network) matchTunnel(p *ipsec.Packet) (t *tunnel, aToB bool) {
+	pol := n.flowSPD.Match(p)
+	if pol == nil {
+		return nil, false
+	}
+	t = n.byPolicy[pol.Name]
+	if t == nil {
+		return nil, false
+	}
+	return t, pol == t.polAB
 }
 
 // Send pushes one user packet from src enclave to dst enclave through

@@ -11,6 +11,7 @@ import (
 	"qkd/internal/core"
 	"qkd/internal/ike"
 	"qkd/internal/ipsec"
+	"qkd/internal/keypool"
 	"qkd/internal/photonics"
 	"qkd/internal/qnet"
 	"qkd/internal/relay"
@@ -65,7 +66,7 @@ func TestEndToEndVPN(t *testing.T) {
 	if !bytes.Equal(got, []byte("hello alice")) {
 		t.Fatalf("payload corrupted: %q", got)
 	}
-	if d, _ := n.Stats(); d != 2 {
+	if d := n.Stats().Delivered; d != 2 {
 		t.Errorf("delivered = %d", d)
 	}
 }
@@ -359,7 +360,7 @@ func TestConcurrentMultiTunnelTraffic(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	delivered, _ := n.Stats()
+	delivered := n.Stats().Delivered
 	if delivered != tunnels*packets {
 		t.Errorf("delivered = %d, want %d", delivered, tunnels*packets)
 	}
@@ -668,5 +669,202 @@ func TestFabricStormCoalesces(t *testing.T) {
 					p, side, in, perPair)
 			}
 		}
+	}
+}
+
+// TestRekeyBackoffBudgetAndRecovery is the retry-storm regression: a
+// rekey that fails on a starved reservoir must retry on a jittered
+// exponential backoff a bounded number of times — not bounce hot
+// between the dataplane signal and the queue — then stand down until
+// traffic re-signals after the pool refills.
+func TestRekeyBackoffBudgetAndRecovery(t *testing.T) {
+	cfg := fastConfig(ipsec.SuiteAES128CTR)
+	cfg.Life = ipsec.Lifetime{Bytes: 2200}
+	cfg.IKE.Phase2Timeout = 30 * time.Millisecond // starved negotiation fails fast
+	cfg.RekeyBackoff = time.Millisecond
+	cfg.RekeyBackoffMax = 8 * time.Millisecond
+	cfg.RekeyRetryBudget = 3
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	// Just enough key for the establishment; the rollover will starve.
+	if err := n.DistillKeys(2048, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Establish(); err != nil {
+		t.Fatal(err)
+	}
+	var tn *tunnel
+	for _, x := range n.tunnels {
+		tn = x
+	}
+	// Drain what the establishment left over — both mirrored pools
+	// equally, so IKE's offset bookkeeping stays aligned.
+	for _, pool := range []keypool.Pool{n.A.Pool, n.B.Pool} {
+		if avail := pool.Available(); avail > 0 {
+			if _, err := pool.TryConsume(avail); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Cross the soft-expiry threshold (7/8 of 2200 bytes): exactly one
+	// latched signal queues the background rekey against a dry pool.
+	payload := make([]byte, 1000)
+	for i := uint32(1); i <= 2; i++ {
+		if _, err := n.Send(HostA, HostB, i, payload); err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for n.Stats().RekeyAbandoned == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("rekey never exhausted its budget: %+v", n.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := n.Stats()
+	if st.RekeyRetries != uint64(cfg.RekeyRetryBudget) {
+		t.Errorf("RekeyRetries = %d, want exactly the budget %d (not hot-looping, not quitting early)",
+			st.RekeyRetries, cfg.RekeyRetryBudget)
+	}
+	if st.RekeyAbandoned != 1 {
+		t.Errorf("RekeyAbandoned = %d, want 1", st.RekeyAbandoned)
+	}
+	if g := tn.gen.Load(); g != 1 {
+		t.Errorf("tunnel gen = %d after starved rekey, want 1 (no key to roll with)", g)
+	}
+	// Refill; the next traffic-driven signal (hard expiry removes the
+	// SA and fires OnMissingSA) rekeys successfully on its first try.
+	if err := n.DistillKeys(8192, 200); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(15 * time.Second)
+	for i := uint32(3); tn.gen.Load() < 2; i++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("tunnel never recovered after refill: %+v", n.Stats())
+		}
+		_, _ = n.Send(HostA, HostB, i, payload)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := n.Send(HostA, HostB, 99, payload); err != nil {
+		t.Fatalf("post-recovery send: %v", err)
+	}
+	st = n.Stats()
+	if st.RekeyRetries != uint64(cfg.RekeyRetryBudget) || st.RekeyAbandoned != 1 {
+		t.Errorf("recovery burned extra attempts: retries %d abandoned %d", st.RekeyRetries, st.RekeyAbandoned)
+	}
+	if f := tn.fails.Load(); f != 0 {
+		t.Errorf("tunnel fails = %d after successful rekey, want 0", f)
+	}
+}
+
+// TestGatewayRestartMidRollover crash-restarts the B gateway in the
+// middle of a rollover storm and verifies clean resync: every tunnel
+// comes back on fresh SAs, neither SAD leaks superseded inbound SAs,
+// and the two mirrored KDS ledgers re-converge to identical cursors —
+// no ticket double-burned, none lost. Sized to run under -race.
+func TestGatewayRestartMidRollover(t *testing.T) {
+	const tunnels = 4
+	specs := make([]TunnelSpec, tunnels)
+	for i := range specs {
+		specs[i] = TunnelSpec{
+			Name:    fmt.Sprintf("t%d", i),
+			PrefixA: ipsec.MustPrefix(fmt.Sprintf("10.1.%d.0/24", i)),
+			PrefixB: ipsec.MustPrefix(fmt.Sprintf("10.2.%d.0/24", i)),
+			Suite:   ipsec.SuiteAES128CTR,
+			Life:    ipsec.Lifetime{Bytes: 2200},
+		}
+	}
+	cfg := fastConfig(ipsec.SuiteAES128CTR)
+	cfg.KDS = true
+	cfg.Tunnels = specs
+	cfg.IKE.Phase2Timeout = 5 * time.Second
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.DistillKeys(60_000, 4000); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Establish(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The storm: every tunnel's flow pushes its SA across soft expiry
+	// and on through hard expiry, so background rekeys are continuously
+	// in flight when the gateway dies. Send errors inside the outage
+	// window are expected (no-SA gaps); the assertions come after.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < tunnels; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := ipsec.MustAddr(fmt.Sprintf("10.1.%d.5", i))
+			dst := ipsec.MustAddr(fmt.Sprintf("10.2.%d.9", i))
+			payload := bytes.Repeat([]byte{byte(0xB0 + i)}, 1000)
+			for p := uint32(1); ; p++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, _ = n.Send(src, dst, p, payload)
+			}
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let rollovers get in flight
+	if err := n.RestartSite('B'); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := n.Stats().Restarts; got != 1 {
+		t.Errorf("Restarts = %d, want 1", got)
+	}
+	// Every tunnel carries traffic again on post-restart SAs.
+	for i := 0; i < tunnels; i++ {
+		src := ipsec.MustAddr(fmt.Sprintf("10.1.%d.5", i))
+		dst := ipsec.MustAddr(fmt.Sprintf("10.2.%d.9", i))
+		payload := bytes.Repeat([]byte{byte(0xC0 + i)}, 64)
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			got, err := n.SendWithRollover(src, dst, 9000+uint32(i), payload)
+			if err == nil {
+				if !bytes.Equal(got, payload) {
+					t.Fatalf("tunnel %d: payload corrupted after restart", i)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("tunnel %d never recovered after restart: %v", i, err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	// No leaked inbound SAs: at most cur+prev per tunnel on each side.
+	for side, gw := range map[string]*ipsec.Gateway{"A": n.A.GW, "B": n.B.GW} {
+		in, out := gw.SAD.Count()
+		if in > 2*tunnels || out > tunnels {
+			t.Errorf("gateway %s: SAD %d inbound / %d outbound after restart, want <= %d / <= %d",
+				side, in, out, 2*tunnels, tunnels)
+		}
+	}
+	// Ledger convergence: once in-flight rekeys settle, both mirrored
+	// services must have burned the exact same ticket ranges.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ca, cb := n.A.KDS.Cursor(), n.B.KDS.Cursor()
+		if ca == cb {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ledger cursors diverged after restart: A=%d B=%d", ca, cb)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+)
+
+func collect(g *Generator, ticks int) []Packet {
+	var out []Packet
+	for i := 0; i < ticks; i++ {
+		out = g.Tick(out)
+	}
+	return out
+}
+
+// Same seed, same trace — the property every chaos replay depends on.
+func TestDeterministicPerSeed(t *testing.T) {
+	a := collect(New(Config{Seed: 7, Tunnels: 4}), 400)
+	b := collect(New(Config{Seed: 7, Tunnels: 4}), 400)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at packet %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := collect(New(Config{Seed: 8, Tunnels: 4}), 400)
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("different seeds produced identical traces")
+		}
+	}
+}
+
+// The size distribution must be heavy-tailed: the bulk tail reaches the
+// MTU cap while the median stays small.
+func TestHeavyTailedSizes(t *testing.T) {
+	pkts := collect(New(Config{Seed: 42, Tunnels: 8}), 2000)
+	if len(pkts) < 1000 {
+		t.Fatalf("trace too thin: %d packets over 2000 ticks", len(pkts))
+	}
+	sizes := make([]float64, 0, len(pkts))
+	var sum float64
+	for _, p := range pkts {
+		if p.Bytes < 32 || p.Bytes > 1400 {
+			t.Fatalf("packet size %d outside [32, 1400]", p.Bytes)
+		}
+		sizes = append(sizes, float64(p.Bytes))
+		sum += float64(p.Bytes)
+	}
+	sort.Float64s(sizes)
+	p50 := Quantile(sizes, 0.50)
+	p99 := Quantile(sizes, 0.99)
+	if p99 < 3*p50 {
+		t.Fatalf("tail too light: p50=%.0f p99=%.0f", p50, p99)
+	}
+	mean := sum / float64(len(sizes))
+	if p50 > mean {
+		t.Fatalf("not right-skewed: median %.0f above mean %.0f", p50, mean)
+	}
+}
+
+// Both flow classes must contribute, with conferencing dominating the
+// packet count and bulk carrying disproportionate bytes per packet.
+func TestClassMix(t *testing.T) {
+	g := New(Config{Seed: 3, Tunnels: 8})
+	collect(g, 3000)
+	pkts, bytes := g.Totals()
+	if pkts[Conferencing] == 0 || pkts[Bulk] == 0 {
+		t.Fatalf("a class went silent: conf=%d bulk=%d", pkts[Conferencing], pkts[Bulk])
+	}
+	if pkts[Conferencing] < pkts[Bulk] {
+		t.Fatalf("conferencing should dominate packet count: conf=%d bulk=%d",
+			pkts[Conferencing], pkts[Bulk])
+	}
+	confAvg := float64(bytes[Conferencing]) / float64(pkts[Conferencing])
+	bulkAvg := float64(bytes[Bulk]) / float64(pkts[Bulk])
+	if bulkAvg <= confAvg {
+		t.Fatalf("bulk packets should be larger on average: bulk=%.0fB conf=%.0fB", bulkAvg, confAvg)
+	}
+}
+
+// The diurnal swell must actually move the offered rate: the busiest
+// quarter-cycle carries well more than the quietest.
+func TestDiurnalSwell(t *testing.T) {
+	period := 256
+	g := New(Config{Seed: 9, Tunnels: 8, DiurnalPeriod: period, FlashEvery: 1 << 30})
+	perTick := make([]int, 4*period)
+	var out []Packet
+	for i := range perTick {
+		out = g.Tick(out[:0])
+		perTick[i] = len(out)
+	}
+	quarter := period / 4
+	sumQ := func(start int) (s int) {
+		for c := 0; c < 4; c++ { // average the same phase across 4 cycles
+			for i := 0; i < quarter; i++ {
+				s += perTick[c*period+start+i]
+			}
+		}
+		return s
+	}
+	peak := sumQ(quarter / 2)            // centered on sin max
+	trough := sumQ(period/2 + quarter/2) // centered on sin min
+	if float64(peak) < 1.5*float64(trough) {
+		t.Fatalf("diurnal swell too flat: peak quarter %d vs trough quarter %d", peak, trough)
+	}
+}
+
+// Flash crowds must occur and multiply the rate while active.
+func TestFlashCrowds(t *testing.T) {
+	g := New(Config{Seed: 11, Tunnels: 8, DiurnalAmplitude: 0.0001, FlashEvery: 50, FlashFactor: 8})
+	var flashSum, flashTicks, calmSum, calmTicks int
+	var out []Packet
+	for i := 0; i < 2000; i++ {
+		flash := g.FlashActive()
+		out = g.Tick(out[:0])
+		if flash {
+			flashSum += len(out)
+			flashTicks++
+		} else {
+			calmSum += len(out)
+			calmTicks++
+		}
+	}
+	if flashTicks == 0 {
+		t.Fatalf("no flash crowd fired in 2000 ticks with FlashEvery=50")
+	}
+	flashRate := float64(flashSum) / float64(flashTicks)
+	calmRate := float64(calmSum) / float64(calmTicks)
+	if flashRate < 3*calmRate {
+		t.Fatalf("flash crowds too weak: %.1f pkts/tick vs calm %.1f", flashRate, calmRate)
+	}
+}
+
+// Every tunnel must see traffic.
+func TestTunnelCoverage(t *testing.T) {
+	const tunnels = 12
+	pkts := collect(New(Config{Seed: 5, Tunnels: tunnels}), 2000)
+	seen := make([]bool, tunnels)
+	for _, p := range pkts {
+		if p.Tunnel < 0 || p.Tunnel >= tunnels {
+			t.Fatalf("tunnel index %d out of range", p.Tunnel)
+		}
+		seen[p.Tunnel] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("tunnel %d never carried a packet", i)
+		}
+	}
+}
