@@ -8,8 +8,8 @@
 #                         # the benchmarks still run, not their speed
 #   ./bench.sh report     # fold existing BENCH_*.json groups into one
 #                         # BENCH_report.json trend artifact
-#   ./bench.sh gate       # re-run all four groups (distill, kms, qnet,
-#                         # ipsec) at GATE_BENCHTIME and fail (exit 1)
+#   ./bench.sh gate       # re-run all five groups (distill, kms, qnet,
+#                         # ipsec, flow) at GATE_BENCHTIME and fail (exit 1)
 #                         # on a >20% throughput drop against
 #                         # BENCH_baseline.json (or $BENCH_BASELINE);
 #                         # writes a fresh baseline when none exists,
@@ -22,7 +22,7 @@
 # transport and ~50% on the shortest distill multiplies (bimodal
 # scheduler noise), so the gate compares best-of-GATE_COUNT (default 3)
 # throughput — stable well inside the 20% tolerance — which is what
-# lets it cover all four groups instead of just ipsec/kms.
+# lets it cover all five groups instead of just ipsec/kms.
 #
 # Groups:
 #   distill -> BENCH_distill.json   the distillation fast path, one row
@@ -48,6 +48,12 @@
 #                                   single-packet and 64-packet batched
 #                                   paths, plus 8 tunnels in parallel
 #                                   (DESIGN.md §10-11)
+#   flow    -> BENCH_flow.json      closed-loop replenishment control:
+#                                   foreground credit-controller and
+#                                   LEDBAT-style background ticks on the
+#                                   KDS pressure signal, plus sampled
+#                                   overload-to-mark latency (DESIGN.md
+#                                   §13)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -149,6 +155,11 @@ run_ipsec_group() {
     emit BENCH_ipsec.json
 }
 
+run_flow_group() {
+    run ./internal/flow/ 'BenchmarkFlow_(ControllerTick|BackgroundTick|MarkLatency)$'
+    emit BENCH_flow.json
+}
+
 # report: merge whatever per-group reports exist into one trend
 # artifact, keyed by group.
 if [[ "$mode" == "report" ]]; then
@@ -156,7 +167,7 @@ if [[ "$mode" == "report" ]]; then
 import json, os, sys
 
 groups = {}
-for g in ("distill", "kms", "qnet", "ipsec"):
+for g in ("distill", "kms", "qnet", "ipsec", "flow"):
     path = f"BENCH_{g}.json"
     if os.path.exists(path):
         with open(path) as f:
@@ -183,12 +194,13 @@ if [[ "$mode" == "gate" ]]; then
     run_kms_group
     run_qnet_group
     run_ipsec_group
+    run_flow_group
     python3 - "$baseline" "${GATE_TOLERANCE:-0.20}" <<'EOF'
 import json, os, sys
 
 baseline_path, tol = sys.argv[1], float(sys.argv[2])
 cur = {}
-for g in ("distill", "kms", "qnet", "ipsec"):
+for g in ("distill", "kms", "qnet", "ipsec", "flow"):
     with open(f"BENCH_{g}.json") as f:
         cur.update(json.load(f))
 
@@ -236,8 +248,9 @@ EOF
     exit 0
 fi
 
-# --- full run: all four groups ---------------------------------------
+# --- full run: all five groups ---------------------------------------
 run_distill_group
 run_kms_group
 run_qnet_group
 run_ipsec_group
+run_flow_group

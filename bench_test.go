@@ -114,11 +114,12 @@ func BenchmarkVPN_Tunnel1KB(b *testing.B) {
 	}
 }
 
-func BenchmarkE13_KDS(b *testing.B)       { benchExperiment(b, experiments.E13KDS) }
-func BenchmarkE14_Striping(b *testing.B)  { benchExperiment(b, experiments.E14Striping) }
-func BenchmarkE15_Dataplane(b *testing.B) { benchExperiment(b, experiments.E15Dataplane) }
-func BenchmarkE16_Fabric(b *testing.B)    { benchExperiment(b, experiments.E16Fabric) }
-func BenchmarkE17_ChaosSoak(b *testing.B) { benchExperiment(b, experiments.E17ChaosSoak) }
+func BenchmarkE13_KDS(b *testing.B)         { benchExperiment(b, experiments.E13KDS) }
+func BenchmarkE14_Striping(b *testing.B)    { benchExperiment(b, experiments.E14Striping) }
+func BenchmarkE15_Dataplane(b *testing.B)   { benchExperiment(b, experiments.E15Dataplane) }
+func BenchmarkE16_Fabric(b *testing.B)      { benchExperiment(b, experiments.E16Fabric) }
+func BenchmarkE17_ChaosSoak(b *testing.B)   { benchExperiment(b, experiments.E17ChaosSoak) }
+func BenchmarkE18_FlowControl(b *testing.B) { benchExperiment(b, experiments.E18FlowControl) }
 
 // ---------------------------------------------------------------------
 // Key delivery service: concurrent withdrawal path

@@ -46,12 +46,13 @@ var registry = map[string]func(uint64, bool) (*experiments.Report, error){
 	"e15": experiments.E15Dataplane,
 	"e16": experiments.E16Fabric,
 	"e17": experiments.E17ChaosSoak,
+	"e18": experiments.E18FlowControl,
 }
 
-var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17"}
+var order = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18"}
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e17) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (e1..e18) or 'all'")
 	quick := flag.Bool("quick", false, "reduced Monte Carlo sizes")
 	seed := flag.Uint64("seed", 2003, "simulation seed")
 	flag.Parse()
@@ -65,7 +66,7 @@ func main() {
 		id = strings.TrimSpace(id)
 		run, ok := registry[id]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want e1..e16)\n", id)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want e1..e18)\n", id)
 			os.Exit(2)
 		}
 		report, err := run(*seed, *quick)

@@ -8,6 +8,7 @@
 //	qkdvpn                       # AES tunnel with QKD reseeding
 //	qkdvpn -suite otp            # one-time-pad tunnel
 //	qkdvpn -life-bytes 2000      # aggressive rollover
+//	qkdvpn -kds                  # key delivery via the per-site KDS
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"qkd/internal/core"
 	"qkd/internal/ipsec"
+	"qkd/internal/kms"
 	"qkd/internal/photonics"
 	"qkd/internal/vpn"
 )
@@ -29,6 +31,7 @@ func main() {
 	packets := flag.Int("packets", 20, "user packets to send")
 	km := flag.Float64("km", 0, "quantum link fiber length")
 	seed := flag.Uint64("seed", 2003, "simulation seed")
+	useKDS := flag.Bool("kds", false, "route key delivery through the per-site KDS and report its scheduler status")
 	flag.Parse()
 
 	var cs ipsec.CipherSuite
@@ -62,10 +65,12 @@ func main() {
 			Bytes:    *lifeBytes,
 			Duration: time.Duration(*lifeSecs) * time.Second,
 		},
-		OTPBits: 16384,
-		Seed:    *seed,
-		IKELogA: prefixWriter("alice-gw racoon: "),
-		IKELogB: prefixWriter("bob-gw   racoon: "),
+		OTPBits:     16384,
+		KDS:         *useKDS,
+		FlowControl: *useKDS,
+		Seed:        *seed,
+		IKELogA:     prefixWriter("alice-gw racoon: "),
+		IKELogB:     prefixWriter("bob-gw   racoon: "),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -106,6 +111,22 @@ func main() {
 	delivered, dropped := st.Delivered, st.Dropped
 	fmt.Printf("\n%d packets delivered, %d dropped; tunnel operational over quantum-distilled keys\n",
 		delivered, dropped)
+	if *useKDS {
+		printKDSStatus(n.A.KDS)
+	}
+}
+
+// printKDSStatus reports the key delivery service's congestion signal
+// and per-class scheduler outcomes — the operator's view of whether the
+// key budget is keeping up with the tunnel's appetite.
+func printKDSStatus(svc *kms.Service) {
+	ks := svc.Stats()
+	fmt.Printf("kds: pressure %.2f, %d bits deposited, %d bits claimed\n",
+		ks.Pressure, ks.DepositedBits, ks.ClaimedBits)
+	for c := kms.Class(0); c < kms.NumClasses; c++ {
+		fmt.Printf("kds: class %-5s granted %d (%d bits), shed %d, degraded %d, expired %d\n",
+			c, ks.Granted[c], ks.GrantedBits[c], ks.Shed[c], ks.Degraded[c], ks.Expired[c])
+	}
 }
 
 // prefixWriter prints each log line with a prefix, mimicking syslog.

@@ -193,6 +193,53 @@ func carveBatch(src *bitarray.BitArray, from, to int) *bitarray.BitArray {
 // escape the distill call).
 func releaseBatch(b *bitarray.BitArray) { batchPool.Put(b) }
 
+// AuthBias closes the distillation end of the flow-control loop: it
+// decides, per distilled batch, how many bits divert to auth-pad
+// replenishment, sampling a live advisory signal (a flow Background
+// controller's yielded window, or KDS pressure) instead of always
+// taking the configured share. The mirrored engines must still split
+// every batch bit-identically even though they deposit at different
+// wall-clock moments, so the decision is latched by batch index:
+// whichever engine reaches a batch first samples the signal and records
+// the share; the second engine consumes the recorded value.
+type AuthBias struct {
+	mu     sync.Mutex
+	advise func(base int) int
+	shares map[uint64]int
+}
+
+// NewAuthBias builds a bias whose advise callback maps the configured
+// per-direction share to the biased one for the next batch. The result
+// is clamped to [0, base] — replenishment can yield to starved
+// foreground classes, never grab more than configured.
+func NewAuthBias(advise func(base int) int) *AuthBias {
+	return &AuthBias{advise: advise, shares: make(map[uint64]int)}
+}
+
+// shareFor returns the latched share for a batch, computing and
+// recording it on first access and consuming the record on the second
+// (each batch is deposited exactly once per engine).
+func (ab *AuthBias) shareFor(batch uint64, base int) int {
+	ab.mu.Lock()
+	defer ab.mu.Unlock()
+	if r, ok := ab.shares[batch]; ok {
+		delete(ab.shares, batch)
+		return r
+	}
+	r := base
+	if ab.advise != nil {
+		r = ab.advise(base)
+	}
+	if r < 0 {
+		r = 0
+	}
+	if r > base {
+		r = base
+	}
+	ab.shares[batch] = r
+	return r
+}
+
 // engineCommon holds state shared by Alice and Bob engines.
 type engineCommon struct {
 	cfg      Config
@@ -200,6 +247,7 @@ type engineCommon struct {
 	pool     keypool.Pool
 	sendPads keypool.Pool // auth pad pools, optional
 	recvPads keypool.Pool
+	authBias *AuthBias
 	rand     *rng.SplitMix64
 	batch    batchState
 	metrics  Metrics
@@ -250,11 +298,22 @@ func (e *engineCommon) corrector() cascade.Protocol {
 	}
 }
 
+// SetAuthBias registers the per-batch replenishment bias. Both engines
+// of a link must share one AuthBias (the latch is what keeps their
+// splits identical); set it before the first frame.
+func (e *engineCommon) SetAuthBias(b *AuthBias) { e.authBias = b }
+
 // deposit splits a distilled batch between auth-pad replenishment and
 // the reservoir, identically on both ends. isAlice picks which pad pool
 // maps to which shared stream.
 func (e *engineCommon) deposit(bits *bitarray.BitArray, isAlice bool) {
 	r := e.cfg.AuthReplenishBits
+	if r > 0 && e.authBias != nil {
+		// BatchesDistilled was incremented for this batch just before
+		// deposit, so it is the same index on both ends regardless of
+		// which engine runs first.
+		r = e.authBias.shareFor(e.metrics.BatchesDistilled, r)
+	}
 	if r > 0 && e.sendPads != nil && bits.Len() >= 2*r {
 		ab := bits.Slice(0, r)   // stream for the Alice->Bob direction
 		ba := bits.Slice(r, 2*r) // stream for the Bob->Alice direction

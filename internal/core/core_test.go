@@ -336,3 +336,63 @@ func TestForgedProtocolMessagesAbortPipeline(t *testing.T) {
 		t.Error("key distilled from a forged conversation")
 	}
 }
+
+func TestAuthBiasKeepsMirroredSplitsIdentical(t *testing.T) {
+	// The bias samples a live signal that returns a DIFFERENT share on
+	// every call — the adversarial case for mirror symmetry. The
+	// per-batch latch must make both engines split identically anyway:
+	// first engine to a batch samples, second consumes the latched value.
+	s, err := NewAuthenticatedSession(fastParams(), Config{BatchBits: 2048, AuthReplenishBits: 128}, 10000, 42, 262144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	s.SetAuthBias(NewAuthBias(func(base int) int {
+		calls++
+		return (calls * 37) % (base + 50) // wanders through [0, base+49]; clamps at base
+	}))
+	if err := s.RunUntilDistilled(1024, 80); err != nil {
+		t.Fatal(err)
+	}
+	am, bm := s.Alice.Metrics(), s.Bob.Metrics()
+	if am.BatchesDistilled == 0 {
+		t.Fatal("no batches distilled")
+	}
+	if am.AuthReplenished != bm.AuthReplenished {
+		t.Fatalf("auth replenishment diverged: alice %d vs bob %d bits", am.AuthReplenished, bm.AuthReplenished)
+	}
+	if am.DistilledBits != bm.DistilledBits {
+		t.Fatalf("reservoir deposits diverged: alice %d vs bob %d bits", am.DistilledBits, bm.DistilledBits)
+	}
+	n := s.Alice.Pool().Available()
+	if n == 0 || n != s.Bob.Pool().Available() {
+		t.Fatalf("reservoir sizes differ: %d vs %d", n, s.Bob.Pool().Available())
+	}
+	a, err := s.Alice.Pool().TryConsume(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Bob.Pool().TryConsume(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("distilled keys differ in %d of %d bits under biased splits", a.HammingDistance(b), n)
+	}
+}
+
+func TestAuthBiasZeroShareSkipsReplenishment(t *testing.T) {
+	// A fully yielded background controller (share 0) must route whole
+	// batches to the reservoir, not underflow the pad carve.
+	s, err := NewAuthenticatedSession(fastParams(), Config{BatchBits: 2048, AuthReplenishBits: 128}, 10000, 43, 262144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetAuthBias(NewAuthBias(func(base int) int { return 0 }))
+	if err := s.RunUntilDistilled(1024, 80); err != nil {
+		t.Fatal(err)
+	}
+	if am := s.Alice.Metrics(); am.AuthReplenished != 0 {
+		t.Fatalf("AuthReplenished = %d, want 0 under a fully yielded bias", am.AuthReplenished)
+	}
+}

@@ -128,6 +128,13 @@ func NewAuthenticatedSession(params photonics.Params, cfg Config, frameSlots int
 	return s, nil
 }
 
+// SetAuthBias registers one shared per-batch replenishment bias on both
+// engines (see AuthBias); call before the first frame.
+func (s *Session) SetAuthBias(b *AuthBias) {
+	s.Alice.SetAuthBias(b)
+	s.Bob.SetAuthBias(b)
+}
+
 // framePipelineDepth bounds how many frames the physical-layer
 // simulation may run ahead of the protocol engines.
 const framePipelineDepth = 4

@@ -8,7 +8,10 @@
 // dataplane and a synchronized rollover storm; E17: a chaos soak
 // driving a trace-shaped workload through a seeded fault schedule —
 // fiber cuts, an Eve storm, a relay compromise, a KDS overload pulse
-// and a gateway crash-restart — gated on end-to-end SLOs). Each experiment
+// and a gateway crash-restart — gated on end-to-end SLOs; E18:
+// closed-loop congestion-controlled key replenishment, credit windows
+// and a LEDBAT-style background class measured side by side against
+// open-loop shedding under overload). Each experiment
 // Exx function runs a workload and returns a Report whose rows mirror
 // what the paper states; cmd/qkdexp prints them and the repository's
 // bench_test.go wraps each in a testing.B benchmark. EXPERIMENTS.md
@@ -80,6 +83,7 @@ func All(seed uint64, quick bool) ([]*Report, error) {
 		E15Dataplane,
 		E16Fabric,
 		E17ChaosSoak,
+		E18FlowControl,
 	}
 	var out []*Report
 	for i, run := range runs {

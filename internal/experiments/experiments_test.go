@@ -16,8 +16,8 @@ func TestAllExperimentsQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 17 {
-		t.Fatalf("got %d reports, want 17", len(reports))
+	if len(reports) != 18 {
+		t.Fatalf("got %d reports, want 18", len(reports))
 	}
 	for _, r := range reports {
 		if len(r.Rows()) == 0 {

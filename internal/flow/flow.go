@@ -1,0 +1,376 @@
+// Package flow closes the key-replenishment loop. Everything below it
+// is open-loop: distillation deposits at whatever rate the link yields,
+// the KDS sheds low classes on overload (ErrOverload), and consumers
+// block or fail. This package adds the control plane on top — per-stream
+// credit controllers in the style of the congestion-control canon:
+//
+//   - [Controller] is the foreground (OTP / rekey) side: it registers a
+//     windowed demand with the KDS, samples ECN-style early-pressure
+//     marks derived from kms.Pressure() / projected queue wait, and
+//     adapts the window AIMD-fashion — additive increase while
+//     unmarked (weighted Elastic-style, growing faster the further the
+//     window sits below its cap), multiplicative decrease on a mark or
+//     a hard shed. Marks carry hysteresis (MarkHigh / MarkLow) so a
+//     pressure signal hovering at the threshold does not flap the
+//     window every sample, the same reason DCTCP smooths its fraction
+//     of marked packets.
+//
+//   - [Background] is the LEDBAT-style background class for auth-pad
+//     replenishment: it measures queueing delay (the KDS projected
+//     wait, the analog of LEDBAT's one-way delay probe) against a
+//     target, ramps while the queue is empty, and yields hard — one
+//     multiplicative cut per sample — the moment foreground demand or
+//     pressure appears. Auth pads defend future conversations; they
+//     must never cost a running SA its OTP bits.
+//
+// Windows are advisory credit, not reservation: a controller's window
+// is how many bits its consumer should request over the next window
+// interval, and the registered aggregate is what producers size work
+// by — qnet transports stripe toward registered demand instead of a
+// fixed request, the vpn rekeyer paces batch bursts off marks, and
+// distillation biases its batch split toward the classes flow reports
+// starved.
+package flow
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"qkd/internal/kms"
+)
+
+// Signals is the congestion-signal surface a controller samples each
+// tick. *kms.Service implements it; tests substitute a scripted fake.
+type Signals interface {
+	// Pressure is the normalized early-warning signal: 0 idle, >= 1
+	// means the next rekey-class request would be shed.
+	Pressure() float64
+	// ProjectedWait estimates the queueing delay a class-c request of
+	// `bits` would face; known is false before capacity is measured.
+	ProjectedWait(c kms.Class, bits int) (wait time.Duration, known bool)
+	// RegisterDemand records the controller's current window with the
+	// delivery service; bits <= 0 clears it.
+	RegisterDemand(name string, c kms.Class, bits int)
+	// RegisteredDemand sums windowed demand for a class (all classes
+	// when c < 0).
+	RegisteredDemand(c kms.Class) int
+}
+
+// Config tunes a foreground Controller.
+type Config struct {
+	// MinWindow / MaxWindow bound the credit window in bits.
+	// Defaults 256 / 1 << 20.
+	MinWindow int
+	MaxWindow int
+	// Increase is the additive growth per unmarked tick, in bits,
+	// before Elastic weighting. Default MinWindow.
+	Increase int
+	// Beta is the multiplicative-decrease factor applied on a marked
+	// tick (0 < Beta < 1). Default 0.5.
+	Beta float64
+	// MarkHigh / MarkLow are the hysteresis thresholds on the pressure
+	// signal: the mark sets at >= MarkHigh and clears only at
+	// <= MarkLow. Defaults 0.75 / 0.35.
+	MarkHigh float64
+	MarkLow  float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinWindow <= 0 {
+		c.MinWindow = 256
+	}
+	if c.MaxWindow < c.MinWindow {
+		c.MaxWindow = 1 << 20
+	}
+	if c.Increase <= 0 {
+		c.Increase = c.MinWindow
+	}
+	if c.Beta <= 0 || c.Beta >= 1 {
+		c.Beta = 0.5
+	}
+	if c.MarkHigh <= 0 {
+		c.MarkHigh = 0.75
+	}
+	if c.MarkLow <= 0 || c.MarkLow >= c.MarkHigh {
+		c.MarkLow = c.MarkHigh / 2
+	}
+	return c
+}
+
+// Stats is a controller activity snapshot.
+type Stats struct {
+	Ticks     uint64
+	Marks     uint64 // ticks sampled while marked
+	MarkSets  uint64 // unmarked -> marked transitions
+	Increases uint64
+	Decreases uint64
+	Sheds     uint64 // hard ErrOverload feedback from the consumer
+	Yields    uint64 // Background only: cuts taken for foreground
+}
+
+// Controller is one stream's foreground credit window.
+type Controller struct {
+	cfg   Config
+	sig   Signals
+	name  string
+	class kms.Class
+
+	mu     sync.Mutex
+	window float64
+	marked bool
+	stats  Stats
+}
+
+// NewController builds a controller for the named stream in class c and
+// registers its initial window with the signal source.
+func NewController(name string, c kms.Class, sig Signals, cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	ctl := &Controller{cfg: cfg, sig: sig, name: name, class: c, window: float64(cfg.MinWindow)}
+	sig.RegisterDemand(name, c, cfg.MinWindow)
+	return ctl
+}
+
+// Window returns the current credit window in bits: how much the
+// consumer should request over its next window interval.
+func (ctl *Controller) Window() int {
+	ctl.mu.Lock()
+	defer ctl.mu.Unlock()
+	return int(ctl.window)
+}
+
+// Marked reports the hysteresis mark state as of the last tick.
+func (ctl *Controller) Marked() bool {
+	ctl.mu.Lock()
+	defer ctl.mu.Unlock()
+	return ctl.marked
+}
+
+// Stats returns a snapshot of controller activity.
+func (ctl *Controller) Stats() Stats {
+	ctl.mu.Lock()
+	defer ctl.mu.Unlock()
+	return ctl.stats
+}
+
+// Tick samples the congestion signal once, updates the mark state
+// through the hysteresis band, adapts the window, and re-registers the
+// demand. It returns the new window. Call it once per window interval
+// (e.g. per consumer batch).
+func (ctl *Controller) Tick() int {
+	p := ctl.sig.Pressure()
+	ctl.mu.Lock()
+	ctl.stats.Ticks++
+	switch {
+	case p >= ctl.cfg.MarkHigh:
+		if !ctl.marked {
+			ctl.stats.MarkSets++
+		}
+		ctl.marked = true
+	case p <= ctl.cfg.MarkLow:
+		ctl.marked = false
+	}
+	if ctl.marked {
+		ctl.stats.Marks++
+		ctl.decreaseLocked()
+	} else {
+		ctl.increaseLocked()
+	}
+	w := int(ctl.window)
+	ctl.mu.Unlock()
+	ctl.sig.RegisterDemand(ctl.name, ctl.class, w)
+	return w
+}
+
+// OnShed feeds back a hard ErrOverload the consumer hit despite the
+// window: the loop underestimated, so cut immediately and set the mark
+// without waiting for the next pressure sample.
+func (ctl *Controller) OnShed() {
+	ctl.mu.Lock()
+	ctl.stats.Sheds++
+	if !ctl.marked {
+		ctl.stats.MarkSets++
+	}
+	ctl.marked = true
+	ctl.decreaseLocked()
+	w := int(ctl.window)
+	ctl.mu.Unlock()
+	ctl.sig.RegisterDemand(ctl.name, ctl.class, w)
+}
+
+// Close clears the controller's registered demand.
+func (ctl *Controller) Close() {
+	ctl.sig.RegisterDemand(ctl.name, ctl.class, 0)
+}
+
+// increaseLocked grows the window Elastic-style: the additive step is
+// weighted by sqrt(MaxWindow/window), so a freshly cut window recovers
+// fast while one near its cap creeps — Elastic-TCP's window-correlated
+// weighting function, adapted to a credit window.
+func (ctl *Controller) increaseLocked() {
+	weight := math.Sqrt(float64(ctl.cfg.MaxWindow) / ctl.window)
+	if weight < 1 {
+		weight = 1
+	}
+	ctl.window += float64(ctl.cfg.Increase) * weight
+	if max := float64(ctl.cfg.MaxWindow); ctl.window > max {
+		ctl.window = max
+	}
+	ctl.stats.Increases++
+}
+
+func (ctl *Controller) decreaseLocked() {
+	ctl.window *= ctl.cfg.Beta
+	if min := float64(ctl.cfg.MinWindow); ctl.window < min {
+		ctl.window = min
+	}
+	ctl.stats.Decreases++
+}
+
+// BackgroundConfig tunes a LEDBAT-style background controller.
+type BackgroundConfig struct {
+	// Target is the queueing-delay target: the controller ramps while
+	// the projected wait sits below it and backs off proportionally
+	// above it. Default 25ms.
+	Target time.Duration
+	// Gain scales the proportional controller (window change per tick
+	// = Gain * Increase * off-target fraction). Default 1.
+	Gain float64
+	// MinWindow / MaxWindow bound the window in bits. Defaults
+	// 64 / 1 << 18.
+	MinWindow int
+	MaxWindow int
+	// Increase is the base ramp step in bits. Default MinWindow.
+	Increase int
+	// YieldBeta is the multiplicative cut taken per tick while
+	// foreground demand or pressure is active (0 < YieldBeta < 1).
+	// Default 0.25 — background yields in one or two ticks, the LEDBAT
+	// contract.
+	YieldBeta float64
+	// ProbeBits sizes the projected-wait probe. Default MinWindow.
+	ProbeBits int
+}
+
+func (c BackgroundConfig) withDefaults() BackgroundConfig {
+	if c.Target <= 0 {
+		c.Target = 25 * time.Millisecond
+	}
+	if c.Gain <= 0 {
+		c.Gain = 1
+	}
+	if c.MinWindow <= 0 {
+		c.MinWindow = 64
+	}
+	if c.MaxWindow < c.MinWindow {
+		c.MaxWindow = 1 << 18
+	}
+	if c.Increase <= 0 {
+		c.Increase = c.MinWindow
+	}
+	if c.YieldBeta <= 0 || c.YieldBeta >= 1 {
+		c.YieldBeta = 0.25
+	}
+	if c.ProbeBits <= 0 {
+		c.ProbeBits = c.MinWindow
+	}
+	return c
+}
+
+// Background is the LEDBAT-style controller for auth-pad replenishment
+// (ClassAuth). It measures queueing delay rather than reacting to
+// marks, and yields multiplicatively whenever foreground (OTP or
+// rekey) demand is registered or pressure is non-trivial.
+type Background struct {
+	cfg  BackgroundConfig
+	sig  Signals
+	name string
+
+	mu     sync.Mutex
+	window float64
+	stats  Stats
+}
+
+// NewBackground builds a background controller for the named auth
+// stream and registers its initial window.
+func NewBackground(name string, sig Signals, cfg BackgroundConfig) *Background {
+	cfg = cfg.withDefaults()
+	bg := &Background{cfg: cfg, sig: sig, name: name, window: float64(cfg.MinWindow)}
+	sig.RegisterDemand(name, kms.ClassAuth, cfg.MinWindow)
+	return bg
+}
+
+// Window returns the current background credit window in bits.
+func (bg *Background) Window() int {
+	bg.mu.Lock()
+	defer bg.mu.Unlock()
+	return int(bg.window)
+}
+
+// Stats returns a snapshot of controller activity.
+func (bg *Background) Stats() Stats {
+	bg.mu.Lock()
+	defer bg.mu.Unlock()
+	return bg.stats
+}
+
+// Tick samples the delay and foreground signals once, adapts the
+// window, re-registers demand, and returns the new window.
+func (bg *Background) Tick() int {
+	// Foreground-yield check first: any registered OTP or rekey demand,
+	// or pressure beyond idle noise, and background cuts immediately —
+	// before the delay controller gets a vote.
+	foreground := bg.sig.RegisteredDemand(kms.ClassOTP) + bg.sig.RegisteredDemand(kms.ClassRekey)
+	pressure := bg.sig.Pressure()
+	wait, known := bg.sig.ProjectedWait(kms.ClassAuth, bg.probeBits())
+
+	bg.mu.Lock()
+	bg.stats.Ticks++
+	switch {
+	case foreground > 0 || pressure > 0.1:
+		bg.window *= bg.cfg.YieldBeta
+		if min := float64(bg.cfg.MinWindow); bg.window < min {
+			bg.window = min
+		}
+		bg.stats.Yields++
+		bg.stats.Decreases++
+	case known:
+		// LEDBAT proportional controller: off-target fraction in
+		// [-inf, 1] scales the ramp. At wait == 0 this is a full step
+		// up; past the target it turns negative and shrinks the window.
+		off := (float64(bg.cfg.Target) - float64(wait)) / float64(bg.cfg.Target)
+		bg.window += bg.cfg.Gain * float64(bg.cfg.Increase) * off
+		switch {
+		case bg.window > float64(bg.cfg.MaxWindow):
+			bg.window = float64(bg.cfg.MaxWindow)
+		case bg.window < float64(bg.cfg.MinWindow):
+			bg.window = float64(bg.cfg.MinWindow)
+		}
+		if off >= 0 {
+			bg.stats.Increases++
+		} else {
+			bg.stats.Decreases++
+		}
+	default:
+		// Capacity unmeasured: hold at the floor rather than probing a
+		// link that has never delivered.
+		bg.window = float64(bg.cfg.MinWindow)
+	}
+	w := int(bg.window)
+	bg.mu.Unlock()
+	bg.sig.RegisterDemand(bg.name, kms.ClassAuth, w)
+	return w
+}
+
+func (bg *Background) probeBits() int {
+	bg.mu.Lock()
+	defer bg.mu.Unlock()
+	if w := int(bg.window); w > bg.cfg.ProbeBits {
+		return w
+	}
+	return bg.cfg.ProbeBits
+}
+
+// Close clears the controller's registered demand.
+func (bg *Background) Close() {
+	bg.sig.RegisterDemand(bg.name, kms.ClassAuth, 0)
+}

@@ -1,0 +1,339 @@
+package flow
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"qkd/internal/kms"
+	"qkd/internal/rng"
+)
+
+// fakeSignals is a scripted signal source: tests set the pressure and
+// projected wait directly and observe the registered demand.
+type fakeSignals struct {
+	mu       sync.Mutex
+	pressure float64
+	wait     time.Duration
+	known    bool
+	demand   map[string]int
+	byClass  [kms.NumClasses]int
+}
+
+func newFakeSignals() *fakeSignals {
+	return &fakeSignals{known: true, demand: make(map[string]int)}
+}
+
+func (f *fakeSignals) set(pressure float64, wait time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pressure = pressure
+	f.wait = wait
+}
+
+func (f *fakeSignals) Pressure() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pressure
+}
+
+func (f *fakeSignals) ProjectedWait(c kms.Class, bits int) (time.Duration, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.wait, f.known
+}
+
+func (f *fakeSignals) RegisterDemand(name string, c kms.Class, bits int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// Entries never change class in these tests, so the old bits come
+	// off the same class aggregate.
+	if old, ok := f.demand[name]; ok {
+		f.byClass[c] -= old
+	}
+	if bits <= 0 {
+		delete(f.demand, name)
+		return
+	}
+	f.demand[name] = bits
+	f.byClass[c] += bits
+}
+
+func (f *fakeSignals) RegisteredDemand(c kms.Class) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c >= 0 && c < kms.NumClasses {
+		return f.byClass[c]
+	}
+	total := 0
+	for _, b := range f.byClass {
+		total += b
+	}
+	return total
+}
+
+func TestControllerWindowGrowsWhileUnmarked(t *testing.T) {
+	sig := newFakeSignals()
+	ctl := NewController("otp", kms.ClassOTP, sig, Config{MinWindow: 256, MaxWindow: 1 << 16})
+	defer ctl.Close()
+	if w := ctl.Window(); w != 256 {
+		t.Fatalf("initial window = %d, want MinWindow 256", w)
+	}
+	prev := ctl.Window()
+	var firstStep, lastStep int
+	for i := 0; i < 200; i++ {
+		w := ctl.Tick()
+		if w < prev {
+			t.Fatalf("tick %d: window shrank %d -> %d with zero pressure", i, prev, w)
+		}
+		if i == 0 {
+			firstStep = w - prev
+		}
+		lastStep = w - prev
+		prev = w
+	}
+	if prev != 1<<16 {
+		t.Fatalf("window after 200 unmarked ticks = %d, want cap %d", prev, 1<<16)
+	}
+	// Elastic weighting: growth from the floor outpaces growth near the
+	// cap (where the weight has decayed toward 1).
+	if firstStep <= lastStep {
+		t.Fatalf("first step %d <= last step %d: growth not window-weighted", firstStep, lastStep)
+	}
+	// The window is registered as demand.
+	if d := sig.RegisteredDemand(kms.ClassOTP); d != prev {
+		t.Fatalf("registered demand = %d, want window %d", d, prev)
+	}
+}
+
+func TestControllerDecaysOnMarks(t *testing.T) {
+	sig := newFakeSignals()
+	ctl := NewController("otp", kms.ClassOTP, sig, Config{MinWindow: 256, MaxWindow: 1 << 16, Beta: 0.5})
+	defer ctl.Close()
+	for i := 0; i < 200; i++ {
+		ctl.Tick()
+	}
+	w0 := ctl.Window()
+	sig.set(2.0, 0) // hard overload
+	w1 := ctl.Tick()
+	if w1 != w0/2 {
+		t.Fatalf("marked tick: window %d -> %d, want multiplicative halving to %d", w0, w1, w0/2)
+	}
+	for i := 0; i < 20; i++ {
+		ctl.Tick()
+	}
+	if w := ctl.Window(); w != 256 {
+		t.Fatalf("window under sustained marks = %d, want floor 256", w)
+	}
+	st := ctl.Stats()
+	if st.MarkSets != 1 {
+		t.Fatalf("MarkSets = %d, want 1 (one continuous marked episode)", st.MarkSets)
+	}
+	if st.Marks != 21 {
+		t.Fatalf("Marks = %d, want 21", st.Marks)
+	}
+}
+
+func TestControllerMarkHysteresis(t *testing.T) {
+	sig := newFakeSignals()
+	ctl := NewController("otp", kms.ClassOTP, sig, Config{
+		MinWindow: 256, MaxWindow: 1 << 16, MarkHigh: 0.75, MarkLow: 0.35,
+	})
+	defer ctl.Close()
+	// Below MarkHigh: no mark.
+	sig.set(0.7, 0)
+	ctl.Tick()
+	if ctl.Marked() {
+		t.Fatal("marked at pressure 0.7 < MarkHigh 0.75")
+	}
+	// Cross MarkHigh: mark sets.
+	sig.set(0.8, 0)
+	ctl.Tick()
+	if !ctl.Marked() {
+		t.Fatal("not marked at pressure 0.8 >= MarkHigh")
+	}
+	// Fall into the hysteresis band: mark must HOLD (this is the
+	// anti-flap property).
+	sig.set(0.5, 0)
+	w0 := ctl.Window()
+	ctl.Tick()
+	if !ctl.Marked() {
+		t.Fatal("mark cleared inside the hysteresis band (0.35, 0.75)")
+	}
+	if w := ctl.Window(); w >= w0 {
+		t.Fatalf("window grew (%d -> %d) while the mark held", w0, w)
+	}
+	// Fall below MarkLow: mark clears, growth resumes.
+	sig.set(0.3, 0)
+	ctl.Tick()
+	if ctl.Marked() {
+		t.Fatal("mark held at pressure 0.3 <= MarkLow 0.35")
+	}
+	w1 := ctl.Window()
+	ctl.Tick()
+	if w := ctl.Window(); w <= w1 {
+		t.Fatalf("window did not resume growth after the mark cleared (%d -> %d)", w1, w)
+	}
+	st := ctl.Stats()
+	if st.MarkSets != 1 {
+		t.Fatalf("MarkSets = %d, want 1: the band dip must not re-set the mark", st.MarkSets)
+	}
+}
+
+func TestControllerOnShedCutsImmediately(t *testing.T) {
+	sig := newFakeSignals()
+	ctl := NewController("rekey", kms.ClassRekey, sig, Config{MinWindow: 256, MaxWindow: 1 << 16, Beta: 0.5})
+	defer ctl.Close()
+	for i := 0; i < 100; i++ {
+		ctl.Tick()
+	}
+	w0 := ctl.Window()
+	ctl.OnShed()
+	if w := ctl.Window(); w != w0/2 {
+		t.Fatalf("OnShed: window %d -> %d, want %d", w0, w, w0/2)
+	}
+	if !ctl.Marked() {
+		t.Fatal("OnShed did not set the mark")
+	}
+	if d := sig.RegisteredDemand(kms.ClassRekey); d != ctl.Window() {
+		t.Fatalf("registered demand %d != window %d after shed", d, ctl.Window())
+	}
+}
+
+func TestBackgroundRampsTowardTargetDelay(t *testing.T) {
+	sig := newFakeSignals()
+	bg := NewBackground("auth", sig, BackgroundConfig{
+		Target: 20 * time.Millisecond, MinWindow: 64, MaxWindow: 1 << 14,
+	})
+	defer bg.Close()
+	// Empty queue, no foreground: full-step ramp to the cap.
+	sig.set(0, 0)
+	for i := 0; i < 300; i++ {
+		bg.Tick()
+	}
+	if w := bg.Window(); w != 1<<14 {
+		t.Fatalf("window with idle queue = %d, want cap %d", w, 1<<14)
+	}
+	// Past-target delay shrinks the window proportionally.
+	sig.set(0.05, 60*time.Millisecond) // 3x target
+	w0 := bg.Window()
+	bg.Tick()
+	if w := bg.Window(); w >= w0 {
+		t.Fatalf("window did not shrink at 3x target delay (%d -> %d)", w0, w)
+	}
+	st := bg.Stats()
+	if st.Yields != 0 {
+		t.Fatalf("Yields = %d, want 0: delay control is not a foreground yield", st.Yields)
+	}
+}
+
+func TestBackgroundYieldsToForeground(t *testing.T) {
+	sig := newFakeSignals()
+	bg := NewBackground("auth", sig, BackgroundConfig{
+		Target: 20 * time.Millisecond, MinWindow: 64, MaxWindow: 1 << 14, YieldBeta: 0.25,
+	})
+	defer bg.Close()
+	sig.set(0, 0)
+	for i := 0; i < 300; i++ {
+		bg.Tick()
+	}
+	w0 := bg.Window()
+	// Foreground OTP demand appears: background must cut multiplicatively
+	// even though its own delay signal is still clean.
+	ctl := NewController("otp", kms.ClassOTP, sig, Config{MinWindow: 1024})
+	defer ctl.Close()
+	bg.Tick()
+	if w := bg.Window(); w != w0/4 {
+		t.Fatalf("yield tick: window %d -> %d, want quarter %d", w0, w, w0/4)
+	}
+	for i := 0; i < 10; i++ {
+		bg.Tick()
+	}
+	if w := bg.Window(); w != 64 {
+		t.Fatalf("window under sustained foreground = %d, want floor 64", w)
+	}
+	if y := bg.Stats().Yields; y != 11 {
+		t.Fatalf("Yields = %d, want 11", y)
+	}
+	// Foreground clears: the ramp recovers.
+	ctl.Close()
+	for i := 0; i < 300; i++ {
+		bg.Tick()
+	}
+	if w := bg.Window(); w != 1<<14 {
+		t.Fatalf("window after foreground cleared = %d, want cap %d", w, 1<<14)
+	}
+}
+
+func TestBackgroundYieldsOnPressureAlone(t *testing.T) {
+	// Pressure without registered foreground demand (open-loop consumers
+	// hammering the KDS directly) must also trigger the yield.
+	sig := newFakeSignals()
+	bg := NewBackground("auth", sig, BackgroundConfig{MinWindow: 64, MaxWindow: 1 << 14})
+	defer bg.Close()
+	sig.set(0, 0)
+	for i := 0; i < 300; i++ {
+		bg.Tick()
+	}
+	w0 := bg.Window()
+	sig.set(0.5, 0)
+	bg.Tick()
+	if w := bg.Window(); w >= w0 {
+		t.Fatalf("no yield on pressure 0.5 (%d -> %d)", w0, w)
+	}
+	if y := bg.Stats().Yields; y != 1 {
+		t.Fatalf("Yields = %d, want 1", y)
+	}
+}
+
+func TestBackgroundHoldsFloorWhileCapacityUnknown(t *testing.T) {
+	sig := newFakeSignals()
+	sig.known = false
+	bg := NewBackground("auth", sig, BackgroundConfig{MinWindow: 64, MaxWindow: 1 << 14})
+	defer bg.Close()
+	for i := 0; i < 50; i++ {
+		bg.Tick()
+	}
+	if w := bg.Window(); w != 64 {
+		t.Fatalf("window with unmeasured capacity = %d, want floor 64", w)
+	}
+}
+
+func TestControllerAgainstLiveKDS(t *testing.T) {
+	// The interface contract end to end: a real kms.Service as the
+	// signal source. Saturate the scheduler with an unserved backlog so
+	// Pressure() >= 1, and the controller must cut; drain it and the
+	// controller must recover.
+	svc := kms.New(kms.Config{ShedDelay: 10 * time.Millisecond})
+	defer svc.Close()
+	ctl := NewController("otp/ctl", kms.ClassOTP, svc, Config{MinWindow: 256, MaxWindow: 1 << 16})
+	defer ctl.Close()
+	for i := 0; i < 50; i++ {
+		ctl.Tick()
+	}
+	w0 := ctl.Window()
+	if w0 <= 256 {
+		t.Fatalf("window did not grow against an idle service: %d", w0)
+	}
+	otp, err := svc.NewStream("otp", 64, kms.ClassOTP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		otp.AllocateWait(8, 5*time.Second, nil)
+		close(done)
+	}()
+	for svc.Pressure() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	ctl.Tick()
+	if w := ctl.Window(); w >= w0 {
+		t.Fatalf("window did not cut under live backlog (%d -> %d)", w0, w)
+	}
+	if !ctl.Marked() {
+		t.Fatal("controller unmarked under live backlog")
+	}
+	svc.Ingest(rng.NewSplitMix64(7).Bits(1024))
+	<-done
+}

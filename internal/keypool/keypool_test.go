@@ -668,3 +668,106 @@ func TestReservationOverdraw(t *testing.T) {
 		t.Errorf("Available = %d after full draw", got)
 	}
 }
+
+func TestConcurrentReserveReleaseRefundStress(t *testing.T) {
+	// Reservers racing blocking consumers under -race: each reservation
+	// draws a third of its bits and refunds the rest to the front via
+	// Release, the refunds wake queued withdrawals, and the buffer is
+	// rebuilt on every front-refund while consumers are mid-wait. At
+	// quiesce every deposited bit is either consumed exactly once or
+	// still available — exact conservation — and the refund ledger
+	// matches the undrawn remainders to the bit.
+	r := New()
+	const (
+		reservers = 8
+		resRounds = 40
+		resBits   = 96
+		drawBits  = 32 // per reservation; the other 64 are refunded
+
+		consumers = 8
+		conRounds = 20
+		conBits   = 64
+
+		slack = 512 // keeps the tail reserver from starving
+	)
+	const (
+		wantDrawn    = reservers * resRounds * drawBits
+		wantConsumed = consumers * conRounds * conBits
+		wantRefunded = reservers * resRounds * (resBits - drawBits)
+		total        = wantDrawn + wantConsumed + slack
+	)
+
+	var wg sync.WaitGroup
+	for i := 0; i < reservers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < resRounds; {
+				rv, err := r.Reserve(resBits)
+				if errors.Is(err, ErrExhausted) {
+					// Drained, or blocked withdrawals hold the queue;
+					// depositors and releases will clear it.
+					time.Sleep(50 * time.Microsecond)
+					continue
+				}
+				if err != nil {
+					t.Errorf("reserve: %v", err)
+					return
+				}
+				if _, err := rv.Consume(drawBits); err != nil {
+					t.Errorf("reservation draw: %v", err)
+					return
+				}
+				rv.Release()
+				round++
+			}
+		}()
+	}
+	for i := 0; i < consumers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < conRounds; round++ {
+				if _, err := r.Consume(conBits, 30*time.Second); err != nil {
+					t.Errorf("consume: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	const depositors = 4
+	for d := 0; d < depositors; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			gen := rng.NewSplitMix64(uint64(d) + 0xF00D)
+			left := total / depositors
+			for left > 0 {
+				chunk := 64 + int(gen.Uint64()%256)
+				if chunk > left {
+					chunk = left
+				}
+				r.Deposit(gen.Bits(chunk))
+				left -= chunk
+			}
+		}(d)
+	}
+	wg.Wait()
+
+	dep, con := r.Stats()
+	if dep != total {
+		t.Errorf("deposited %d, want %d", dep, total)
+	}
+	if con != wantDrawn+wantConsumed {
+		t.Errorf("consumed %d, want %d drawn + %d consumed", con, wantDrawn, wantConsumed)
+	}
+	if got := r.Refunded(); got != wantRefunded {
+		t.Errorf("Refunded = %d, want %d", got, wantRefunded)
+	}
+	if got := r.Reserved(); got != 0 {
+		t.Errorf("Reserved = %d after all releases", got)
+	}
+	if got := r.Available(); got != slack {
+		t.Errorf("Available = %d at quiesce, want %d: conservation violated", got, slack)
+	}
+}

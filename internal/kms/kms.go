@@ -172,6 +172,15 @@ type Stats struct {
 	Shed        [NumClasses]uint64 // rejected by admission control
 	Expired     [NumClasses]uint64 // timed out or canceled while queued
 	Degraded    [NumClasses]uint64 // queued in timeout-bounded degraded mode
+
+	// Pressure is the congestion signal at snapshot time (see
+	// Service.Pressure): projected rekey-class wait over the rekey shed
+	// horizon. 0 idle, >= 1 means the next rekey request would be shed.
+	Pressure float64
+
+	// DemandBits is the windowed demand registered per class by flow
+	// controllers (see RegisterDemand) at snapshot time.
+	DemandBits [NumClasses]uint64
 }
 
 // Service is one endpoint's key delivery service.
@@ -205,7 +214,21 @@ type Service struct {
 	queuedBits [NumClasses]uint64
 	rate       rateEstimator
 
+	// Registered windowed demand (flow controllers announce how much
+	// they intend to draw over their next window). Own mutex: readers
+	// (transport sizing, distillation bias) must not contend with the
+	// allocation hot path.
+	demandMu      sync.Mutex
+	demands       map[string]demandEntry
+	demandByClass [NumClasses]uint64
+
 	stats Stats
+}
+
+// demandEntry is one flow controller's registered window.
+type demandEntry struct {
+	class Class
+	bits  uint64
 }
 
 // New builds a Service.
@@ -217,6 +240,7 @@ func New(cfg Config) *Service {
 		ledger:  bitarray.New(0),
 		streams: make(map[string]*Stream),
 		sources: make(map[string]*Feed),
+		demands: make(map[string]demandEntry),
 		rate:    rateEstimator{halfLife: cfg.RateHalfLife.Seconds()},
 	}
 }
@@ -293,11 +317,15 @@ func (s *Service) Available() int {
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	st := s.stats
+	st.Pressure = s.pressureLocked()
 	feeds := make([]*Feed, 0, len(s.sources))
 	for _, f := range s.sources {
 		feeds = append(feeds, f)
 	}
 	s.mu.Unlock()
+	s.demandMu.Lock()
+	st.DemandBits = s.demandByClass
+	s.demandMu.Unlock()
 	for _, f := range feeds {
 		st.BufferedBits += uint64(f.Buffered())
 	}
@@ -553,6 +581,10 @@ func (s *Service) projectedWaitLocked(c Class, bits int) (wait time.Duration, kn
 func (s *Service) Pressure() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.pressureLocked()
+}
+
+func (s *Service) pressureLocked() float64 {
 	horizon := s.cfg.shedHorizon(ClassRekey)
 	if horizon <= 0 || s.closed {
 		return 0
@@ -570,6 +602,77 @@ func (s *Service) Pressure() float64 {
 	return float64(wait) / float64(horizon)
 }
 
+// ProjectedWait estimates how long a class-c request of `bits` would
+// queue right now: backlog ahead of it over the measured deposit rate.
+// known is false while no deposit interval has been measured. Flow
+// controllers sample this as their queueing-delay signal — the analog
+// of LEDBAT's one-way-delay probe — without committing a request.
+func (s *Service) ProjectedWait(c Class, bits int) (wait time.Duration, known bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, true
+	}
+	return s.projectedWaitLocked(c, bits)
+}
+
+// DepositRate returns the EWMA ledger deposit rate in bits per second
+// (0 until the estimator has measured an interval) — the capacity side
+// of the signal flow controllers pace against.
+func (s *Service) DepositRate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rate.perSecond()
+}
+
+// ---------------------------------------------------------------------
+// Windowed demand registry
+// ---------------------------------------------------------------------
+
+// RegisterDemand records (or updates) a named flow controller's
+// windowed demand: the bits it intends to draw in class c over its
+// current window. Demand is advisory — it never reserves ledger — but
+// downstream producers read the aggregate to size work toward real
+// need: qnet transports stripe RegisteredDemand bits instead of a fixed
+// request, and distillation biases batch splits toward starved classes.
+// bits <= 0 clears the entry.
+func (s *Service) RegisterDemand(name string, c Class, bits int) {
+	if c < 0 || c >= NumClasses {
+		return
+	}
+	s.demandMu.Lock()
+	defer s.demandMu.Unlock()
+	if old, ok := s.demands[name]; ok {
+		s.demandByClass[old.class] -= old.bits
+	}
+	if bits <= 0 {
+		delete(s.demands, name)
+		return
+	}
+	s.demands[name] = demandEntry{class: c, bits: uint64(bits)}
+	s.demandByClass[c] += uint64(bits)
+}
+
+// UnregisterDemand drops a named demand registration.
+func (s *Service) UnregisterDemand(name string) {
+	s.RegisterDemand(name, 0, 0)
+}
+
+// RegisteredDemand sums the windowed demand registered for class c, or
+// across all classes when c < 0.
+func (s *Service) RegisteredDemand(c Class) int {
+	s.demandMu.Lock()
+	defer s.demandMu.Unlock()
+	if c >= 0 && c < NumClasses {
+		return int(s.demandByClass[c])
+	}
+	var total uint64
+	for _, b := range s.demandByClass {
+		total += b
+	}
+	return int(total)
+}
+
 // Cursor returns the absolute allocation cursor — the ledger offset
 // the next granted ticket starts at. Mirrored endpoints that have seen
 // the same ticket history report identical cursors; the gateway
@@ -584,6 +687,7 @@ type rateEstimator struct {
 	rate     float64 // bits per second
 	last     time.Time
 	primed   bool
+	seeded   bool
 }
 
 func (r *rateEstimator) observe(bits int, now time.Time) {
@@ -597,6 +701,16 @@ func (r *rateEstimator) observe(bits int, now time.Time) {
 		dt = 1e-6
 	}
 	inst := float64(bits) / dt
+	// The first measured interval seeds the estimate outright. Easing
+	// toward it from zero by alpha would leave the capacity estimate a
+	// small fraction of reality for several half-lives, and admission
+	// control would shed early traffic against a phantom shortage.
+	if !r.seeded {
+		r.seeded = true
+		r.rate = inst
+		r.last = now
+		return
+	}
 	alpha := 1 - math.Exp(-dt/r.halfLife)
 	r.rate += alpha * (inst - r.rate)
 	r.last = now

@@ -25,6 +25,7 @@ import (
 
 	"qkd/internal/channel"
 	"qkd/internal/core"
+	"qkd/internal/flow"
 	"qkd/internal/ike"
 	"qkd/internal/ipsec"
 	"qkd/internal/keypool"
@@ -105,6 +106,15 @@ type Config struct {
 	// KDSConfig tunes the services when KDS is set (zero value = kms
 	// defaults with a fully synchronized ledger).
 	KDSConfig kms.Config
+	// FlowControl, with KDS, attaches a flow credit controller to the
+	// background rekeyer: batch bursts are paced by the controller's
+	// AIMD window (ticked per batch against kms pressure marks) instead
+	// of always draining rekeyBatch tunnels, and a marked controller
+	// jumps retry backoff straight to the cap — the closed-loop
+	// alternative to discovering overload through ErrOverload sheds.
+	FlowControl bool
+	// FlowConfig tunes the rekey controller when FlowControl is set.
+	FlowConfig flow.Config
 	// QNet, when set alongside KDS, supplements the direct link with
 	// end-to-end key striped across the unified QKD network: PumpQNet
 	// transports key over QNetStripes vertex-disjoint paths and
@@ -207,6 +217,14 @@ type Network struct {
 	rekeyBudget     int
 	jitterMu        sync.Mutex
 	jitter          *rng.SplitMix64
+
+	// rekeyCtl, when FlowControl is configured, is the ClassRekey credit
+	// controller pacing batch bursts and backoff (nil otherwise).
+	rekeyCtl *flow.Controller
+	// authCtl is the LEDBAT-style background controller for auth-pad
+	// replenishment: its yielded window biases the distillation batch
+	// split (core.AuthBias) and registers ClassAuth demand.
+	authCtl *flow.Background
 
 	// ikeMu guards the Site.IKE daemon pointers against RestartSite
 	// swapping them mid-use: negotiation paths hold it shared for the
@@ -339,6 +357,33 @@ func New(cfg Config) (*Network, error) {
 		seed:            cfg.Seed,
 	}
 	n.rekeyCond = sync.NewCond(&n.rekeyQMu)
+	if cfg.KDS && cfg.FlowControl {
+		// The rekey window starts at one batch worth of Qblocks and caps
+		// at a full rekeyBatch unless the caller says otherwise.
+		fc := cfg.FlowConfig
+		if fc.MinWindow <= 0 {
+			fc.MinWindow = ike.QblockBits
+		}
+		if fc.MaxWindow <= 0 {
+			fc.MaxWindow = cfg.RekeyBatch * ike.QblockBits
+		}
+		n.rekeyCtl = flow.NewController("vpn/rekey", kms.ClassRekey, kdsA, fc)
+		n.authCtl = flow.NewBackground("vpn/auth", kdsA, flow.BackgroundConfig{})
+		if session != nil {
+			// The background window, ticked once per distilled batch,
+			// caps the per-direction auth-pad share: while foreground
+			// demand is active the window collapses and whole batches
+			// reach the starved classes; when it clears, replenishment
+			// ramps back. The AuthBias latch keeps the mirrored engines'
+			// splits identical.
+			session.SetAuthBias(core.NewAuthBias(func(base int) int {
+				if w := n.authCtl.Tick() / 2; w < base {
+					return w
+				}
+				return base
+			}))
+		}
+	}
 	var spdA, spdB []*ipsec.Policy
 	seen := make(map[string]bool)
 	for _, spec := range specs {
@@ -446,6 +491,39 @@ func (n *Network) PumpQNet(nbits int) error {
 	return nil
 }
 
+// PumpQNetDemand is the closed-loop PumpQNet: the transport is sized
+// by the windowed demand flow controllers have registered with site A's
+// delivery service (clamped by the qnet defaults) instead of a
+// caller-fixed nbits — replenishment tracks what consumers actually
+// announced they need. Both mirrored feeds receive identical bits, so
+// the ledger contract is untouched.
+func (n *Network) PumpQNetDemand() error {
+	if n.qnet == nil {
+		return errors.New("vpn: no QNet configured (set Config.KDS and Config.QNet)")
+	}
+	tr, err := n.qnet.NewDemandTransport(n.qnetSrc, n.qnetDst, n.A.KDS, n.qnetK, qnet.TransportOpts{
+		FeedA: n.qnetFeedA, FeedB: n.qnetFeedB,
+	})
+	if err != nil {
+		return fmt.Errorf("vpn: qnet transport: %w", err)
+	}
+	if err := tr.Run(64); err != nil {
+		return fmt.Errorf("vpn: qnet transport: %w", err)
+	}
+	if _, err := tr.Finish(); err != nil {
+		return fmt.Errorf("vpn: qnet transport: %w", err)
+	}
+	return nil
+}
+
+// RekeyController exposes the rekeyer's flow controller (nil unless
+// Config.FlowControl) so harnesses can read its window and mark state.
+func (n *Network) RekeyController() *flow.Controller { return n.rekeyCtl }
+
+// AuthController exposes the background auth-replenishment controller
+// (nil unless Config.FlowControl).
+func (n *Network) AuthController() *flow.Background { return n.authCtl }
+
 // DistillKeys pumps QKD frames until both reservoirs hold at least
 // bits, within maxFrames.
 func (n *Network) DistillKeys(bits, maxFrames int) error {
@@ -541,6 +619,17 @@ func (n *Network) rekeyWorker() {
 		if take > n.rekeyBatch {
 			take = n.rekeyBatch
 		}
+		// Flow control paces the burst: the controller's credit window
+		// (ticked here, once per batch, against the KDS pressure signal)
+		// converts to tunnels at one Qblock each. Under pressure the
+		// window decays multiplicatively and a storm drains in small
+		// spaced bites the scheduler can absorb; unmarked, it grows back
+		// toward full batches.
+		if n.rekeyCtl != nil {
+			if cap := n.rekeyCtl.Tick() / ike.QblockBits; cap >= 1 && take > cap {
+				take = cap
+			}
+		}
 		batch := make([]rekeyReq, take)
 		copy(batch, n.rekeyQ)
 		n.rekeyQ = n.rekeyQ[:copy(n.rekeyQ, n.rekeyQ[take:])]
@@ -559,6 +648,12 @@ func (n *Network) rekeyWorker() {
 		errs := n.negotiateTunnels(ts, gens)
 		for i, r := range batch {
 			if errs[i] != nil {
+				// A shed ticket is hard congestion feedback: cut the
+				// window now instead of waiting for the next tick's
+				// pressure sample.
+				if n.rekeyCtl != nil && errors.Is(errs[i], kms.ErrOverload) {
+					n.rekeyCtl.OnShed()
+				}
 				n.retryLater(r.t)
 				continue
 			}
@@ -595,7 +690,11 @@ func (n *Network) backoffDelay(fails uint32) time.Duration {
 	if d <= 0 || d > n.rekeyBackoffMax {
 		d = n.rekeyBackoffMax
 	}
-	if s := n.A.KDS; s != nil && s.Pressure() >= 1 {
+	if n.rekeyCtl != nil && n.rekeyCtl.Marked() {
+		// The flow controller marks well before pressure reaches the
+		// shed point — back off at the early signal, not the cliff.
+		d = n.rekeyBackoffMax
+	} else if s := n.A.KDS; s != nil && s.Pressure() >= 1 {
 		d = n.rekeyBackoffMax
 	}
 	n.jitterMu.Lock()
@@ -729,6 +828,12 @@ func (n *Network) Close() {
 	dA.Stop()
 	dB.Stop()
 	n.rekeyWG.Wait()
+	if n.rekeyCtl != nil {
+		n.rekeyCtl.Close()
+	}
+	if n.authCtl != nil {
+		n.authCtl.Close()
+	}
 	if n.A.KDS != nil {
 		n.A.KDS.Close()
 	}
