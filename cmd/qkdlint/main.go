@@ -1,0 +1,57 @@
+// Command qkdlint is the repo's custom static-analysis suite: five
+// analyzers encoding the stack's standing invariants (reservation
+// lifecycle, pad hygiene, wrapped-sentinel matching, atomic access
+// discipline, deterministic-replay purity).
+//
+// Two modes share one binary:
+//
+//	go vet -vettool=$(pwd)/qkdlint ./...   # full vet pipeline, test files included
+//	qkdlint ./...                          # standalone, non-test sources
+//
+// Vettool mode is auto-detected from cmd/go's calling convention
+// (-V=full / -flags handshakes, or a single *.cfg argument). Analyzer
+// selection works like the x/tools multichecker: pass -reservepair,
+// -detrand, ... to run a subset; with no analyzer flags, all run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qkd/internal/lint"
+	"qkd/internal/lint/driver"
+	"qkd/internal/lint/unit"
+)
+
+func main() {
+	args := os.Args[1:]
+	if n := len(args); n > 0 {
+		last := args[n-1]
+		if strings.HasPrefix(args[0], "-V") || args[0] == "-flags" || strings.HasSuffix(last, ".cfg") {
+			unit.Main(lint.All()) // never returns
+		}
+	}
+
+	analyzers := lint.All()
+	fs := flag.NewFlagSet("qkdlint", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: qkdlint [-reservepair] [-padreuse] [-sentinelcmp] [-atomicfield] [-detrand] [packages]")
+		fs.PrintDefaults()
+	}
+	selected := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		selected[a.Name] = fs.Bool(a.Name, false, a.Doc)
+	}
+	fs.Parse(args)
+
+	n, err := driver.Run(fs.Args(), unit.Enabled(analyzers, selected), os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qkdlint:", err)
+		os.Exit(1)
+	}
+	if n > 0 {
+		os.Exit(2)
+	}
+}

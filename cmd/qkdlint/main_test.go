@@ -1,0 +1,104 @@
+package main_test
+
+import (
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles qkdlint into a temp dir and returns the binary path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "qkdlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building qkdlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestVettoolHandshake checks the two queries cmd/go makes before
+// trusting a vettool: the -V=full version line (whose shape buildid's
+// toolID parses) and the -flags JSON flag inventory.
+func TestVettoolHandshake(t *testing.T) {
+	bin := buildTool(t)
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	versionRE := regexp.MustCompile(`^qkdlint version devel buildID=[0-9a-f]+\n$`)
+	if !versionRE.Match(out) {
+		t.Errorf("-V=full output %q does not match %v", out, versionRE)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var defs []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out, &defs); err != nil {
+		t.Fatalf("-flags output is not a JSON flag list: %v\n%s", err, out)
+	}
+	want := map[string]bool{"reservepair": true, "padreuse": true, "sentinelcmp": true, "atomicfield": true, "detrand": true}
+	for _, d := range defs {
+		if !want[d.Name] {
+			t.Errorf("unexpected flag %q", d.Name)
+		}
+		delete(want, d.Name)
+		if !d.Bool {
+			t.Errorf("flag %q must be boolean for go vet to accept it", d.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("missing flag for analyzer %q", name)
+	}
+}
+
+// TestVetCleanOnRepo is the CI gate in miniature: the full analyzer
+// suite, driven by go vet through the real vettool protocol, must run
+// clean over every package in the module (test files included).
+func TestVetCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("vets the whole module; skipped in -short")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=qkdlint ./... reported findings or failed: %v\n%s", err, out)
+	}
+}
+
+// TestStandaloneCleanOnRepo exercises the go-list-driven driver mode.
+func TestStandaloneCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lints the whole module; skipped in -short")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = moduleRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("qkdlint ./... : %v\n%s", err, out)
+	}
+	if s := strings.TrimSpace(string(out)); s != "" {
+		t.Errorf("expected no output on a clean tree, got:\n%s", s)
+	}
+}

@@ -1,0 +1,17 @@
+package experiments
+
+import "time"
+
+// wallNow is the experiments' single wall-clock read point. The
+// harness logic itself is deterministic — fault schedules, chaos
+// plans, and workload traces all replay from seeds — but the reports
+// quote real elapsed time for the paper's latency tables, and that is
+// the one legitimate wall-clock dependency. Routing every read through
+// this injectable hook keeps that dependency in one place where a test
+// (or a replay harness) can freeze it.
+var wallNow = time.Now
+
+// wallSince is time.Since against the injected clock.
+func wallSince(t time.Time) time.Duration {
+	return wallNow().Sub(t)
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -142,16 +143,16 @@ func E13KDS(seed uint64, quick bool) (*Report, error) {
 		go func(i int) {
 			defer wg.Done()
 			for round := 0; round < otpRounds; round++ {
-				t0 := time.Now()
+				t0 := wallNow()
 				tk, bits, err := otpA[i].Next(1, 60*time.Second, nil)
 				if err != nil {
 					otpStarvedMu.Lock()
 					otpStarved++
 					otpStarvedMu.Unlock()
-					record(kms.ClassOTP, time.Since(t0), false, false)
+					record(kms.ClassOTP, wallSince(t0), false, false)
 					return
 				}
-				record(kms.ClassOTP, time.Since(t0), true, false)
+				record(kms.ClassOTP, wallSince(t0), true, false)
 				samplesMu.Lock()
 				otpWins[i]++
 				samplesMu.Unlock()
@@ -167,17 +168,17 @@ func E13KDS(seed uint64, quick bool) (*Report, error) {
 			gen := rng.NewSplitMix64(seed ^ uint64(i)<<8)
 			for round := 0; round < 4; round++ {
 				time.Sleep(time.Duration(gen.Uint64()%5) * time.Millisecond)
-				t0 := time.Now()
+				t0 := wallNow()
 				tk, err := rekeySt[i].AllocateWait(1, 250*time.Millisecond, nil)
 				switch {
 				case err == nil:
-					record(kms.ClassRekey, time.Since(t0), true, false)
+					record(kms.ClassRekey, wallSince(t0), true, false)
 					rekeySt[i].Release(tk) // spend without transport: load only
 					samplesMu.Lock()
 					rekeyWins[i]++
 					samplesMu.Unlock()
 				default:
-					record(kms.ClassRekey, time.Since(t0), false, err == kms.ErrOverload)
+					record(kms.ClassRekey, wallSince(t0), false, errors.Is(err, kms.ErrOverload))
 				}
 			}
 		}(i)
@@ -190,9 +191,9 @@ func E13KDS(seed uint64, quick bool) (*Report, error) {
 			gen := rng.NewSplitMix64(seed ^ 0xA0717 ^ uint64(i)<<4)
 			for round := 0; round < 4; round++ {
 				time.Sleep(time.Duration(gen.Uint64()%7) * time.Millisecond)
-				t0 := time.Now()
+				t0 := wallNow()
 				_, err := authView.Consume(authBits, 150*time.Millisecond)
-				record(kms.ClassAuth, time.Since(t0), err == nil, err == kms.ErrOverload)
+				record(kms.ClassAuth, wallSince(t0), err == nil, errors.Is(err, kms.ErrOverload))
 			}
 		}(i)
 	}
@@ -202,7 +203,7 @@ func E13KDS(seed uint64, quick bool) (*Report, error) {
 	// "qkd-link" feed (which suffers an outage and buffers in custody)
 	// and, every 16 ticks, the relay mesh's end-to-end transport.
 	gen := rng.NewSplitMix64(seed ^ 0x1111)
-	start := time.Now()
+	start := wallNow()
 	relayKeys := 0
 	for tick := 0; tick < ticks; tick++ {
 		if tick == outageStart {
@@ -229,7 +230,7 @@ func E13KDS(seed uint64, quick bool) (*Report, error) {
 	wg.Wait()
 	close(verifyC)
 	<-verifierDone
-	elapsed := time.Since(start)
+	elapsed := wallSince(start)
 
 	// Reduce the samples per class.
 	type classAgg struct {

@@ -100,7 +100,7 @@ func E15Dataplane(seed uint64, quick bool) (*Report, error) {
 	}
 	errCh := make(chan flowErr, 2*tunnels)
 	var wg sync.WaitGroup
-	start := time.Now()
+	start := wallNow()
 	for i := 0; i < tunnels; i++ {
 		for dir := 0; dir < 2; dir++ {
 			wg.Add(1)
@@ -134,7 +134,7 @@ func E15Dataplane(seed uint64, quick bool) (*Report, error) {
 	for fe := range errCh {
 		return r, fmt.Errorf("E15: flow %d failed: %w", fe.flow, fe.err)
 	}
-	soak := time.Since(start)
+	soak := wallSince(start)
 
 	nst := n.Stats()
 	delivered, dropped := nst.Delivered, nst.Dropped

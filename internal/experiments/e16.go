@@ -65,11 +65,11 @@ func E16Fabric(seed uint64, quick bool) (*Report, error) {
 	runtime.GC()
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
-	start := time.Now()
+	start := wallNow()
 	if err := f.Establish(); err != nil {
 		return r, fmt.Errorf("E16: establish: %w", err)
 	}
-	establishT := time.Since(start)
+	establishT := wallSince(start)
 	runtime.GC()
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
@@ -140,7 +140,7 @@ func E16Fabric(seed uint64, quick bool) (*Report, error) {
 
 	// Bursts 1-2: the second crosses every tunnel's soft threshold at
 	// once — the fabric-wide storm fires behind the dataplane.
-	start = time.Now()
+	start = wallNow()
 	d1, err := burst(1)
 	if err != nil {
 		return r, fmt.Errorf("E16: burst 1: %w", err)
@@ -149,22 +149,22 @@ func E16Fabric(seed uint64, quick bool) (*Report, error) {
 	if err != nil {
 		return r, fmt.Errorf("E16: burst 2: %w", err)
 	}
-	soakT := time.Since(start)
+	soakT := wallSince(start)
 
 	// The storm drains in the background: every tunnel re-established
 	// (2 fresh SAs each, on top of the 2 from establishment).
-	start = time.Now()
+	start = wallNow()
 	deadline := start.Add(5 * time.Minute)
 	for _, n := range f.Nets {
 		for n.A.IKE.Stats().SAsEstablished < uint64(4*perPair) {
-			if time.Now().After(deadline) {
+			if wallNow().After(deadline) {
 				return r, fmt.Errorf("E16: storm wedged: %d of %d SAs re-established",
 					n.A.IKE.Stats().SAsEstablished, 4*perPair)
 			}
 			time.Sleep(10 * time.Millisecond)
 		}
 	}
-	stormT := time.Since(start)
+	stormT := wallSince(start)
 
 	// Burst 3 rides the fresh generation.
 	d3, err := burst(3)

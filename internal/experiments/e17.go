@@ -41,7 +41,7 @@ func E17ChaosSoak(seed uint64, quick bool) (*Report, error) {
 
 	const (
 		tunnels   = 8
-		relays    = 3    // 2 stripes + 1 disjoint spare
+		relays    = 3 // 2 stripes + 1 disjoint spare
 		linkRate  = 1 << 14
 		pumpBits  = 2048
 		lifeBytes = 64 << 10 // SA rollover roughly every 46 full-MTU packets
@@ -259,13 +259,13 @@ func E17ChaosSoak(seed uint64, quick bool) (*Report, error) {
 			dst := ipsec.Addr{10, 2, byte(wp.Tunnel), 9}
 			want := bytes.Repeat([]byte{byte(0xA0 + wp.Tunnel)}, wp.Bytes)
 			offered++
-			start := time.Now()
+			start := wallNow()
 			got, err := n.Send(src, dst, uint32(offered), want)
 			if err != nil {
 				dropped++ // no-SA gap while a rekey is in flight: the SLO ledger records it
 				continue
 			}
-			lats = append(lats, float64(time.Since(start).Microseconds())/1000)
+			lats = append(lats, float64(wallSince(start).Microseconds())/1000)
 			if !bytes.Equal(got, want) {
 				leaks++
 			}
@@ -290,7 +290,7 @@ func E17ChaosSoak(seed uint64, quick bool) (*Report, error) {
 
 	// --- Bounded starvation: with the faults cleared, every tunnel must
 	// return to fresh SAs within the recovery deadline. ---
-	recoverStart := time.Now()
+	recoverStart := wallNow()
 	deadline := recoverStart.Add(60 * time.Second)
 	for i := 0; i < tunnels; i++ {
 		src := ipsec.Addr{10, 1, byte(i), 5}
@@ -304,7 +304,7 @@ func E17ChaosSoak(seed uint64, quick bool) (*Report, error) {
 				}
 				break
 			}
-			if time.Now().After(deadline) {
+			if wallNow().After(deadline) {
 				return r, fmt.Errorf("E17: tunnel %d starved past the recovery deadline: %w", i, err)
 			}
 			qn.Tick()
@@ -314,7 +314,7 @@ func E17ChaosSoak(seed uint64, quick bool) (*Report, error) {
 			time.Sleep(5 * time.Millisecond)
 		}
 	}
-	recoverT := time.Since(recoverStart)
+	recoverT := wallSince(recoverStart)
 
 	// --- SLO gates. ---
 	sort.Float64s(lats)

@@ -171,7 +171,7 @@ func E18FlowControl(seed uint64, quick bool) (*Report, error) {
 				time.Sleep(time.Millisecond)
 			}
 		}()
-		start := time.Now()
+		start := wallNow()
 
 		// Background auth replenishers: one LEDBAT controller each in
 		// the flow phase, a fixed 4x-oversubscribed appetite open-loop.
@@ -188,14 +188,14 @@ func E18FlowControl(seed uint64, quick bool) (*Report, error) {
 			}
 		}
 		runBG := func(segIdx int, dur time.Duration) {
-			deadline := time.Now().Add(dur)
-			t0 := time.Now()
+			deadline := wallNow().Add(dur)
+			t0 := wallNow()
 			var wg sync.WaitGroup
 			for i := 0; i < authUsers; i++ {
 				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
-					for time.Now().Before(deadline) {
+					for wallNow().Before(deadline) {
 						req := authChunk
 						if flowOn {
 							w := bgs[i].Tick()
@@ -213,9 +213,9 @@ func E18FlowControl(seed uint64, quick bool) (*Report, error) {
 								req = authCap
 							}
 						}
-						t0 := time.Now()
+						t0 := wallNow()
 						_, err := authView.Consume(req, 500*time.Millisecond)
-						rec(kms.ClassAuth, req, time.Since(t0), err)
+						rec(kms.ClassAuth, req, wallSince(t0), err)
 						if err == nil {
 							ph.mu.Lock()
 							ph.authWins[i] += req
@@ -227,7 +227,7 @@ func E18FlowControl(seed uint64, quick bool) (*Report, error) {
 				}(i)
 			}
 			wg.Wait()
-			ph.bgDur[segIdx] = time.Since(t0)
+			ph.bgDur[segIdx] = wallSince(t0)
 		}
 
 		collect := func(st flow.Stats) {
@@ -248,7 +248,7 @@ func E18FlowControl(seed uint64, quick bool) (*Report, error) {
 		// (half-capacity appetite — the paper's premise is that OTP
 		// traffic is precious, not unbounded); rekey consumers are the
 		// overload, offering tens of times the link rate.
-		fgEnd := time.Now().Add(seg2)
+		fgEnd := wallNow().Add(seg2)
 		var fg sync.WaitGroup
 		for i := 0; i < otpUsers; i++ {
 			fg.Add(1)
@@ -262,7 +262,7 @@ func E18FlowControl(seed uint64, quick bool) (*Report, error) {
 					})
 					defer func() { collect(ctl.Stats()); ctl.Close() }()
 				}
-				for time.Now().Before(fgEnd) {
+				for wallNow().Before(fgEnd) {
 					blocks := otpBlocks
 					if ctl != nil {
 						if blocks = ctl.Tick() / otpBlock; blocks > otpCap {
@@ -272,15 +272,15 @@ func E18FlowControl(seed uint64, quick bool) (*Report, error) {
 							blocks = 1
 						}
 					}
-					t0 := time.Now()
+					t0 := wallNow()
 					_, _, err := otpSt[i].Next(blocks, 5*time.Second, nil)
-					rec(kms.ClassOTP, blocks*otpBlock, time.Since(t0), err)
+					rec(kms.ClassOTP, blocks*otpBlock, wallSince(t0), err)
 					if err == nil {
 						ph.mu.Lock()
 						ph.otpWins[i] += blocks * otpBlock
 						ph.mu.Unlock()
 					}
-					if d := otpEvery - time.Since(t0); d > 0 {
+					if d := otpEvery - wallSince(t0); d > 0 {
 						time.Sleep(d)
 					}
 				}
@@ -298,7 +298,7 @@ func E18FlowControl(seed uint64, quick bool) (*Report, error) {
 					})
 					defer func() { collect(ctl.Stats()); ctl.Close() }()
 				}
-				for time.Now().Before(fgEnd) {
+				for wallNow().Before(fgEnd) {
 					blocks := rekeyBlocks
 					if ctl != nil {
 						// Closed loop: small uniform bites, never more
@@ -310,11 +310,11 @@ func E18FlowControl(seed uint64, quick bool) (*Report, error) {
 							blocks = 1
 						}
 					}
-					t0 := time.Now()
+					t0 := wallNow()
 					// The reservation is deliberately kept (not
 					// released): a rekey that lands spends its Qblocks.
 					_, err := rekeySt[i].AllocateWait(blocks, 500*time.Millisecond, nil)
-					rec(kms.ClassRekey, blocks*rekeyBlock, time.Since(t0), err)
+					rec(kms.ClassRekey, blocks*rekeyBlock, wallSince(t0), err)
 					switch {
 					case err == nil:
 						ph.mu.Lock()
@@ -323,7 +323,7 @@ func E18FlowControl(seed uint64, quick bool) (*Report, error) {
 					case errors.Is(err, kms.ErrOverload) && ctl != nil:
 						ctl.OnShed()
 					}
-					if d := rekeyEvery - time.Since(t0); d > 0 {
+					if d := rekeyEvery - wallSince(t0); d > 0 {
 						time.Sleep(d)
 					}
 				}
@@ -345,7 +345,7 @@ func E18FlowControl(seed uint64, quick bool) (*Report, error) {
 				bg.Close()
 			}
 		}
-		ph.wall = time.Since(start)
+		ph.wall = wallSince(start)
 		return ph, nil
 	}
 
@@ -511,9 +511,9 @@ func E18FlowControl(seed uint64, quick bool) (*Report, error) {
 	// Key returns; the queue must drain fully (two fresh SAs per
 	// tunnel on top of establishment).
 	n.ChargeSynthetic(2 * tunnels * ike.QblockBits)
-	deadline := time.Now().Add(60 * time.Second)
+	deadline := wallNow().Add(60 * time.Second)
 	for n.A.IKE.Stats().SAsEstablished < estSAs+uint64(2*tunnels) {
-		if time.Now().After(deadline) {
+		if wallNow().After(deadline) {
 			return r, fmt.Errorf("E18: rekey storm wedged: %d of %d SAs re-established",
 				n.A.IKE.Stats().SAsEstablished-estSAs, 2*tunnels)
 		}

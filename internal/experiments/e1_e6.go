@@ -313,13 +313,13 @@ func E6PrivacyAmp(seed uint64, quick bool) (*Report, error) {
 		if quick {
 			iters = 50
 		}
-		start := time.Now()
+		start := wallNow()
 		for i := 0; i < iters; i++ {
 			if _, err := params.Apply(input); err != nil {
 				return r, err
 			}
 		}
-		per := time.Since(start) / time.Duration(iters)
+		per := wallSince(start) / time.Duration(iters)
 		r.Rowf("n=%-5d (field GF(2^%d), poly %v): m=%d, sides agree=%v, wire %d bytes, %v/hash",
 			n, params.N(), params.PolyExps, m, a.Equal(bOut), len(wire), per.Round(time.Microsecond))
 	}

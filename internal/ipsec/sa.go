@@ -186,11 +186,13 @@ func NewSA(spi uint32, suite CipherSuite, key []byte, life Lifetime) (*SA, error
 		SPI:     spi,
 		Suite:   suite,
 		Life:    life,
-		Created: time.Now(),
 		encKey:  append([]byte(nil), key[:encLen]...),
 		authKey: append([]byte(nil), key[encLen:]...),
 		now:     time.Now,
 	}
+	// Stamp through the SA's own clock so a later SetClock rebase and
+	// the construction stamp agree on one time source.
+	sa.Created = sa.now()
 	// Run the key schedules once; every Seal/Open reuses them.
 	var err error
 	switch suite {
@@ -217,14 +219,14 @@ func NewOTPSA(spi uint32, pad []byte, life Lifetime) (*SA, error) {
 		return nil, fmt.Errorf("ipsec: OTP pad of %d bytes is uselessly small", len(pad))
 	}
 	sa := &SA{
-		SPI:     spi,
-		Suite:   SuiteOTP,
-		Life:    life,
-		Created: time.Now(),
-		wcKey:   binary.LittleEndian.Uint64(pad[:8]),
-		pad:     append([]byte(nil), pad[8:]...),
-		now:     time.Now,
+		SPI:   spi,
+		Suite: SuiteOTP,
+		Life:  life,
+		wcKey: binary.LittleEndian.Uint64(pad[:8]),
+		pad:   append([]byte(nil), pad[8:]...),
+		now:   time.Now,
 	}
+	sa.Created = sa.now()
 	sa.wcTab = buildWCTable(sa.wcKey)
 	return sa, nil
 }

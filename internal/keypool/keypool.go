@@ -436,6 +436,17 @@ func (rv *Reservation) Release() {
 	rv.r.serveLocked()
 }
 
+// Close releases the reservation. It exists so a reservation can be
+// parked in a defer at acquisition time — `defer rv.Close()` — and
+// satisfies the lifecycle invariant the reservepair analyzer enforces:
+// every Reserve must reach Consume, Release, or Close on all paths.
+// Closing an already-consumed or already-released reservation is a
+// no-op, so the defer idiom composes with early Consume.
+func (rv *Reservation) Close() error {
+	rv.Release()
+	return nil
+}
+
 // dropReservationLocked removes a finished reservation from the
 // outstanding list. Caller holds mu.
 func (r *Reservoir) dropReservationLocked(rv *Reservation) {

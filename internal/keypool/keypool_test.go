@@ -562,6 +562,7 @@ func TestReserveConsumeRelease(t *testing.T) {
 func TestReserveFailsWithoutDraining(t *testing.T) {
 	r := New()
 	r.Deposit(rng.NewSplitMix64(3).Bits(100))
+	//lint:ignore reservepair Reserve must fail here (101 > 100 deposited); a non-nil reservation would already be a bug the Fatalf reports
 	if _, err := r.Reserve(101); !errors.Is(err, ErrExhausted) {
 		t.Fatalf("err = %v, want ErrExhausted", err)
 	}
@@ -587,6 +588,7 @@ func TestReserveDefersToQueuedWaiters(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
+	//lint:ignore reservepair Reserve must fail while a waiter is queued; a non-nil reservation would already be a bug the Fatalf reports
 	if _, err := r.Reserve(64); !errors.Is(err, ErrExhausted) {
 		t.Fatalf("Reserve jumped the waiter queue: %v", err)
 	}
@@ -626,6 +628,35 @@ func TestReleaseWakesWaiters(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("refund did not wake the blocked waiter")
+	}
+}
+
+func TestReservationCloseRefundsAndIsIdempotent(t *testing.T) {
+	r := New()
+	r.Deposit(rng.NewSplitMix64(42).Bits(512))
+	rv, err := r.Reserve(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rv.Consume(128); err != nil {
+		t.Fatal(err)
+	}
+	if err := rv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := r.Available(); got != 384 {
+		t.Errorf("Available after Close = %d, want the 384 undrawn bits refunded", got)
+	}
+	if got := r.Refunded(); got != 384 {
+		t.Errorf("Refunded = %d, want 384", got)
+	}
+	// Close after Close (the defer idiom racing an explicit Release) is
+	// a no-op: no double refund.
+	if err := rv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if got := r.Refunded(); got != 384 {
+		t.Errorf("Refunded after double Close = %d, want still 384", got)
 	}
 }
 

@@ -127,6 +127,11 @@ type Config struct {
 	// RateHalfLife is the EWMA horizon of the deposit-rate estimator
 	// driving admission control. Default 250 ms.
 	RateHalfLife time.Duration
+	// Now is the clock the deposit-rate estimator reads. Injecting it
+	// makes admission control replayable: a harness driving deposits
+	// from a seeded schedule can advance a fake clock in lockstep and
+	// get bit-identical shed decisions. Defaults to time.Now.
+	Now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +146,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RateHalfLife <= 0 {
 		c.RateHalfLife = 250 * time.Millisecond
+	}
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	return c
 }
@@ -288,7 +296,7 @@ func (s *Service) Ingest(bits *bitarray.BitArray) {
 	// scheduler actually grants from — the ledger share only, or a
 	// split deposit stream would make it overestimate capacity by
 	// 1/StreamFraction and admit requests doomed to time out.
-	s.rate.observe(take, time.Now())
+	s.rate.observe(take, s.cfg.Now())
 	s.serveClaimsLocked()
 	s.dispatchLocked()
 	s.mu.Unlock()

@@ -1,0 +1,26 @@
+package lint
+
+// All returns the full analyzer suite in the order findings are
+// conventionally listed. The set encodes the repo's standing
+// invariants — reservation lifecycle, pad hygiene, wrapped-sentinel
+// matching, atomic access discipline, and deterministic-replay
+// purity — as machine-checked rules.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ReservePair,
+		PadReuse,
+		SentinelCmp,
+		AtomicField,
+		DetRand,
+	}
+}
+
+// ByName resolves an analyzer by its flag/directive name.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

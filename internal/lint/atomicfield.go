@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicField enforces the all-or-nothing rule of sync/atomic: a
+// memory word accessed with the atomic free functions anywhere must be
+// accessed that way everywhere. The gateway dataplane keeps its stat
+// counters and SAD occupancy in atomics precisely so the hot path
+// never takes the stats mutex; one plain `g.sealed++` on such a field
+// is a data race the race detector only catches if a test happens to
+// interleave it. The analyzer collects every struct field and
+// package-level variable whose address is passed to a sync/atomic
+// Add/Load/Store/Swap/CompareAndSwap function, then flags every other
+// plain read or write of the same variable in the package.
+//
+// Typed atomics (atomic.Uint64 and friends) are immune by construction
+// and are the preferred fix; the analyzer exists for the mixed style.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "flag plain reads/writes of struct fields or globals that are " +
+		"accessed via sync/atomic elsewhere in the package; mixed access is a " +
+		"data race (prefer the typed atomic.Uint64-style fields)",
+	Run: runAtomicField,
+}
+
+var atomicOpPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"}
+
+func isAtomicOp(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false // methods on typed atomics are safe by construction
+	}
+	for _, p := range atomicOpPrefixes {
+		if strings.HasPrefix(fn.Name(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: collect the variables whose address reaches sync/atomic.
+	atomicVars := make(map[*types.Var]token.Position)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicOp(calleeFunc(pass.TypesInfo, call)) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if v := addressableVar(pass, un.X); v != nil {
+					if _, seen := atomicVars[v]; !seen {
+						atomicVars[v] = pass.Fset.Position(call.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag plain accesses — any use of a collected variable
+	// that is not the &v argument of a sync/atomic call.
+	for _, f := range pass.Files {
+		WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			first, tracked := atomicVars[v]
+			if !tracked {
+				return true
+			}
+			if inAtomicCallContext(pass, id, stack) {
+				return true
+			}
+			// A composite-literal key (T{field: v}) initializes a value
+			// nothing else can reference yet; that is construction, not
+			// a racy access.
+			if len(stack) > 0 {
+				if kv, ok := stack[len(stack)-1].(*ast.KeyValueExpr); ok && kv.Key == id {
+					return true
+				}
+			}
+			pass.Reportf(id.Pos(), "plain access to %s, which is accessed with sync/atomic (first at %s); every access must be atomic or the pair is a data race",
+				v.Name(), first)
+			return true
+		})
+	}
+	return nil
+}
+
+// addressableVar resolves e (the operand of &) to the struct field or
+// package-level variable it names, or nil for locals and temporaries.
+// Locals whose address reaches sync/atomic are almost always handed to
+// a goroutine; flagging them would mostly flag the harmless
+// single-owner case, so the analyzer sticks to fields and globals.
+func addressableVar(pass *Pass, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	if v.IsField() {
+		return v
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v // package-level variable
+	}
+	return nil
+}
+
+// inAtomicCallContext reports whether ident appears as (part of) an
+// &operand of a sync/atomic call: ancestors, innermost first, are an
+// optional SelectorExpr whose Sel is the ident (x.f), then UnaryExpr(&),
+// then the atomic CallExpr, with parens allowed in between.
+func inAtomicCallContext(pass *Pass, id *ast.Ident, stack []ast.Node) bool {
+	i := len(stack) - 1
+	skipParens := func() {
+		for i >= 0 {
+			if _, ok := stack[i].(*ast.ParenExpr); !ok {
+				return
+			}
+			i--
+		}
+	}
+	skipParens()
+	if i >= 0 {
+		if sel, ok := stack[i].(*ast.SelectorExpr); ok {
+			if sel.Sel != id {
+				return false
+			}
+			i--
+			skipParens()
+		}
+	}
+	if i < 0 {
+		return false
+	}
+	un, ok := stack[i].(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return false
+	}
+	i--
+	skipParens()
+	if i < 0 {
+		return false
+	}
+	call, ok := stack[i].(*ast.CallExpr)
+	return ok && isAtomicOp(calleeFunc(pass.TypesInfo, call))
+}

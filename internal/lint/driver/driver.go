@@ -1,0 +1,139 @@
+// Package driver runs the qkdlint analyzers standalone, without
+// go vet. It shells out to `go list -export -deps -json` — which
+// compiles every dependency and reports the export-data archive for
+// each — then parses and type-checks each target package against
+// those archives and applies the analyzer suite.
+//
+// This is the mode behind `qkdlint ./...`. It covers non-test sources
+// only (go list -export describes the compiled package proper); the
+// CI vettool mode covers test files too.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+
+	"qkd/internal/lint"
+)
+
+// listPackage is the subset of `go list -json` output the driver uses.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Module     *struct{ GoVersion string }
+	Error      *struct{ Err string }
+}
+
+// Run lints the packages matching patterns, writing findings to w.
+// It returns the number of findings.
+func Run(patterns []string, analyzers []*lint.Analyzer, w io.Writer) (int, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return 0, err
+	}
+
+	exports := make(map[string]string, len(pkgs))
+	goVersion := ""
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil && p.Module.GoVersion != "" && !p.DepOnly {
+			goVersion = "go" + p.Module.GoVersion
+		}
+	}
+
+	total := 0
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return total, fmt.Errorf("loading %s: %s", p.ImportPath, p.Error.Err)
+		}
+		findings, err := checkPackage(p, exports, goVersion, analyzers)
+		if err != nil {
+			return total, fmt.Errorf("checking %s: %w", p.ImportPath, err)
+		}
+		for _, f := range findings {
+			fmt.Fprintln(w, f.String())
+		}
+		total += len(findings)
+	}
+	return total, nil
+}
+
+func goList(patterns []string) ([]listPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("parsing go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+func checkPackage(p listPackage, exports map[string]string, goVersion string, analyzers []*lint.Analyzer) ([]lint.Finding, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(importPath string) (io.ReadCloser, error) {
+		file, ok := exports[importPath]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", importPath)
+		}
+		return os.Open(file)
+	})
+	info := lint.NewInfo()
+	tcfg := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		Error:     func(error) {},
+	}
+	pkg, err := tcfg.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return lint.Check(fset, files, pkg, info, analyzers)
+}

@@ -1,0 +1,279 @@
+// Package lint implements qkdlint: a suite of static analyzers that
+// machine-check the stack's key-hygiene and concurrency invariants —
+// the properties the paper's security argument rests on but the
+// compiler cannot see. One-time pads must be consumed exactly once,
+// reserved key bits must always reach Consume, Release, or Close,
+// sentinel errors must be matched with errors.Is so wrapped KDS errors
+// still drive degraded modes, fields accessed via sync/atomic must
+// never be touched plainly, and deterministic packages must not read
+// ambient randomness or wall clocks.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) but is self-contained on the standard
+// library: the module is dependency-free by design, so the analyzers,
+// the analysistest-style harness (linttest), and the `go vet -vettool`
+// protocol (internal/lint/unit) are all implemented here.
+//
+// Deliberate false positives are suppressed in source with a
+// justification comment on the offending line or the line above:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// A suppression without a reason does not suppress.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, flags, and
+	// //lint:ignore suppressions.
+	Name string
+	// Doc is the one-paragraph description printed by -help and cited
+	// in DESIGN.md §14.
+	Doc string
+	// Run executes the check over a single type-checked package.
+	Run func(*Pass) error
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// PkgPath returns the package's import path with any build-variant
+// suffix (e.g. "qkd/internal/kms [qkd/internal/kms.test]") stripped.
+func (p *Pass) PkgPath() string {
+	path := p.Pkg.Path()
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// A Finding is a Diagnostic resolved to a concrete position, tagged
+// with the analyzer that produced it.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// NewInfo returns a fully-populated types.Info for a package check.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// TypeCheck type-checks already-parsed files as the package at path,
+// resolving imports through imp. goVersion may be "" for the toolchain
+// default.
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer, goVersion string) (*types.Package, *types.Info, error) {
+	info := NewInfo()
+	cfg := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		// Keep going past the first error so a single bad file does not
+		// hide findings in the rest of the package.
+		Error: func(error) {},
+	}
+	pkg, err := cfg.Check(path, fset, files, info)
+	return pkg, info, err
+}
+
+// SourceImporter returns a types.Importer that type-checks stdlib
+// imports from $GOROOT source. Used by the linttest harness, where no
+// export data is on hand.
+func SourceImporter(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "source", nil)
+}
+
+// Check runs the analyzers over one type-checked package and returns
+// the surviving findings (suppressions applied), sorted by position.
+func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	sup := collectSuppressions(fset, files)
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.report = func(d Diagnostic) {
+			posn := fset.Position(d.Pos)
+			if sup.covers(a.Name, posn) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: posn, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// ---------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------
+
+var ignoreRE = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s+(.+)$`)
+
+// suppressions maps file -> line -> analyzer names suppressed there. A
+// directive covers findings on its own line and on the line below, so
+// it works both as a trailing comment and on a line of its own.
+type suppressions map[string]map[int]map[string]bool
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := make(suppressions)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil || strings.TrimSpace(m[2]) == "" {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				byLine := sup[posn.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					sup[posn.Filename] = byLine
+				}
+				names := byLine[posn.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					byLine[posn.Line] = names
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					names[strings.TrimSpace(name)] = true
+				}
+			}
+		}
+	}
+	return sup
+}
+
+func (s suppressions) covers(analyzer string, posn token.Position) bool {
+	byLine := s[posn.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{posn.Line, posn.Line - 1} {
+		if names := byLine[line]; names != nil && (names[analyzer] || names["*"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// AST helpers shared by the analyzers
+// ---------------------------------------------------------------------
+
+// WalkStack traverses root, calling fn with each node and the stack of
+// its ancestors (outermost first, not including n itself). If fn
+// returns false the node's children are skipped.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			// Children skipped: no pop event will come for n, so do not
+			// push it.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeFunc resolves the called function/method of call, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}

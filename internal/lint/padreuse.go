@@ -1,0 +1,412 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PadReuse flags the pad-hygiene violations behind the paper's
+// one-time-pad security argument: key material must be consumed
+// exactly once and must not gain long-lived aliases after it is spent.
+// Three shapes are checked, all within one function and between
+// sibling statements (so exclusive if/else branches never false-
+// positive):
+//
+//  1. pad re-burn: calling Consume on a reservation after an
+//     unconditional Release or Close voided it — the historical PR 4
+//     relay bug shape, where a failed delivery burned pad that was
+//     already refunded;
+//  2. retained alias: a []byte of key material obtained from a
+//     keypool/kms consume-style call is stored into a field, global,
+//     slice, or map without a copy — the spent pad now has an owner
+//     that outlives the wipe-on-consume discipline (store a copy, as
+//     NewOTPSA does with append([]byte(nil), pad...));
+//  3. use-after-wipe: reading a pad after clear(pad) or a
+//     zero/wipe/scrub call — the buffer is zeroes, not key material,
+//     and sealing with it would emit plaintext XOR nothing.
+var PadReuse = &Analyzer{
+	Name: "padreuse",
+	Doc: "flag consumed-pad hygiene violations: Consume after Release/Close " +
+		"(pad re-burn), storing consumed []byte key material without a copy " +
+		"(retained alias), and reads of a wiped pad",
+	Run: runPadReuse,
+}
+
+// padSourceCalls are the keypool/kms entry points that hand out key
+// material the caller then owns exclusively.
+var padSourceCalls = map[string]bool{
+	"Consume":           true,
+	"ConsumeCancelable": true,
+	"TryConsume":        true,
+	"Withdraw":          true,
+	"Claim":             true,
+	"Next":              true,
+}
+
+func runPadReuse(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkPadFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkPadFunc(pass *Pass, body *ast.BlockStmt) {
+	padVars := collectPadVars(pass, body)
+	forEachStmtList(body, func(stmts []ast.Stmt) {
+		checkReburn(pass, stmts)
+		checkWipe(pass, stmts)
+	})
+	if len(padVars) > 0 {
+		checkRetainedAliases(pass, body, padVars)
+	}
+}
+
+// forEachStmtList visits every statement list in the function: block
+// bodies and case/comm clause bodies. Nested function literals get
+// their own checkPadFunc invocation, so they are skipped here.
+func forEachStmtList(body *ast.BlockStmt, fn func([]ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			fn(n.List)
+		case *ast.CaseClause:
+			fn(n.Body)
+		case *ast.CommClause:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------
+// Rule 1: Consume after an unconditional Release/Close (pad re-burn)
+// ---------------------------------------------------------------------
+
+// voidCall matches `rv.Release()` / `rv.Close()` where rv has a
+// reservation type, returning the receiver's object.
+func voidCall(pass *Pass, s ast.Stmt) types.Object {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Release" && sel.Sel.Name != "Close") {
+		return nil
+	}
+	id, ok := unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || !isReservationType(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// checkReburn flags rv.Consume(...) in a statement after an earlier
+// sibling statement that was an unconditional rv.Release()/rv.Close().
+func checkReburn(pass *Pass, stmts []ast.Stmt) {
+	voided := make(map[types.Object]int) // obj -> index of the voiding stmt
+	for i, s := range stmts {
+		if len(voided) > 0 {
+			scanNoFuncLit(s, func(n ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Consume" {
+					return
+				}
+				id, ok := unparen(sel.X).(*ast.Ident)
+				if !ok {
+					return
+				}
+				obj := pass.TypesInfo.Uses[id]
+				if obj == nil {
+					return
+				}
+				if vi, ok := voided[obj]; ok {
+					pass.Reportf(call.Pos(), "pad re-burn: %s.Consume after %s voided the reservation at line %d; the set-aside key was already refunded or discarded",
+						id.Name, id.Name, pass.Fset.Position(stmts[vi].Pos()).Line)
+				}
+			})
+			// A reassignment of a voided variable starts a fresh
+			// reservation; stop tracking it.
+			if as, ok := s.(*ast.AssignStmt); ok {
+				for _, l := range as.Lhs {
+					if id, ok := unparen(l).(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							delete(voided, obj)
+						}
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							delete(voided, obj)
+						}
+					}
+				}
+			}
+		}
+		if obj := voidCall(pass, s); obj != nil {
+			if _, seen := voided[obj]; !seen {
+				voided[obj] = i
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Rule 2: retained alias of consumed []byte key material
+// ---------------------------------------------------------------------
+
+// collectPadVars finds local []byte variables initialized directly
+// from a keypool/kms consume-style call.
+func collectPadVars(pass *Pass, body *ast.BlockStmt) map[types.Object]string {
+	pads := make(map[types.Object]string)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, l := range as.Lhs {
+			id, ok := unparen(l).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			var rhs ast.Expr
+			if len(as.Rhs) == 1 {
+				rhs = as.Rhs[0]
+			} else if i < len(as.Rhs) {
+				rhs = as.Rhs[i]
+			}
+			call, ok := unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || !padSourceCalls[fn.Name()] {
+				continue
+			}
+			if name := fn.Pkg().Name(); name != "keypool" && name != "kms" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil || !isByteSlice(obj.Type()) {
+				continue
+			}
+			pads[obj] = fn.Pkg().Name() + "." + fn.Name()
+		}
+		return true
+	})
+	return pads
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// checkRetainedAliases flags stores of a pad variable into locations
+// that outlive the function: struct fields, globals, slice/map
+// elements, composite literals, and append without a byte copy.
+func checkRetainedAliases(pass *Pass, body *ast.BlockStmt, pads map[types.Object]string) {
+	report := func(id *ast.Ident, src, how string) {
+		pass.Reportf(id.Pos(), "consumed key material %s (from %s) is %s without a copy; the spent pad gains a long-lived alias — store append([]byte(nil), %s...) instead",
+			id.Name, src, how, id.Name)
+	}
+	padOf := func(e ast.Expr) (*ast.Ident, string, bool) {
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok {
+			return nil, "", false
+		}
+		obj := pass.TypesInfo.Uses[id]
+		src, tracked := pads[obj]
+		return id, src, tracked
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, r := range n.Rhs {
+				id, src, ok := padOf(r)
+				if !ok || i >= len(n.Lhs) {
+					continue
+				}
+				switch lhs := unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					report(id, src, "assigned to field "+lhs.Sel.Name)
+				case *ast.IndexExpr:
+					report(id, src, "stored into a slice or map element")
+				case *ast.Ident:
+					if v, ok := pass.TypesInfo.Uses[lhs].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+						report(id, src, "assigned to package-level variable "+v.Name())
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if id, src, ok := padOf(v); ok {
+					report(id, src, "stored in a composite literal")
+				}
+			}
+		case *ast.CallExpr:
+			// append(xs, pad) retains the alias; append(dst, pad...)
+			// copies bytes and is the sanctioned idiom.
+			if fun, ok := unparen(n.Fun).(*ast.Ident); ok && fun.Name == "append" {
+				if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+					for i, arg := range n.Args {
+						if i == 0 {
+							continue
+						}
+						if n.Ellipsis.IsValid() && i == len(n.Args)-1 {
+							continue
+						}
+						if id, src, ok := padOf(arg); ok {
+							report(id, src, "appended into a longer-lived slice")
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------
+// Rule 3: reads of a wiped pad
+// ---------------------------------------------------------------------
+
+// wipeCall matches an unconditional statement `clear(pad)` or
+// `zeroX(pad)`/`wipeX(pad)`/`scrub(pad)`, returning the wiped object.
+func wipeCall(pass *Pass, s ast.Stmt) (types.Object, string) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil, ""
+	}
+	call, ok := unparen(es.X).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, ""
+	}
+	var name string
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+		if name == "clear" {
+			if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); !isBuiltin {
+				return nil, ""
+			}
+		}
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return nil, ""
+	}
+	lower := strings.ToLower(name)
+	if name != "clear" && !strings.Contains(lower, "zero") && !strings.Contains(lower, "wipe") && !strings.Contains(lower, "scrub") {
+		return nil, ""
+	}
+	id, ok := unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || !isByteSlice(obj.Type()) {
+		return nil, ""
+	}
+	return obj, name
+}
+
+// checkWipe flags reads of a pad in statements after an unconditional
+// sibling wipe, until the variable is reassigned.
+func checkWipe(pass *Pass, stmts []ast.Stmt) {
+	wiped := make(map[types.Object]int)
+	for _, s := range stmts {
+		if len(wiped) > 0 {
+			// Reassignment revives the variable before its uses in this
+			// statement are judged (pad = freshPad() is not a read).
+			reassigned := map[types.Object]bool{}
+			if as, ok := s.(*ast.AssignStmt); ok {
+				for _, l := range as.Lhs {
+					if id, ok := unparen(l).(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Uses[id]; obj != nil && wiped[obj] > 0 {
+							reassigned[obj] = true
+						}
+					}
+				}
+			}
+			scanNoFuncLit(s, func(n ast.Node) {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return
+				}
+				obj := pass.TypesInfo.Uses[id]
+				if obj == nil || reassigned[obj] {
+					return
+				}
+				if line, ok := wiped[obj]; ok && line > 0 {
+					if as, isAssign := s.(*ast.AssignStmt); isAssign {
+						for _, l := range as.Lhs {
+							if unparen(l) == ast.Expr(id) {
+								return
+							}
+						}
+					}
+					pass.Reportf(id.Pos(), "use of %s after it was wiped at line %d; the zeroed buffer is no longer key material", id.Name, line)
+				}
+			})
+			for obj := range reassigned {
+				delete(wiped, obj)
+			}
+		}
+		if obj, _ := wipeCall(pass, s); obj != nil {
+			if _, seen := wiped[obj]; !seen {
+				wiped[obj] = pass.Fset.Position(s.Pos()).Line
+			}
+		}
+	}
+}
+
+// scanNoFuncLit walks a statement's subtree, skipping nested function
+// literals (their execution time is unknown).
+func scanNoFuncLit(s ast.Stmt, fn func(ast.Node)) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,691 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ReservePair proves (in the lostcancel style) that every
+// keypool.Reservation obtained from Reserve reaches Consume, Release,
+// or Close on all paths of its enclosing function, or escapes to an
+// owner who can. A reservation holds set-aside key out of
+// Available(): a path that returns without finishing it strands those
+// bits forever — exactly the leak PR 4 fixed in relay (Cut'd links
+// left transports blocked on pads nobody would ever refund).
+//
+// The analysis walks structured control flow (blocks, if/else, for,
+// switch, select) from the Reserve call, tracking whether the
+// reservation is still pending when a return or the end of its scope
+// is reached. It is deliberately conservative about aliasing: any use
+// other than a method call — passing the reservation to a function,
+// appending it to a slice, returning it, storing it, capturing it in a
+// closure — transfers ownership and ends the obligation locally.
+// Guard branches conditioned on the reservation or on the error from
+// the same assignment (if err != nil { return err }) are the failure
+// path on which the reservation is nil, and are exempt. Functions
+// containing goto are skipped.
+var ReservePair = &Analyzer{
+	Name: "reservepair",
+	Doc: "prove every keypool.Reserve reservation reaches Consume, Release, " +
+		"or Close (or escapes) on all paths; a path that drops it strands " +
+		"set-aside key bits out of the reservoir forever",
+	Run: runReservePair,
+}
+
+// reservationTerminators end the Consume/Release/Close obligation.
+var reservationTerminators = map[string]bool{
+	"Consume": true,
+	"Release": true,
+	"Close":   true,
+}
+
+// isReservationType reports whether t is keypool.Reservation or a
+// pointer to it. Matching by (package name, type name) rather than
+// full import path keeps the analyzer testable against the fake
+// keypool package in testdata.
+func isReservationType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Reservation" && obj.Pkg() != nil && obj.Pkg().Name() == "keypool"
+}
+
+func runReservePair(pass *Pass) error {
+	for _, f := range pass.Files {
+		WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				checkReserveAssign(pass, s, s.Lhs, s.Rhs, stack)
+			case *ast.DeclStmt:
+				if gd, ok := s.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+					for _, spec := range gd.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+							lhs := make([]ast.Expr, len(vs.Names))
+							for i, name := range vs.Names {
+								lhs[i] = name
+							}
+							checkReserveDecl(pass, s, lhs, vs.Values, stack)
+						}
+					}
+				}
+			case *ast.ExprStmt:
+				if call, ok := unparen(s.X).(*ast.CallExpr); ok {
+					if idx := reservationResultIndex(pass, call); idx >= 0 {
+						pass.Reportf(call.Pos(), "result of %s is discarded; the reservation's set-aside key bits can never be consumed, released, or closed", callName(pass, call))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkReserveAssign handles `rv, err := pool.Reserve(n)` and plain `=`.
+func checkReserveAssign(pass *Pass, stmt ast.Stmt, lhs, rhs []ast.Expr, stack []ast.Node) {
+	checkReserveDecl(pass, stmt, lhs, rhs, stack)
+}
+
+func checkReserveDecl(pass *Pass, stmt ast.Stmt, lhs, rhs []ast.Expr, stack []ast.Node) {
+	// Creation means the right-hand side is a call producing a
+	// reservation; aliasing assignments (rv2 := rv) are not creations.
+	resultOfCall := func(i int) *ast.CallExpr {
+		if len(rhs) == 1 && len(lhs) > 1 {
+			call, _ := unparen(rhs[0]).(*ast.CallExpr)
+			return call
+		}
+		if i < len(rhs) {
+			call, _ := unparen(rhs[i]).(*ast.CallExpr)
+			return call
+		}
+		return nil
+	}
+	for i, l := range lhs {
+		id, ok := unparen(l).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		call := resultOfCall(i)
+		if call == nil {
+			continue
+		}
+		t := lhsType(pass, id, call, i, len(lhs))
+		if t == nil || !isReservationType(t) {
+			continue
+		}
+		if id.Name == "_" {
+			pass.Reportf(id.Pos(), "reservation from %s is assigned to _; its set-aside key bits can never be consumed, released, or closed", callName(pass, call))
+			continue
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id] // plain `=` to an existing var
+		}
+		if obj == nil {
+			continue
+		}
+		errObj := companionErrObj(pass, lhs, i)
+		body := enclosingFuncBody(stack)
+		if body == nil || containsGoto(body) {
+			continue
+		}
+		flow := &resvFlow{
+			pass:    pass,
+			obj:     obj,
+			errObj:  errObj,
+			decl:    stmt,
+			callPos: call.Pos(),
+			name:    id.Name,
+		}
+		flow.run(body)
+	}
+}
+
+// lhsType resolves the static type the i'th LHS receives.
+func lhsType(pass *Pass, id *ast.Ident, call *ast.CallExpr, i, n int) types.Type {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj.Type()
+	}
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj.Type()
+	}
+	// Blank identifier: take the type from the call's result tuple.
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return nil
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		if i < tuple.Len() {
+			return tuple.At(i).Type()
+		}
+		return nil
+	}
+	if n == 1 {
+		return tv.Type
+	}
+	return nil
+}
+
+// reservationResultIndex returns the index of a reservation-typed
+// result of call, or -1.
+func reservationResultIndex(pass *Pass, call *ast.CallExpr) int {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return -1
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isReservationType(tuple.At(i).Type()) {
+				return i
+			}
+		}
+		return -1
+	}
+	if isReservationType(tv.Type) {
+		return 0
+	}
+	return -1
+}
+
+func callName(pass *Pass, call *ast.CallExpr) string {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+// companionErrObj returns the error variable assigned alongside the
+// reservation (the `err` of `rv, err := Reserve(n)`), if any.
+func companionErrObj(pass *Pass, lhs []ast.Expr, skip int) types.Object {
+	for i, l := range lhs {
+		if i == skip {
+			continue
+		}
+		id, ok := unparen(l).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj != nil && isErrorType(obj.Type()) {
+			return obj
+		}
+	}
+	return nil
+}
+
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+func containsGoto(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BranchStmt); ok && b.Tok == token.GOTO {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ---------------------------------------------------------------------
+// Structured-control-flow walk
+// ---------------------------------------------------------------------
+
+type resvState struct {
+	pending  bool // reservation live, obligation unmet
+	deferred bool // a deferred statement on this path discharges it
+}
+
+type resvFlow struct {
+	pass    *Pass
+	obj     types.Object // the reservation variable
+	errObj  types.Object // its companion error, if any
+	decl    ast.Stmt     // the creating statement
+	callPos token.Pos    // position of the Reserve call (report anchor)
+	name    string
+
+	reported   bool
+	guardDepth int // inside a branch conditioned on the reservation or its error
+}
+
+func (f *resvFlow) run(body *ast.BlockStmt) {
+	out, diverged := f.execList(body.List, resvState{})
+	_ = out
+	_ = diverged // scope-end reporting happens inside execList
+}
+
+func (f *resvFlow) report(leakPos token.Pos, what string) {
+	if f.reported {
+		return
+	}
+	f.reported = true
+	leak := f.pass.Fset.Position(leakPos)
+	f.pass.Reportf(f.callPos, "reservation %s does not reach Consume, Release, or Close on the path %s at %s:%d; the set-aside key bits leak",
+		f.name, what, leak.Filename, leak.Line)
+}
+
+// execList executes a statement list. If the list directly contains
+// the creating statement, falling off its end while pending is a leak
+// (the variable's scope dies with the obligation unmet).
+func (f *resvFlow) execList(stmts []ast.Stmt, in resvState) (resvState, bool) {
+	st := in
+	containsDecl := false
+	for _, s := range stmts {
+		if s == f.decl {
+			containsDecl = true
+		}
+	}
+	for _, s := range stmts {
+		var diverged bool
+		st, diverged = f.exec(s, st)
+		if diverged || f.reported {
+			return st, diverged
+		}
+	}
+	if containsDecl && st.pending && !st.deferred && f.guardDepth == 0 {
+		end := f.decl.End()
+		if n := len(stmts); n > 0 {
+			end = stmts[len(stmts)-1].End()
+		}
+		f.report(end, "falling off the end of its scope")
+	}
+	return st, false
+}
+
+func (f *resvFlow) exec(s ast.Stmt, in resvState) (resvState, bool) {
+	if s == nil {
+		return in, false
+	}
+	if s == f.decl {
+		return resvState{pending: true, deferred: in.deferred}, false
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return f.execList(s.List, in)
+
+	case *ast.IfStmt:
+		st, div := f.exec(s.Init, in)
+		if div {
+			return st, true
+		}
+		st = f.scan(st, s.Cond, false)
+		guard := f.usesGuard(s.Cond)
+		if guard {
+			f.guardDepth++
+		}
+		thenOut, thenDiv := f.exec(s.Body, st)
+		elseOut, elseDiv := st, false
+		if s.Else != nil {
+			elseOut, elseDiv = f.exec(s.Else, st)
+		}
+		if guard {
+			f.guardDepth--
+		}
+		return mergeBranches(guard, []branchOut{{thenOut, thenDiv}, {elseOut, elseDiv}})
+
+	case *ast.ForStmt:
+		st, div := f.exec(s.Init, in)
+		if div {
+			return st, true
+		}
+		st = f.scan(st, s.Cond, false)
+		bodyOut, _ := f.exec(s.Body, st)
+		bodyOut, _ = f.exec(s.Post, bodyOut)
+		// The body may run zero times: merge pessimistically.
+		return mergeStates(st, bodyOut), false
+
+	case *ast.RangeStmt:
+		st := f.scan(in, s.X, true)
+		bodyOut, _ := f.exec(s.Body, st)
+		return mergeStates(st, bodyOut), false
+
+	case *ast.SwitchStmt:
+		st, div := f.exec(s.Init, in)
+		if div {
+			return st, true
+		}
+		st = f.scan(st, s.Tag, false)
+		return f.execClauses(s.Body, st, true)
+
+	case *ast.TypeSwitchStmt:
+		st, div := f.exec(s.Init, in)
+		if div {
+			return st, true
+		}
+		st, div = f.exec(s.Assign, st)
+		if div {
+			return st, true
+		}
+		return f.execClauses(s.Body, st, true)
+
+	case *ast.SelectStmt:
+		// A select with no default blocks until one case fires: no
+		// implicit fall-through path.
+		return f.execClauses(s.Body, in, false)
+
+	case *ast.ReturnStmt:
+		st := in
+		for _, r := range s.Results {
+			st = f.scan(st, r, true)
+		}
+		if st.pending && !st.deferred && f.guardDepth == 0 {
+			f.report(s.Pos(), "returning")
+		}
+		return st, true
+
+	case *ast.BranchStmt:
+		// goto was excluded up front; break/continue leave this path.
+		return in, true
+
+	case *ast.DeferStmt:
+		if f.usesObj(s.Call) {
+			// defer rv.Release(), defer cleanup(rv), defer func(){...rv...}():
+			// the obligation is discharged at function exit for every
+			// return that follows this point on the path.
+			return resvState{pending: in.pending, deferred: true}, false
+		}
+		return in, false
+
+	case *ast.GoStmt:
+		return f.scan(in, s.Call, true), false
+
+	case *ast.AssignStmt:
+		st := in
+		for _, l := range s.Lhs {
+			if id, ok := unparen(l).(*ast.Ident); ok {
+				if f.isObj(id) {
+					// Overwritten: if still pending the old value is lost.
+					if st.pending && !st.deferred && f.guardDepth == 0 {
+						f.report(s.Pos(), "overwriting the reservation")
+					}
+					st = resvState{pending: false, deferred: st.deferred}
+					continue
+				}
+				continue // plain ident target: not a use of obj
+			}
+			st = f.scan(st, l, true) // m[k] = ..., x.f = ...: scan for uses
+		}
+		for _, r := range s.Rhs {
+			st = f.scan(st, r, true)
+		}
+		return st, false
+
+	case *ast.ExprStmt:
+		st := f.scan(in, s.X, true)
+		return st, divergesCall(f.pass, s.X)
+
+	case *ast.LabeledStmt:
+		return f.exec(s.Stmt, in)
+
+	case *ast.DeclStmt:
+		st := in
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						st = f.scan(st, v, true)
+					}
+				}
+			}
+		}
+		return st, false
+
+	case *ast.SendStmt:
+		st := f.scan(in, s.Chan, true)
+		return f.scan(st, s.Value, true), false
+
+	case *ast.IncDecStmt:
+		return f.scan(in, s.X, true), false
+
+	default:
+		// Empty statements and anything unanticipated: scan the whole
+		// node for uses so escapes are never missed.
+		st := in
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				st = f.scan(st, e, true)
+				return false
+			}
+			return true
+		})
+		return st, false
+	}
+}
+
+type branchOut struct {
+	st       resvState
+	diverged bool
+}
+
+// mergeBranches joins branch outcomes. Diverged branches do not flow
+// to the join point. Guard branches (conditioned on the reservation or
+// its error) merge optimistically: on one side of the guard the
+// reservation is nil, so demanding resolution on both sides would flag
+// every `if err != nil { return err }`.
+func mergeBranches(guard bool, outs []branchOut) (resvState, bool) {
+	var flowing []resvState
+	for _, o := range outs {
+		if !o.diverged {
+			flowing = append(flowing, o.st)
+		}
+	}
+	if len(flowing) == 0 {
+		return resvState{}, true
+	}
+	st := flowing[0]
+	for _, o := range flowing[1:] {
+		if guard {
+			st = resvState{pending: st.pending && o.pending, deferred: st.deferred || o.deferred}
+		} else {
+			st = mergeStates(st, o)
+		}
+	}
+	return st, false
+}
+
+// mergeStates joins two fall-through states pessimistically: pending
+// wins, deferred must hold on both.
+func mergeStates(a, b resvState) resvState {
+	return resvState{pending: a.pending || b.pending, deferred: a.deferred && b.deferred}
+}
+
+// execClauses runs each case/comm clause from the same entry state.
+// implicitPath adds the no-case-taken path (switch without default).
+func (f *resvFlow) execClauses(body *ast.BlockStmt, in resvState, implicitPath bool) (resvState, bool) {
+	var outs []branchOut
+	hasDefault := false
+	for _, clause := range body.List {
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			st := in
+			for _, e := range c.List {
+				st = f.scan(st, e, false)
+			}
+			out, div := f.execList(c.Body, st)
+			outs = append(outs, branchOut{out, div})
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			st, div := f.exec(c.Comm, in)
+			if !div {
+				st, div = f.execList(c.Body, st)
+			}
+			outs = append(outs, branchOut{st, div})
+		}
+	}
+	if implicitPath && !hasDefault {
+		outs = append(outs, branchOut{in, false})
+	}
+	if len(outs) == 0 {
+		return in, false
+	}
+	return mergeBranches(false, outs)
+}
+
+// scan classifies the uses of the reservation inside one expression:
+// a call to a terminating method resolves the obligation; any use
+// other than a method call or comparison is an escape, which also
+// resolves it (ownership moved). Uses inside nested function literals
+// are captures, i.e. escapes. rootEscapes says what a bare `rv` as the
+// whole expression means in the enclosing statement: an escape when
+// the value goes somewhere (return rv, ch <- rv, x = rv), a plain read
+// in conditions and tags.
+func (f *resvFlow) scan(in resvState, e ast.Expr, rootEscapes bool) resvState {
+	if e == nil {
+		return in
+	}
+	st := in
+	WalkStack(e, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || !f.isObj(id) {
+			return true
+		}
+		for _, anc := range stack {
+			if _, ok := anc.(*ast.FuncLit); ok {
+				st.pending = false // captured by a closure: escape
+				return true
+			}
+		}
+		switch f.classifyUse(id, stack, rootEscapes) {
+		case useTerminating, useEscape:
+			st.pending = false
+		}
+		return true
+	})
+	return st
+}
+
+type useKind int
+
+const (
+	usePlain useKind = iota
+	useTerminating
+	useEscape
+)
+
+func (f *resvFlow) classifyUse(id *ast.Ident, stack []ast.Node, rootEscapes bool) useKind {
+	i := len(stack) - 1
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		if rootEscapes {
+			return useEscape
+		}
+		return usePlain
+	}
+	switch parent := stack[i].(type) {
+	case *ast.SelectorExpr:
+		if parent.Sel == id {
+			return usePlain // shadow case: obj used as a selector name (impossible for locals)
+		}
+		// rv.Method — look for the enclosing call of this selector.
+		if i-1 >= 0 {
+			if call, ok := stack[i-1].(*ast.CallExpr); ok && unparen(call.Fun) == parent {
+				if reservationTerminators[parent.Sel.Name] {
+					return useTerminating
+				}
+				return usePlain // rv.Remaining() etc.: observes, does not discharge
+			}
+		}
+		return useEscape // method value rv.Release passed around
+	case *ast.BinaryExpr:
+		return usePlain // comparisons (rv == nil)
+	default:
+		return useEscape
+	}
+}
+
+func (f *resvFlow) isObj(id *ast.Ident) bool {
+	return f.pass.TypesInfo.Uses[id] == f.obj
+}
+
+func (f *resvFlow) usesObj(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && f.isObj(id) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (f *resvFlow) usesGuard(cond ast.Expr) bool {
+	if cond == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			obj := f.pass.TypesInfo.Uses[id]
+			if obj != nil && (obj == f.obj || (f.errObj != nil && obj == f.errObj)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// divergesCall reports whether the expression statement never returns:
+// panic, os.Exit, runtime.Goexit, log.Fatal*, and testing's
+// Fatal/FailNow/Skip family.
+func divergesCall(pass *Pass, e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			return b.Name() == "panic"
+		}
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if fn == nil {
+			return false
+		}
+		if pkg := fn.Pkg(); pkg != nil && fn.Type().(*types.Signature).Recv() == nil {
+			switch pkg.Path() + "." + fn.Name() {
+			case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+				return true
+			}
+			return false
+		}
+		switch fn.Name() {
+		case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow", "Goexit":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,43 @@
+// Corpus for the atomicfield analyzer: a word touched by sync/atomic
+// anywhere must be touched that way everywhere.
+package atomicfield
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+type counters struct {
+	sealed int64 // accessed atomically in bump: all access must be atomic
+	other  int64 // never atomic: plain access is fine
+}
+
+var hits uint64
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.sealed, 1)
+	atomic.AddUint64(&hits, 1)
+}
+
+func bad(c *counters) {
+	c.sealed++            // want `plain access to sealed`
+	fmt.Println(c.sealed) // want `plain access to sealed`
+	hits = 0              // want `plain access to hits`
+}
+
+func good(c *counters) int64 {
+	n := atomic.LoadInt64(&c.sealed)
+	c.other++
+	return n + atomic.SwapInt64(&c.sealed, 0)
+}
+
+func construct() *counters {
+	// A composite-literal key initializes a value nothing else can see
+	// yet; that is construction, not a racy access.
+	return &counters{sealed: 0}
+}
+
+func suppressed(c *counters) int64 {
+	//lint:ignore atomicfield snapshot read under the caller's lock, documented in counters
+	return c.sealed
+}

@@ -1,0 +1,40 @@
+// Package detrand opts into determinism checking via the directive
+// below, the same mechanism a new deterministic repo package would use.
+//
+//lint:deterministic
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+type sim struct {
+	rng *rand.Rand
+	now func() time.Time
+}
+
+func newSim(seed int64) *sim {
+	return &sim{
+		rng: rand.New(rand.NewSource(seed)), // constructing from a seed is the approved pattern
+		now: time.Now,                       // value reference, not a call: legal default wiring
+	}
+}
+
+func (s *sim) step() (int, time.Time) {
+	return s.rng.Intn(10), s.now()
+}
+
+func bad() time.Duration {
+	t0 := time.Now()        // want `call to time.Now in deterministic package`
+	_ = rand.Intn(10)       // want `call to global rand.Intn in deterministic package`
+	if time.Until(t0) > 0 { // want `call to time.Until in deterministic package`
+		return 0
+	}
+	return time.Since(t0) // want `call to time.Since in deterministic package`
+}
+
+func suppressed() time.Time {
+	//lint:ignore detrand report timestamps quote the real wall clock by design
+	return time.Now()
+}

@@ -1,0 +1,13 @@
+// Package kms is a miniature stand-in for qkd/internal/kms used by
+// the analyzer corpora.
+package kms
+
+import "errors"
+
+var ErrOverload = errors.New("kms: overload")
+
+type Service struct{}
+
+func (s *Service) Claim(n int) []byte { return make([]byte, n) }
+
+func Withdraw(n int) []byte { return make([]byte, n) }

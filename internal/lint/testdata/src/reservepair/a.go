@@ -1,0 +1,124 @@
+// Corpus for the reservepair analyzer: every keypool reservation must
+// reach Consume, Release, or Close on all paths.
+package reservepair
+
+import (
+	"errors"
+	"fmt"
+
+	"keypool"
+)
+
+var errBusy = errors.New("busy")
+
+// --- leaks ---
+
+func leakFallOffScope(p *keypool.Reservoir) {
+	rv, err := p.Reserve(10) // want `reservation rv does not reach Consume, Release, or Close`
+	if err != nil {
+		return
+	}
+	fmt.Println(rv.Remaining())
+}
+
+// The historical PR 8 shape: the early-error return after the guard
+// leaks the reservation set aside a few lines up.
+func leakErrorPathReturn(p *keypool.Reservoir, busy bool) error {
+	rv, err := p.Reserve(10) // want `reservation rv does not reach Consume, Release, or Close`
+	if err != nil {
+		return err
+	}
+	if busy {
+		return errBusy // leaks rv
+	}
+	_, err = rv.Consume(10)
+	return err
+}
+
+func leakDiscardBlank(p *keypool.Reservoir) {
+	_, err := p.Reserve(5) // want `reservation from Reserve is assigned to _`
+	_ = err
+}
+
+func leakDiscardResult(p *keypool.Reservoir) {
+	p.Reserve(5) // want `result of Reserve is discarded`
+}
+
+func leakOverwrite(p *keypool.Reservoir) {
+	rv, _ := p.Reserve(5) // want `reservation rv does not reach Consume, Release, or Close`
+	rv, _ = p.Reserve(6)
+	rv.Release()
+}
+
+// --- clean ---
+
+func okConsume(p *keypool.Reservoir) ([]byte, error) {
+	rv, err := p.Reserve(10)
+	if err != nil {
+		return nil, err
+	}
+	return rv.Consume(10)
+}
+
+func okDeferClose(p *keypool.Reservoir) error {
+	rv, err := p.Reserve(10)
+	if err != nil {
+		return err
+	}
+	defer rv.Close()
+	_, err = rv.Consume(4)
+	return err
+}
+
+func okReleaseOnErrorPath(p *keypool.Reservoir, busy bool) error {
+	rv, err := p.Reserve(10)
+	if err != nil {
+		return err
+	}
+	if busy {
+		rv.Release()
+		return errBusy
+	}
+	_, err = rv.Consume(10)
+	return err
+}
+
+// Escapes are out of flow-analysis reach and must not be flagged.
+func okEscapeReturn(p *keypool.Reservoir) (*keypool.Reservation, error) {
+	rv, err := p.Reserve(10)
+	if err != nil {
+		return nil, err
+	}
+	return rv, nil
+}
+
+func okEscapeSlice(p *keypool.Reservoir, held []*keypool.Reservation) []*keypool.Reservation {
+	rv, err := p.Reserve(10)
+	if err != nil {
+		return held
+	}
+	held = append(held, rv)
+	return held
+}
+
+func okEscapeCall(p *keypool.Reservoir) {
+	rv, err := p.Reserve(10)
+	if err != nil {
+		return
+	}
+	hold(rv)
+}
+
+func hold(rv *keypool.Reservation) { _ = rv }
+
+func okPanicPath(p *keypool.Reservoir) []byte {
+	rv, err := p.Reserve(10)
+	if err != nil {
+		panic(err)
+	}
+	out, err := rv.Consume(10)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
