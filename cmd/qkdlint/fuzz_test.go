@@ -1,0 +1,44 @@
+package main_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"qkd/internal/lint/unit"
+)
+
+// FuzzVetCfg throws arbitrary bytes at the vet.cfg parser. The parser
+// sits on the go vet wire protocol, so it must reject garbage with an
+// error — never panic — and an accepted config must survive a
+// marshal/parse round trip without drifting.
+func FuzzVetCfg(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"ID":"qkd/internal/kms","Compiler":"gc","Dir":"/tmp","ImportPath":"qkd/internal/kms","GoFiles":["kms.go"],"ImportMap":{"fmt":"fmt"},"PackageFile":{"fmt":"/tmp/fmt.a"},"PackageVetx":{"qkd/internal/keypool":"/tmp/keypool.vetx"},"VetxOnly":true,"VetxOutput":"/tmp/out.vetx","GoVersion":"go1.24"}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"GoFiles":"not-a-list"}`))
+	f.Add([]byte(`{"Standard":{"unsafe":true},"SucceedOnTypecheckFailure":true}`))
+	f.Add([]byte(`{"ID":"x","ID":"y"}`))
+	f.Add([]byte("\x00\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := unit.ParseConfig(data)
+		if err != nil {
+			return
+		}
+		if cfg == nil {
+			t.Fatal("nil config with nil error")
+		}
+		out, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted config failed: %v", err)
+		}
+		cfg2, err := unit.ParseConfig(out)
+		if err != nil {
+			t.Fatalf("re-parse of re-marshaled config failed: %v\n%s", err, out)
+		}
+		if cfg.ID != cfg2.ID || cfg.ImportPath != cfg2.ImportPath || cfg.VetxOnly != cfg2.VetxOnly ||
+			cfg.VetxOutput != cfg2.VetxOutput || len(cfg.GoFiles) != len(cfg2.GoFiles) ||
+			len(cfg.PackageVetx) != len(cfg2.PackageVetx) {
+			t.Fatalf("round-trip drift:\n%+v\nvs\n%+v", cfg, cfg2)
+		}
+	})
+}

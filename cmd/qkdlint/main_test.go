@@ -1,7 +1,9 @@
 package main_test
 
 import (
+	"bytes"
 	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
@@ -56,7 +58,7 @@ func TestVettoolHandshake(t *testing.T) {
 	if err := json.Unmarshal(out, &defs); err != nil {
 		t.Fatalf("-flags output is not a JSON flag list: %v\n%s", err, out)
 	}
-	want := map[string]bool{"reservepair": true, "padreuse": true, "sentinelcmp": true, "atomicfield": true, "detrand": true}
+	want := map[string]bool{"reservepair": true, "padreuse": true, "sentinelcmp": true, "atomicfield": true, "detrand": true, "keytaint": true, "lockorder": true}
 	for _, d := range defs {
 		if !want[d.Name] {
 			t.Errorf("unexpected flag %q", d.Name)
@@ -83,6 +85,86 @@ func TestVetCleanOnRepo(t *testing.T) {
 	cmd.Dir = moduleRoot(t)
 	if out, err := cmd.CombinedOutput(); err != nil {
 		t.Fatalf("go vet -vettool=qkdlint ./... reported findings or failed: %v\n%s", err, out)
+	}
+}
+
+// TestStandaloneExitCodes pins the standalone exit-code contract on a
+// scratch module: 0 clean, 1 findings, 2 driver error. CI scripting
+// keys off the distinction, so 0-with-findings is never acceptable.
+// Also checks the -json finding shape.
+func TestStandaloneExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a scratch module; skipped in -short")
+	}
+	bin := buildTool(t)
+	dir := t.TempDir()
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", "module scratch\n\ngo 1.24\n")
+	writeFile("clean.go", "package scratch\n\nfunc Add(a, b int) int { return a + b }\n")
+
+	run := func(args ...string) (string, string, int) {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = dir
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		err := cmd.Run()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("running qkdlint %v: %v", args, err)
+		}
+		return stdout.String(), stderr.String(), code
+	}
+
+	if stdout, stderr, code := run("./..."); code != 0 || stdout != "" || strings.TrimSpace(stderr) != "" {
+		t.Fatalf("clean module: want exit 0 and no output, got %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+
+	writeFile("held.go", `package scratch
+
+import "sync"
+
+var mu sync.Mutex
+
+func Send(ch chan int) {
+	mu.Lock()
+	ch <- 1
+	mu.Unlock()
+}
+`)
+	if _, stderr, code := run("./..."); code != 1 || !strings.Contains(stderr, "held across channel send") {
+		t.Fatalf("finding: want exit 1 with a diagnostic on stderr, got %d\n%s", code, stderr)
+	}
+
+	stdout, _, code := run("-json", "./...")
+	if code != 1 {
+		t.Fatalf("-json finding: want exit 1, got %d\n%s", code, stdout)
+	}
+	var diags []struct {
+		File     string   `json:"file"`
+		Line     int      `json:"line"`
+		Col      int      `json:"col"`
+		Analyzer string   `json:"analyzer"`
+		Message  string   `json:"message"`
+		Path     []string `json:"path"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, stdout)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "lockorder" || diags[0].Line == 0 ||
+		!strings.HasSuffix(diags[0].File, "held.go") || !strings.Contains(diags[0].Message, "held across channel send") {
+		t.Fatalf("unexpected -json diagnostics: %+v", diags)
+	}
+
+	if _, stderr, code := run("./does-not-exist"); code != 2 || !strings.Contains(stderr, "qkdlint:") {
+		t.Fatalf("driver error: want exit 2 with an error on stderr, got %d\n%s", code, stderr)
 	}
 }
 

@@ -430,6 +430,7 @@ func (d *Daemon) run() {
 			}
 			payload := append([]byte(nil), body[5:]...)
 			go func() {
+				//lint:lockorder respMu serializes responder-side phase-2 handling across the blocking reservoir withdrawal by design (racoon handles one exchange at a time); the kindPh2Cancel path exists precisely to unblock it
 				d.respMu.Lock()
 				defer d.respMu.Unlock()
 				defer func() {

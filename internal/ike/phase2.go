@@ -150,6 +150,7 @@ func (d *Daemon) Negotiate(pol *ipsec.Policy, reversePolicy string) error {
 	if d.role != Initiator {
 		return fmt.Errorf("ike: only the initiator daemon negotiates")
 	}
+	//lint:lockorder negMu deliberately serializes phase-2 exchanges end to end, key withdrawal and response wait included; it is a protocol turnstile, not a data lock, and nothing acquires it from under another lock
 	d.negMu.Lock()
 	defer d.negMu.Unlock()
 	d.mu.Lock()

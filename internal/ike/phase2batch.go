@@ -47,6 +47,7 @@ func (d *Daemon) NegotiateBatch(items []BatchItem) ([]error, error) {
 	if len(items) > maxBatchItems {
 		return nil, fmt.Errorf("ike: batch of %d exceeds %d items", len(items), maxBatchItems)
 	}
+	//lint:lockorder negMu deliberately serializes phase-2 exchanges end to end, batch allocation and response wait included; it is a protocol turnstile, not a data lock, and nothing acquires it from under another lock
 	d.negMu.Lock()
 	defer d.negMu.Unlock()
 	d.mu.Lock()

@@ -12,6 +12,8 @@ func All() []*Analyzer {
 		SentinelCmp,
 		AtomicField,
 		DetRand,
+		KeyTaint,
+		LockOrder,
 	}
 }
 

@@ -53,6 +53,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// IP is the interprocedural substrate for this package (dependency
+	// summaries merged in, local summaries computed). Nil when the
+	// package was checked without dependency facts; interprocedural
+	// analyzers must then degrade to per-function behavior.
+	IP *IPContext
+
 	report func(Diagnostic)
 }
 
@@ -60,11 +66,25 @@ type Pass struct {
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	// Posn, when set, overrides the Pos→Position resolution. Used for
+	// facts whose anchor lives in a dependency package (a lock-order
+	// cycle edge acquired two packages away) where no token.Pos in the
+	// current FileSet exists.
+	Posn *token.Position
+	// Path is the source→sink or held→acquired call chain, one
+	// "func (file:line)" frame per element, printed under the finding.
+	Path []string
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report records a fully-formed diagnostic (with an optional flow
+// path and position override).
+func (p *Pass) Report(d Diagnostic) {
+	p.report(d)
 }
 
 // PkgPath returns the package's import path with any build-variant
@@ -88,10 +108,17 @@ type Finding struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Path is the interprocedural call chain behind the finding, if
+	// any, outermost frame first.
+	Path []string
 }
 
 func (f Finding) String() string {
-	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+	s := fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+	for _, frame := range f.Path {
+		s += "\n\t" + frame
+	}
+	return s
 }
 
 // NewInfo returns a fully-populated types.Info for a package check.
@@ -129,10 +156,30 @@ func SourceImporter(fset *token.FileSet) types.Importer {
 	return importer.ForCompiler(fset, "source", nil)
 }
 
+// Summarize computes a package's outgoing interprocedural facts (its
+// dependency closure's plus its own) without running any analyzer.
+// Used for VetxOnly dependency passes and by harnesses that need a
+// corpus package's facts before checking its dependents.
+func Summarize(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, deps *Summaries) *Summaries {
+	return BuildIP(fset, files, pkg, info, deps).Out()
+}
+
 // Check runs the analyzers over one type-checked package and returns
 // the surviving findings (suppressions applied), sorted by position.
+// Interprocedural facts are computed from this package alone (no
+// dependency summaries); use CheckWithDeps to thread them through.
 func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	findings, _, err := CheckWithDeps(fset, files, pkg, info, analyzers, nil)
+	return findings, err
+}
+
+// CheckWithDeps runs the analyzers with the dependency closure's
+// function summaries available, and returns alongside the findings
+// this package's outgoing summaries (the closure plus its own) for
+// the caller to hand to dependent packages.
+func CheckWithDeps(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, deps *Summaries) ([]Finding, *Summaries, error) {
 	sup := collectSuppressions(fset, files)
+	ip := BuildIP(fset, files, pkg, info, deps)
 	var findings []Finding
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -141,16 +188,20 @@ func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *typ
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			IP:        ip,
 		}
 		pass.report = func(d Diagnostic) {
 			posn := fset.Position(d.Pos)
+			if d.Posn != nil {
+				posn = *d.Posn
+			}
 			if sup.covers(a.Name, posn) {
 				return
 			}
-			findings = append(findings, Finding{Analyzer: a.Name, Pos: posn, Message: d.Message})
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: posn, Message: d.Message, Path: d.Path})
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %w", a.Name, err)
+			return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
@@ -166,7 +217,7 @@ func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *typ
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+	return findings, ip.Out(), nil
 }
 
 // ---------------------------------------------------------------------

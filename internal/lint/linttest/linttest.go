@@ -13,6 +13,12 @@
 // against testdata/src (so corpora can use small fakes of repo
 // packages like keypool) and then against the standard library via the
 // source importer, which needs no pre-compiled export data.
+//
+// Corpus-local imports are summarized (lint.Summarize) before the
+// package under test runs, mirroring how the vettool and standalone
+// drivers thread interprocedural facts between packages — so a corpus
+// can pin a taint flow or a lock-order cycle that crosses a package
+// boundary.
 package linttest
 
 import (
@@ -43,7 +49,7 @@ func Run(t *testing.T, analyzer *lint.Analyzer, pkgPath string) {
 	if err != nil {
 		t.Fatalf("loading corpus %s: %v", pkgPath, err)
 	}
-	findings, err := lint.Check(l.fset, tp.files, tp.pkg, tp.info, []*lint.Analyzer{analyzer})
+	findings, _, err := lint.CheckWithDeps(l.fset, tp.files, tp.pkg, tp.info, []*lint.Analyzer{analyzer}, l.depFacts(tp))
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", analyzer.Name, pkgPath, err)
 	}
@@ -93,7 +99,10 @@ func diffWants(t *testing.T, fset *token.FileSet, files []*ast.File, findings []
 	for _, f := range findings {
 		matched := false
 		for _, w := range wants {
-			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			// Compare basenames: interprocedural diagnostics anchored via
+			// a facts-file position (lock-order cycles) carry only the
+			// file's base name, and corpus file names are unique.
+			if !w.matched && filepath.Base(w.file) == filepath.Base(f.Pos.Filename) && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
 				w.matched = true
 				matched = true
 				break
@@ -183,6 +192,58 @@ func (l *loader) load(path string) (*typedPackage, error) {
 	cfg := types.Config{Importer: l}
 	tp.pkg, tp.err = cfg.Check(path, l.fset, tp.files, tp.info)
 	return tp, tp.err
+}
+
+// depFacts merges the cumulative interprocedural facts of tp's
+// corpus-local imports, the way a real driver hands each package the
+// facts files of its direct imports.
+func (l *loader) depFacts(tp *typedPackage) *lint.Summaries {
+	memo := make(map[string]*lint.Summaries)
+	deps := lint.NewSummaries()
+	for _, imp := range l.corpusImports(tp) {
+		deps.Merge(l.factsFor(imp, memo))
+	}
+	return deps
+}
+
+// factsFor computes one corpus package's cumulative facts (its own
+// plus its corpus-local dependency closure's), memoized.
+func (l *loader) factsFor(path string, memo map[string]*lint.Summaries) *lint.Summaries {
+	if s, ok := memo[path]; ok {
+		return s
+	}
+	memo[path] = lint.NewSummaries() // cycle guard
+	tp, err := l.load(path)
+	if err != nil {
+		return memo[path]
+	}
+	deps := lint.NewSummaries()
+	for _, imp := range l.corpusImports(tp) {
+		deps.Merge(l.factsFor(imp, memo))
+	}
+	s := lint.Summarize(l.fset, tp.files, tp.pkg, tp.info, deps)
+	memo[path] = s
+	return s
+}
+
+// corpusImports lists tp's imports that live under testdata/src.
+func (l *loader) corpusImports(tp *typedPackage) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range tp.files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			if dirExists(filepath.Join(l.srcDir, filepath.FromSlash(path))) {
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 func dirExists(dir string) bool {

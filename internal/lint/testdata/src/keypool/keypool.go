@@ -4,7 +4,10 @@
 // []byte source, and a sentinel.
 package keypool
 
-import "errors"
+import (
+	"errors"
+	"time"
+)
 
 var ErrExhausted = errors.New("keypool: exhausted")
 var ErrTimeout = errors.New("keypool: timeout")
@@ -18,6 +21,13 @@ func (r *Reservoir) Reserve(n int) (*Reservation, error) {
 }
 
 func (r *Reservoir) Withdraw(n int) []byte { return make([]byte, n) }
+
+// Consume mirrors the real blocking withdrawal: Consume-family name,
+// key-plane package, timeout parameter.
+func (r *Reservoir) Consume(n int, timeout time.Duration) ([]byte, error) {
+	_ = timeout
+	return make([]byte, n), nil
+}
 
 type Reservation struct{ void bool }
 

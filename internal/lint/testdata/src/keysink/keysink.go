@@ -1,0 +1,20 @@
+// Package keysink is a corpus helper for the keytaint analyzer. Dump
+// leaks its parameter into fmt, so its function summary carries a
+// ParamSink fact; a dependent corpus package passing key material to
+// Dump pins the cross-package source→sink flow. Wipe is the sanctioned
+// counterpart: it only zeroes the buffer, so callers stay clean.
+package keysink
+
+import "fmt"
+
+// Dump prints b in hex — a logging sink one call away.
+func Dump(b []byte) {
+	fmt.Printf("%x\n", b)
+}
+
+// Wipe zeroes b in place; no sink.
+func Wipe(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -1,0 +1,77 @@
+// Corpus for the keytaint analyzer: key material withdrawn from the
+// (fake) reservoir must not reach logging, string conversions, or
+// unsanctioned struct fields — directly, through a local helper's
+// summary, or across a package boundary.
+package keytaint
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"keypool"
+	"keysink"
+)
+
+var pool keypool.Reservoir
+
+type record struct {
+	blob []byte
+}
+
+func direct() {
+	key := pool.Withdraw(32)
+	fmt.Printf("key=%x\n", key) // want `key material from keypool\.Reservoir\.Withdraw reaches fmt\.Printf`
+}
+
+func viaReservation(rv *keypool.Reservation) {
+	bits, err := rv.Consume(16)
+	if err != nil {
+		return
+	}
+	log.Println(bits) // want `key material from keypool\.Reservation\.Consume reaches log\.Println`
+}
+
+func viaConversion() error {
+	key := pool.Withdraw(16)
+	return errors.New(string(key)) // want `reaches string conversion` `reaches errors\.New`
+}
+
+// fetch's summary records a secret result; viaHelper's diagnostic
+// names it as the flow's entry point.
+func viaHelper() {
+	key := fetch()
+	log.Println(key) // want `key material from keytaint\.fetch reaches log\.Println`
+}
+
+func fetch() []byte {
+	return pool.Withdraw(16)
+}
+
+// crossPackage leaks through keysink.Dump, whose ParamSink fact comes
+// from the dependency's facts, not this package's AST.
+func crossPackage() {
+	key := pool.Withdraw(16)
+	keysink.Dump(key) // want `key material from keypool\.Reservoir\.Withdraw reaches fmt\.Printf`
+}
+
+func persisted(r *record) {
+	r.blob = pool.Withdraw(8) // want `reaches struct field keytaint\.record\.blob`
+}
+
+// xor is the sanctioned use: mixing the pad into data is the one-time
+// pad itself, so the result is not key material.
+func xor(ct []byte) []byte {
+	key := pool.Withdraw(len(ct))
+	out := make([]byte, len(ct))
+	for i := range ct {
+		out[i] = ct[i] ^ key[i]
+	}
+	return out
+}
+
+// wiped hands the key to a helper whose summary carries no sink.
+func wiped() {
+	key := pool.Withdraw(16)
+	keysink.Wipe(key)
+}

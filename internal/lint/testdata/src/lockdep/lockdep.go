@@ -1,0 +1,18 @@
+// Package lockdep is a corpus helper for the lockorder analyzer: it
+// exports two package-level locks and takes them in Ledger → Journal
+// order, so a dependent package acquiring them in the reverse order
+// completes an AB/BA cycle that spans the package boundary.
+package lockdep
+
+import "sync"
+
+var Ledger sync.Mutex
+var Journal sync.Mutex
+
+// Post takes Ledger then Journal: the canonical order.
+func Post() {
+	Ledger.Lock()
+	Journal.Lock()
+	Journal.Unlock()
+	Ledger.Unlock()
+}

@@ -13,10 +13,14 @@
 //  3. `tool [flags] <objdir>/vet.cfg` — one invocation per package.
 //     The cfg is a JSON object (see Config) listing the source files
 //     and, for every import, the compiled export-data archive produced
-//     by the build. Dependency-only invocations set VetxOnly: a real
-//     unitchecker would compute facts there; our analyzers are purely
-//     intra-package, so we just write the expected facts file and
-//     return.
+//     by the build. Dependency-only invocations set VetxOnly: for
+//     module packages we type-check and summarize (interprocedural
+//     facts, see lint.Summaries), writing the package's cumulative
+//     facts file to VetxOutput; stdlib dependencies get an empty facts
+//     file (their calls neither propagate nor sink key material, by
+//     design). Real invocations read the facts files of their direct
+//     imports (PackageVetx) — cumulative, so they carry the whole
+//     dependency closure — and run the analyzers with them.
 //
 // Diagnostics go to stderr as file:line:col lines and the process
 // exits 2, which `go vet` reports as a failure for that package.
@@ -152,27 +156,80 @@ func printFlagDefs(analyzers []*lint.Analyzer) {
 	fmt.Println()
 }
 
+// ParseConfig decodes one vet.cfg. Exported for processCfg and for
+// the fuzz target in cmd/qkdlint, which throws malformed JSON, missing
+// fields, and oversized inputs at it.
+func ParseConfig(data []byte) (*Config, error) {
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
 func processCfg(path string, analyzers []*lint.Analyzer) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qkdlint: reading %s: %v\n", path, err)
 		return 1
 	}
-	var cfg Config
-	if err := json.Unmarshal(data, &cfg); err != nil {
+	cfg, err := ParseConfig(data)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "qkdlint: parsing %s: %v\n", path, err)
 		return 1
 	}
 	if cfg.VetxOnly {
-		// Dependency pass: our analyzers export no cross-package facts,
-		// but go expects the facts file to exist before caching.
-		if err := writeVetx(cfg); err != nil {
+		// Dependency pass: summarize module packages so their
+		// interprocedural facts flow to dependents. Stdlib packages
+		// are inert by design (ModulePath is empty for them): an
+		// empty facts file keeps the pipeline moving.
+		if cfg.ModulePath == "" {
+			if err := writeVetx(cfg, lint.NewSummaries()); err != nil {
+				fmt.Fprintln(os.Stderr, "qkdlint:", err)
+				return 1
+			}
+			return 0
+		}
+		fset, files, pkg, info, err := loadPackage(cfg)
+		out := lint.NewSummaries()
+		if err == nil {
+			out = lint.Summarize(fset, files, pkg, info, readDepFacts(cfg))
+		}
+		// A dependency that fails to type-check here will fail its own
+		// real vet run with a proper diagnostic; degrade to no facts.
+		if err := writeVetx(cfg, out); err != nil {
 			fmt.Fprintln(os.Stderr, "qkdlint:", err)
 			return 1
 		}
 		return 0
 	}
 
+	fset, files, pkg, info, err := loadPackage(cfg)
+	if err != nil {
+		return typecheckFailed(cfg, err)
+	}
+
+	findings, out, err := lint.CheckWithDeps(fset, files, pkg, info, analyzers, readDepFacts(cfg))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qkdlint:", err)
+		return 1
+	}
+	if err := writeVetx(cfg, out); err != nil {
+		fmt.Fprintln(os.Stderr, "qkdlint:", err)
+		return 1
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f.String())
+	}
+	return 2
+}
+
+// loadPackage parses and type-checks the unit's files against the
+// build's export data.
+func loadPackage(cfg *Config) (*token.FileSet, []*ast.File, *types.Package, *types.Info, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	var parseErr error
@@ -189,7 +246,7 @@ func processCfg(path string, analyzers []*lint.Analyzer) int {
 		}
 	}
 	if parseErr != nil {
-		return typecheckFailed(cfg, parseErr)
+		return fset, files, nil, nil, parseErr
 	}
 
 	imp := importer.ForCompiler(fset, "gc", func(importPath string) (io.ReadCloser, error) {
@@ -211,33 +268,33 @@ func processCfg(path string, analyzers []*lint.Analyzer) int {
 	}
 	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		return typecheckFailed(cfg, err)
+		return fset, files, nil, nil, err
 	}
+	return fset, files, pkg, info, nil
+}
 
-	findings, err := lint.Check(fset, files, pkg, info, analyzers)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "qkdlint:", err)
-		return 1
+// readDepFacts merges the facts files of every direct import. Each is
+// cumulative (a package's facts embed its dependencies'), so direct
+// imports suffice for the transitive closure. Unreadable or
+// foreign-format files contribute nothing.
+func readDepFacts(cfg *Config) *lint.Summaries {
+	deps := lint.NewSummaries()
+	for _, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			continue
+		}
+		deps.Merge(lint.ParseVetx(data))
 	}
-	if err := writeVetx(cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "qkdlint:", err)
-		return 1
-	}
-	if len(findings) == 0 {
-		return 0
-	}
-	for _, f := range findings {
-		fmt.Fprintln(os.Stderr, f.String())
-	}
-	return 2
+	return deps
 }
 
 // typecheckFailed honors SucceedOnTypecheckFailure, which cmd/go sets
 // when the compiler itself is expected to report the errors (so vet
 // should not duplicate them).
-func typecheckFailed(cfg Config, err error) int {
+func typecheckFailed(cfg *Config, err error) int {
 	if cfg.SucceedOnTypecheckFailure {
-		if werr := writeVetx(cfg); werr != nil {
+		if werr := writeVetx(cfg, lint.NewSummaries()); werr != nil {
 			fmt.Fprintln(os.Stderr, "qkdlint:", werr)
 			return 1
 		}
@@ -247,9 +304,9 @@ func typecheckFailed(cfg Config, err error) int {
 	return 1
 }
 
-func writeVetx(cfg Config) error {
+func writeVetx(cfg *Config, out *lint.Summaries) error {
 	if cfg.VetxOutput == "" {
 		return nil
 	}
-	return os.WriteFile(cfg.VetxOutput, []byte("qkdlint facts v1 (none)\n"), 0o666)
+	return os.WriteFile(cfg.VetxOutput, out.MarshalVetx(), 0o666)
 }

@@ -198,12 +198,16 @@ func (n *Network) Stats() Stats {
 // batch) and discards its compromised pool.
 func (n *Network) Tick() {
 	for _, l := range n.Links() {
+		// Draw the fresh bits before taking l.mu: randBits locks n.mu,
+		// and findPath nests l.mu under n.mu, so generating under l.mu
+		// would close a Link.mu→Network.mu→Link.mu deadlock cycle.
+		if l.State() != LinkUp {
+			continue
+		}
+		fresh := n.randBits(l.RateBits)
 		l.mu.Lock()
-		switch l.state {
-		case LinkUp:
-			l.pool.Deposit(n.randBits(l.RateBits))
-		case LinkEavesdropped:
-			// Alarm already raised; pool stays discarded.
+		if l.state == LinkUp { // may have been cut or eavesdropped since
+			l.pool.Deposit(fresh)
 		}
 		l.mu.Unlock()
 	}

@@ -40,6 +40,7 @@ func (n *Network) RestartSite(side byte) error {
 	oldA.Stop()
 	oldB.Stop()
 
+	//lint:lockorder ikeMu is write-held across the bounded daemon start handshake so no tunnel ever observes a half-swapped daemon pair; RestartSite is documented as not concurrent with Close or itself
 	n.ikeMu.Lock()
 	if side == 'A' {
 		n.A.GW.SAD.Reset()

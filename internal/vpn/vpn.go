@@ -743,6 +743,7 @@ func (n *Network) negotiateTunnels(ts []*tunnel, gens []uint64) []error {
 	}
 	// Shared ikeMu spans the exchange: a concurrent RestartSite blocks
 	// until this batch drains (failing fast once the old daemon stops).
+	//lint:lockorder ikeMu is deliberately read-held across the blocking batch negotiation — it is the drain barrier RestartSite's exclusive acquisition waits on
 	n.ikeMu.RLock()
 	berrs, err := n.A.IKE.NegotiateBatch(items)
 	n.ikeMu.RUnlock()
@@ -798,11 +799,13 @@ func (n *Network) RenegotiateTunnel(name string) error {
 // collapse: exactly one negotiation's key is burned per observed
 // expiry, no matter how many flows (or the background rekeyer) noticed.
 func (n *Network) rekeyTunnelFrom(t *tunnel, gen uint64) error {
+	//lint:lockorder rekeyMu deliberately spans the whole negotiation so concurrent rekeys of one tunnel collapse to a single burned key
 	t.rekeyMu.Lock()
 	defer t.rekeyMu.Unlock()
 	if t.gen.Load() != gen {
 		return nil // a rollover since the caller looked installed fresh SAs
 	}
+	//lint:lockorder ikeMu is deliberately read-held across the blocking negotiation — it is the drain barrier RestartSite's exclusive acquisition waits on
 	n.ikeMu.RLock()
 	err := n.A.IKE.Negotiate(t.polAB, t.polBA.Name)
 	n.ikeMu.RUnlock()
